@@ -1,0 +1,68 @@
+// Shared scaffolding for the figure/table bench binaries.
+//
+// Every bench accepts:
+//   --scale=X    dataset/request scale multiplier (default per bench)
+//   --clients=N  client count (default 100, like the paper)
+//   --ticks=N    simulation horizon in seconds
+//   --csv        emit CSV instead of aligned tables
+//   --buckets=N  time buckets for series printing
+//   --seed=N     scenario seed
+//
+// Each bench ends with a [SHAPE-CHECK] section asserting the paper's
+// qualitative claims; the process exit code is non-zero if any check fails,
+// so the bench suite doubles as a reproduction regression test.
+#pragma once
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "sim/report.h"
+#include "sim/scenario.h"
+
+namespace lunule::bench {
+
+struct BenchOptions {
+  double scale = 0.25;
+  std::size_t clients = 100;
+  Tick ticks = 1800;
+  std::uint64_t seed = 42;
+  sim::ReportOptions report;
+
+  static BenchOptions parse(int argc, char** argv, double default_scale,
+                            Tick default_ticks,
+                            std::size_t default_clients = 100) {
+    Flags flags(argc, argv);
+    BenchOptions o;
+    o.scale = flags.get_double("scale", default_scale);
+    o.clients =
+        static_cast<std::size_t>(flags.get_int("clients",
+                                               static_cast<std::int64_t>(
+                                                   default_clients)));
+    o.ticks = flags.get_int("ticks", default_ticks);
+    o.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    o.report.csv = flags.get_bool("csv", false);
+    o.report.buckets =
+        static_cast<std::size_t>(flags.get_int("buckets", 12));
+    flags.check_unused();
+    return o;
+  }
+
+  [[nodiscard]] sim::ScenarioConfig config(sim::WorkloadKind w,
+                                           sim::BalancerKind b) const {
+    sim::ScenarioConfig cfg;
+    cfg.workload = w;
+    cfg.balancer = b;
+    cfg.n_clients = clients;
+    cfg.scale = scale;
+    cfg.max_ticks = ticks;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+inline int finish(const sim::ShapeChecker& checks) {
+  checks.print(std::cout);
+  return checks.exit_code();
+}
+
+}  // namespace lunule::bench

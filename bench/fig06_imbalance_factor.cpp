@@ -1,0 +1,101 @@
+// Figure 6: imbalance factor over time for the five workloads under the
+// four balancers (Vanilla, GreedySpill, Lunule-Light, Lunule).
+//
+// Shapes reproduced: GreedySpill is the worst (IF near 1 on scans);
+// Vanilla handles Web well but fails CNN/NLP; Lunule achieves the lowest
+// IF overall; Lunule-Light trails Lunule on the spatial workloads
+// (CNN/NLP) but matches it on Zipf/Web/MD — the paper's ablation.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "sim/parallel_runner.h"
+#include "common/table.h"
+
+namespace lunule {
+namespace {
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions opts =
+      bench::BenchOptions::parse(argc, argv, /*scale=*/0.2, /*ticks=*/1500);
+  const sim::WorkloadKind workloads[] = {
+      sim::WorkloadKind::kCnn, sim::WorkloadKind::kNlp,
+      sim::WorkloadKind::kZipf, sim::WorkloadKind::kWeb,
+      sim::WorkloadKind::kMd};
+  const sim::BalancerKind balancers[] = {
+      sim::BalancerKind::kVanilla, sim::BalancerKind::kGreedySpill,
+      sim::BalancerKind::kLunuleLight, sim::BalancerKind::kLunule};
+
+  sim::ShapeChecker checks;
+  TablePrinter summary({"Workload", "Vanilla", "GreedySpill", "Lunule-Light",
+                        "Lunule", "Lunule vs best baseline"});
+
+  // The 20 cells are independent deterministic simulations: run them on
+  // all cores.
+  std::vector<sim::ScenarioConfig> configs;
+  for (const sim::WorkloadKind w : workloads) {
+    for (const sim::BalancerKind b : balancers) {
+      configs.push_back(opts.config(w, b));
+    }
+  }
+  const std::vector<sim::ScenarioResult> all = sim::run_scenarios(configs);
+
+  std::size_t cell = 0;
+  for (const sim::WorkloadKind w : workloads) {
+    std::map<sim::BalancerKind, sim::ScenarioResult> results;
+    std::vector<const TimeSeries*> series;
+    std::vector<std::string> names;
+    for (const sim::BalancerKind b : balancers) {
+      results.emplace(b, all[cell++]);
+      names.emplace_back(sim::balancer_name(b));
+    }
+    for (const sim::BalancerKind b : balancers) {
+      series.push_back(&results.at(b).if_series);
+    }
+    sim::print_series_columns(
+        std::cout,
+        "Figure 6: IF over time, " + std::string(sim::workload_name(w)),
+        series, names, /*seconds_per_sample=*/10.0, opts.report);
+
+    const double vanilla = results.at(sim::BalancerKind::kVanilla).mean_if;
+    const double greedy =
+        results.at(sim::BalancerKind::kGreedySpill).mean_if;
+    const double light =
+        results.at(sim::BalancerKind::kLunuleLight).mean_if;
+    const double lunule = results.at(sim::BalancerKind::kLunule).mean_if;
+    const double best_baseline = std::min(vanilla, greedy);
+    summary.add_row(
+        {std::string(sim::workload_name(w)), TablePrinter::fmt(vanilla, 3),
+         TablePrinter::fmt(greedy, 3), TablePrinter::fmt(light, 3),
+         TablePrinter::fmt(lunule, 3),
+         TablePrinter::pct(lunule / best_baseline - 1.0)});
+
+    checks.expect(lunule < vanilla,
+                  std::string(sim::workload_name(w)) +
+                      ": Lunule mean IF below Vanilla");
+    checks.expect(lunule < greedy,
+                  std::string(sim::workload_name(w)) +
+                      ": Lunule mean IF below GreedySpill");
+    if (w == sim::WorkloadKind::kCnn || w == sim::WorkloadKind::kNlp) {
+      checks.expect(lunule < light,
+                    std::string(sim::workload_name(w)) +
+                        ": workload-aware selection beats -Light on "
+                        "spatial workloads (ablation)");
+      checks.expect(greedy > 2.0 * lunule,
+                    std::string(sim::workload_name(w)) +
+                        ": GreedySpill far behind Lunule on scans");
+    }
+  }
+
+  if (opts.report.csv) {
+    summary.print_csv(std::cout);
+  } else {
+    summary.print(std::cout, "Figure 6 summary: mean IF (lower is better)");
+  }
+  return bench::finish(checks);
+}
+
+}  // namespace
+}  // namespace lunule
+
+int main(int argc, char** argv) { return lunule::run(argc, argv); }

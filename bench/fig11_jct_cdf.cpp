@@ -1,0 +1,65 @@
+// Figure 11: CDF of client job completion times under the mixed workload,
+// Vanilla vs Lunule (data access enabled, 100 clients).
+//
+// Shapes reproduced: Lunule shifts the CDF left, most visibly at the tail
+// (paper: 99th-percentile JCT 1.42x better than Vanilla; ~80% of clients
+// done while Vanilla needs ~25% longer).
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace lunule {
+namespace {
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions opts =
+      bench::BenchOptions::parse(argc, argv, /*scale=*/0.15, /*ticks=*/15000);
+  sim::ShapeChecker checks;
+
+  sim::ScenarioConfig v_cfg =
+      opts.config(sim::WorkloadKind::kMixed, sim::BalancerKind::kVanilla);
+  v_cfg.data_enabled = true;
+  sim::ScenarioConfig l_cfg = v_cfg;
+  l_cfg.balancer = sim::BalancerKind::kLunule;
+
+  const sim::ScenarioResult vanilla = sim::run_scenario(v_cfg);
+  const sim::ScenarioResult lunule = sim::run_scenario(l_cfg);
+
+  checks.expect(vanilla.clients_done == vanilla.n_clients,
+                "Vanilla completes all jobs within the horizon");
+  checks.expect(lunule.clients_done == lunule.n_clients,
+                "Lunule completes all jobs within the horizon");
+
+  TablePrinter table({"percentile", "Vanilla JCT (s)", "Lunule JCT (s)",
+                      "improvement"});
+  for (const double p : {10.0, 25.0, 50.0, 75.0, 80.0, 90.0, 95.0, 99.0}) {
+    const double v = percentile(vanilla.jct_seconds, p);
+    const double l = percentile(lunule.jct_seconds, p);
+    table.add_row({TablePrinter::fmt(p, 0) + "%", TablePrinter::fmt(v, 0),
+                   TablePrinter::fmt(l, 0), TablePrinter::pct(l / v - 1.0)});
+  }
+  if (opts.report.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout,
+                "Figure 11: job completion time CDF, mixed workload");
+  }
+
+  const double v99 = percentile(vanilla.jct_seconds, 99);
+  const double l99 = percentile(lunule.jct_seconds, 99);
+  checks.expect(l99 < v99,
+                "Mixed: Lunule improves the 99th-percentile JCT "
+                "(paper: 1.42x)");
+  checks.expect(percentile(lunule.jct_seconds, 80) <=
+                    percentile(vanilla.jct_seconds, 80),
+                "Mixed: Lunule's 80th-percentile JCT no worse than "
+                "Vanilla's");
+  return bench::finish(checks);
+}
+
+}  // namespace
+}  // namespace lunule
+
+int main(int argc, char** argv) { return lunule::run(argc, argv); }

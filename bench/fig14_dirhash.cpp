@@ -1,0 +1,105 @@
+// Figure 14: the Dir-Hash baseline in detail on the Web workload.
+//   (a) inode placement is nearly uniform across the 5 MDSs, yet
+//   (b) the runtime request load is skewed and never re-balances, and
+//   Dir-Hash inflates path-traversal forwards (paper: 98% more) because
+//   sibling directories scatter across MDSs, destroying locality.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/simulation.h"
+
+namespace lunule {
+namespace {
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions opts =
+      bench::BenchOptions::parse(argc, argv, /*scale=*/0.15, /*ticks=*/900);
+  sim::ShapeChecker checks;
+
+  // Run Dir-Hash and keep the simulation alive for the inode census.
+  sim::ScenarioConfig hash_cfg =
+      opts.config(sim::WorkloadKind::kWeb, sim::BalancerKind::kDirHash);
+  auto hash_sim = sim::make_scenario(hash_cfg);
+  hash_sim->run();
+
+  const auto census = hash_sim->tree().inodes_per_mds(hash_cfg.n_mds);
+  TablePrinter placement({"MDS", "inodes", "share", "requests", "share"});
+  std::vector<double> inode_shares;
+  std::vector<double> request_shares;
+  std::uint64_t inode_total = 0;
+  std::uint64_t req_total = 0;
+  for (std::size_t m = 0; m < census.size(); ++m) {
+    inode_total += census[m];
+    req_total +=
+        hash_sim->cluster().server(static_cast<MdsId>(m)).total_served();
+  }
+  for (std::size_t m = 0; m < census.size(); ++m) {
+    const auto reqs =
+        hash_sim->cluster().server(static_cast<MdsId>(m)).total_served();
+    placement.add_row(
+        {"MDS-" + std::to_string(m + 1), TablePrinter::fmt(census[m]),
+         TablePrinter::fmt(100.0 * static_cast<double>(census[m]) /
+                               static_cast<double>(inode_total),
+                           1) +
+             "%",
+         TablePrinter::fmt(reqs),
+         TablePrinter::fmt(100.0 * static_cast<double>(reqs) /
+                               static_cast<double>(req_total),
+                           1) +
+             "%"});
+    inode_shares.push_back(static_cast<double>(census[m]));
+    request_shares.push_back(static_cast<double>(reqs));
+  }
+  if (opts.report.csv) {
+    placement.print_csv(std::cout);
+  } else {
+    placement.print(std::cout,
+                    "Figure 14: Dir-Hash inode vs request distribution, "
+                    "Web workload");
+  }
+
+  const double inode_cov = coefficient_of_variation(inode_shares);
+  const double request_cov = coefficient_of_variation(request_shares);
+  std::cout << "inode-placement CoV " << inode_cov
+            << " vs request-load CoV " << request_cov << "\n";
+  checks.expect(inode_cov < 0.25,
+                "14a: static hashing places inodes almost uniformly");
+  checks.expect(request_cov > 1.5 * inode_cov,
+                "14b: the request load is far more skewed than the "
+                "placement (static hashing cannot adapt)");
+
+  // Forward comparison against Lunule and Vanilla.
+  const std::uint64_t hash_forwards = hash_sim->cluster().total_forwards();
+  const sim::ScenarioResult lunule = sim::run_scenario(
+      opts.config(sim::WorkloadKind::kWeb, sim::BalancerKind::kLunule));
+  const sim::ScenarioResult vanilla = sim::run_scenario(
+      opts.config(sim::WorkloadKind::kWeb, sim::BalancerKind::kVanilla));
+  TablePrinter forwards({"Balancer", "forwards", "vs Dir-Hash"});
+  forwards.add_row({"Dir-Hash", TablePrinter::fmt(hash_forwards), "-"});
+  forwards.add_row({"Lunule", TablePrinter::fmt(lunule.total_forwards),
+                    TablePrinter::pct(
+                        static_cast<double>(lunule.total_forwards) /
+                            static_cast<double>(hash_forwards) -
+                        1.0)});
+  forwards.add_row({"Vanilla", TablePrinter::fmt(vanilla.total_forwards),
+                    TablePrinter::pct(
+                        static_cast<double>(vanilla.total_forwards) /
+                            static_cast<double>(hash_forwards) -
+                        1.0)});
+  if (opts.report.csv) {
+    forwards.print_csv(std::cout);
+  } else {
+    forwards.print(std::cout, "Request forwards (locality destruction)");
+  }
+  checks.expect(hash_forwards > lunule.total_forwards &&
+                    hash_forwards > vanilla.total_forwards,
+                "Dir-Hash produces the most forwards (paper: +98%)");
+  return bench::finish(checks);
+}
+
+}  // namespace
+}  // namespace lunule
+
+int main(int argc, char** argv) { return lunule::run(argc, argv); }

@@ -1,0 +1,89 @@
+// Latency profile bench: per-operation metadata latency under the four
+// balancers.
+//
+// The paper's Section 4 names latency among the performance implications
+// of metadata load balance (alongside throughput and job completion time).
+// In the closed-loop model, an operation's latency is the number of ticks
+// until its authoritative MDS has capacity for it (1 = served the tick it
+// was issued); balanced clusters keep the tail flat while a hotspot pushes
+// the p99 up by orders of magnitude.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "sim/parallel_runner.h"
+
+namespace lunule {
+namespace {
+
+int run(int argc, char** argv) {
+  const bench::BenchOptions opts =
+      bench::BenchOptions::parse(argc, argv, /*scale=*/0.2, /*ticks=*/1200);
+  sim::ShapeChecker checks;
+
+  const sim::WorkloadKind workloads[] = {sim::WorkloadKind::kNlp,
+                                         sim::WorkloadKind::kZipf};
+  const sim::BalancerKind balancers[] = {
+      sim::BalancerKind::kVanilla, sim::BalancerKind::kGreedySpill,
+      sim::BalancerKind::kLunule};
+
+  std::vector<sim::ScenarioConfig> configs;
+  for (const auto w : workloads) {
+    for (const auto b : balancers) configs.push_back(opts.config(w, b));
+  }
+  const auto results = sim::run_scenarios(configs);
+
+  TablePrinter table({"Workload", "Balancer", "mean (s)", "p50 (s)",
+                      "p99 (s)", "max (s)", "stall fraction"});
+  double nlp_vanilla_p99 = 0.0;
+  double nlp_lunule_p99 = 0.0;
+  double zipf_vanilla_stall = 0.0;
+  double zipf_lunule_stall = 0.0;
+  std::size_t cell = 0;
+  for (const auto w : workloads) {
+    for (const auto b : balancers) {
+      const sim::ScenarioResult& r = results[cell++];
+      table.add_row({r.workload, r.balancer,
+                     TablePrinter::fmt(r.op_latency.mean(), 2),
+                     TablePrinter::fmt(r.op_latency.percentile(50), 1),
+                     TablePrinter::fmt(r.op_latency.percentile(99), 1),
+                     TablePrinter::fmt(r.op_latency.max_value(), 0),
+                     TablePrinter::fmt(r.mean_stall_fraction, 3)});
+      if (w == sim::WorkloadKind::kNlp) {
+        if (b == sim::BalancerKind::kVanilla) {
+          nlp_vanilla_p99 = r.op_latency.percentile(99);
+        }
+        if (b == sim::BalancerKind::kLunule) {
+          nlp_lunule_p99 = r.op_latency.percentile(99);
+        }
+      } else {
+        if (b == sim::BalancerKind::kVanilla) {
+          zipf_vanilla_stall = r.mean_stall_fraction;
+        }
+        if (b == sim::BalancerKind::kLunule) {
+          zipf_lunule_stall = r.mean_stall_fraction;
+        }
+      }
+    }
+  }
+
+  if (opts.report.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout,
+                "Per-op metadata latency (ticks until served) and client "
+                "stall fractions");
+  }
+
+  checks.expect(nlp_lunule_p99 <= nlp_vanilla_p99,
+                "NLP: Lunule's p99 op latency no worse than Vanilla's "
+                "(hotspot removal flattens the tail)");
+  checks.expect(zipf_lunule_stall <= zipf_vanilla_stall * 1.05,
+                "Zipf: Lunule's clients stall no more than Vanilla's");
+  return bench::finish(checks);
+}
+
+}  // namespace
+}  // namespace lunule
+
+int main(int argc, char** argv) { return lunule::run(argc, argv); }

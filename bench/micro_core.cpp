@@ -1,0 +1,124 @@
+// Microbenchmarks of Lunule's per-epoch computations (google-benchmark).
+//
+// The paper claims "no visible CPU utilization variance" when Lunule is
+// enabled; these benchmarks quantify the cost of each component at realistic
+// cluster and candidate-set sizes to substantiate that claim: everything
+// here runs in microseconds per epoch, against a 10-second epoch period.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "balancer/candidates.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/imbalance_factor.h"
+#include "core/migration_initiator.h"
+#include "core/pattern_analyzer.h"
+#include "core/subtree_selector.h"
+#include "fs/builder.h"
+#include "mds/access_recorder.h"
+
+namespace lunule {
+namespace {
+
+void BM_ImbalanceFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> loads(n);
+  for (auto& l : loads) l = rng.next_double() * 2500.0;
+  const core::IfParams params{.mds_capacity = 2500.0, .smoothness = 0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::imbalance_factor(loads, params));
+  }
+}
+BENCHMARK(BM_ImbalanceFactor)->Arg(5)->Arg(16)->Arg(64);
+
+void BM_RoleDecider(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<core::MdsLoadStat> stats(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stats[i].id = static_cast<MdsId>(i);
+    stats[i].cld = rng.next_double() * 2500.0;
+    stats[i].fld = stats[i].cld * (0.9 + 0.2 * rng.next_double());
+  }
+  const core::RoleDeciderParams params{.load_threshold = 0.0025,
+                                       .epoch_capacity_cap = 1500.0};
+  for (auto _ : state) {
+    auto copy = stats;
+    benchmark::DoNotOptimize(core::decide_roles(copy, params));
+  }
+}
+BENCHMARK(BM_RoleDecider)->Arg(5)->Arg(16)->Arg(64);
+
+void BM_ComputeMindex(benchmark::State& state) {
+  balancer::Candidate c;
+  c.visits_w = 4200;
+  c.first_visits_w = 1800;
+  c.recurrent_w = 2100;
+  c.sibling_credit_w = 120.5;
+  c.unvisited = 5200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_mindex(c));
+  }
+}
+BENCHMARK(BM_ComputeMindex);
+
+void BM_CandidateScan(benchmark::State& state) {
+  // Candidate enumeration over a CNN-sized namespace (1000 leaf dirs).
+  fs::NamespaceTree tree;
+  fs::build_imagenet_like(tree, "cnn", 1000, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balancer::collect_candidates(tree, 0));
+  }
+}
+BENCHMARK(BM_CandidateScan);
+
+void BM_SubtreeSelect(benchmark::State& state) {
+  fs::NamespaceTree tree;
+  const auto dirs = fs::build_imagenet_like(tree, "cnn", 1000, 16);
+  Rng rng(3);
+  for (const DirId d : dirs) {
+    fs::FragStats& f = tree.dir(d).frag(0);
+    const auto v = static_cast<std::uint32_t>(rng.next_below(600));
+    f.visits_window.push(v);
+    f.recurrent_window.push(v / 2);
+    f.first_visits_window.push(v / 2);
+  }
+  core::SelectorParams params;
+  params.window_seconds = 60.0;
+  const core::SubtreeSelector selector(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(tree, 0, 500.0));
+  }
+}
+BENCHMARK(BM_SubtreeSelect);
+
+void BM_RecordAccess(benchmark::State& state) {
+  fs::NamespaceTree tree;
+  const auto dirs = fs::build_private_dirs(tree, "w", 64, 4096);
+  mds::AccessRecorder recorder(tree, mds::RecorderParams{}, Rng(4));
+  Rng rng(5);
+  EpochId epoch = 0;
+  for (auto _ : state) {
+    const DirId d = dirs[rng.next_below(dirs.size())];
+    const auto i = static_cast<FileIndex>(rng.next_below(4096));
+    benchmark::DoNotOptimize(recorder.record(d, i, epoch));
+    ++epoch;
+  }
+}
+BENCHMARK(BM_RecordAccess);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfSampler sampler(10000, 0.83);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace lunule
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// AI training pipeline example: the paper's headline scenario.
+//
+// 100 clients preprocess an ImageNet-like dataset (scan every file of every
+// class directory exactly once, ~78% metadata operations) against a 5-MDS
+// cluster.  We run the same job under all four balancers and report balance
+// quality, throughput, and job completion — the single-workload story of
+// Figures 6(a)/7(a).
+//
+//   ./ai_training_pipeline [--scale=X] [--clients=N] [--ticks=N]
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "sim/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace lunule;
+  Flags flags(argc, argv);
+  sim::ScenarioConfig cfg;
+  cfg.workload = sim::WorkloadKind::kCnn;
+  cfg.n_clients = static_cast<std::size_t>(flags.get_int("clients", 100));
+  cfg.scale = flags.get_double("scale", 0.15);
+  cfg.max_ticks = flags.get_int("ticks", 6000);
+  flags.check_unused();
+
+  std::cout << "CNN preprocessing: " << cfg.n_clients
+            << " clients scanning an ImageNet-like tree, " << cfg.n_mds
+            << " MDSs\n\n";
+
+  TablePrinter table({"Balancer", "mean IF", "sustained IOPS",
+                      "completion (s)", "migrations", "migrated inodes"});
+  for (const auto kind :
+       {sim::BalancerKind::kVanilla, sim::BalancerKind::kGreedySpill,
+        sim::BalancerKind::kLunuleLight, sim::BalancerKind::kLunule}) {
+    cfg.balancer = kind;
+    const sim::ScenarioResult r = sim::run_scenario(cfg);
+    const double sustained =
+        static_cast<double>(r.total_served) /
+        std::max<double>(1.0, static_cast<double>(r.end_tick));
+    table.add_row({r.balancer, TablePrinter::fmt(r.mean_if, 3),
+                   TablePrinter::fmt(sustained, 0),
+                   TablePrinter::fmt(static_cast<std::int64_t>(r.end_tick)),
+                   TablePrinter::fmt(r.migrations_completed),
+                   TablePrinter::fmt(r.migrated_total)});
+  }
+  table.print(std::cout, "CNN preprocessing under four balancers");
+  std::cout << "\nThe scan never re-visits a file, so heat-based selection\n"
+               "(Vanilla, GreedySpill, Lunule-Light) exports directories\n"
+               "whose load is already gone; Lunule's mIndex selector exports\n"
+               "directories the scan has NOT reached yet.\n";
+  return 0;
+}

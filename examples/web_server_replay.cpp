@@ -1,0 +1,50 @@
+// Web-server trace replay example: dynamic subtree partitioning vs static
+// hashing (the Section 4.6 comparison).
+//
+// Replays a synthetic Apache-style access trace (Zipf file popularity,
+// temporal locality) against the same document tree under Lunule, the
+// CephFS built-in balancer, and the static Dir-Hash partitioning, and
+// reports throughput, balance, and path-traversal forwards.
+//
+//   ./web_server_replay [--scale=X] [--clients=N]
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "sim/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace lunule;
+  Flags flags(argc, argv);
+  sim::ScenarioConfig cfg;
+  cfg.workload = sim::WorkloadKind::kWeb;
+  cfg.n_clients = static_cast<std::size_t>(flags.get_int("clients", 100));
+  cfg.scale = flags.get_double("scale", 0.2);
+  cfg.max_ticks = flags.get_int("ticks", 3000);
+  flags.check_unused();
+
+  std::cout << "Web trace replay: " << cfg.n_clients
+            << " clients fetching Zipf-popular pages\n\n";
+
+  TablePrinter table({"Partitioning", "mean IF", "sustained IOPS",
+                      "forwards", "completion (s)"});
+  for (const auto kind :
+       {sim::BalancerKind::kVanilla, sim::BalancerKind::kDirHash,
+        sim::BalancerKind::kLunule}) {
+    cfg.balancer = kind;
+    const sim::ScenarioResult r = sim::run_scenario(cfg);
+    const double sustained =
+        static_cast<double>(r.total_served) /
+        std::max<double>(1.0, static_cast<double>(r.end_tick));
+    table.add_row({r.balancer, TablePrinter::fmt(r.mean_if, 3),
+                   TablePrinter::fmt(sustained, 0),
+                   TablePrinter::fmt(r.total_forwards),
+                   TablePrinter::fmt(static_cast<std::int64_t>(r.end_tick))});
+  }
+  table.print(std::cout, "Web workload: three partitioning strategies");
+  std::cout << "\nDir-Hash places inodes evenly but scatters sibling\n"
+               "directories across MDSs: every path traversal crosses\n"
+               "authority boundaries, inflating forwards (paper: +98%),\n"
+               "and the static placement cannot react to skewed popularity.\n";
+  return 0;
+}

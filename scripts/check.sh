@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification: warnings-as-errors build, complete test suite, and the
+# whole bench harness (every [SHAPE-CHECK] must pass).  This is the command
+# CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-check}
+
+cmake -B "$BUILD_DIR" -G Ninja -DLUNULE_WERROR=ON
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure
+
+status=0
+for bench in "$BUILD_DIR"/bench/*; do
+  echo "===== $(basename "$bench")"
+  if ! "$bench"; then
+    echo "BENCH FAILED: $bench"
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,90 @@
+#include "balancer/candidates.h"
+
+namespace lunule::balancer {
+
+namespace {
+
+Candidate frag_candidate(const fs::NamespaceTree& tree, DirId d, FragId f) {
+  const fs::Directory& dir = tree.dir(d);
+  const fs::FragStats& fs = dir.frag(f);
+  Candidate c;
+  c.ref = fs::SubtreeRef{.dir = d, .frag = f};
+  c.auth = tree.auth_of_subtree(c.ref);
+  c.inodes = fs.file_count;
+  c.heat = fs.heat;
+  c.visits_w = fs.visits_window.window_sum();
+  c.file_visits_w = fs.file_visits_window.window_sum();
+  c.first_visits_w = fs.first_visits_window.window_sum();
+  c.recurrent_w = fs.recurrent_window.window_sum();
+  c.creates_w = fs.creates_window.window_sum();
+  c.sibling_credit_w = fs.sibling_credit_window.window_sum();
+  c.visits_last_epoch =
+      fs.visits_window.empty() ? 0 : fs.visits_window.at(0);
+  c.unvisited = fs.unvisited_files();
+  return c;
+}
+
+Candidate whole_dir_candidate(const fs::NamespaceTree& tree, DirId d) {
+  const fs::Directory& dir = tree.dir(d);
+  Candidate c;
+  c.ref = fs::SubtreeRef{.dir = d};
+  c.auth = tree.auth_of(d);
+  c.inodes = tree.exclusive_inodes(c.ref);
+  for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+    const Candidate part = frag_candidate(tree, d, f);
+    c.heat += part.heat;
+    c.visits_w += part.visits_w;
+    c.file_visits_w += part.file_visits_w;
+    c.first_visits_w += part.first_visits_w;
+    c.recurrent_w += part.recurrent_w;
+    c.creates_w += part.creates_w;
+    c.sibling_credit_w += part.sibling_credit_w;
+    c.visits_last_epoch += part.visits_last_epoch;
+    c.unvisited += part.unvisited;
+  }
+  return c;
+}
+
+/// A migratable leaf unit: holds files, or is a childless directory.
+bool is_leaf_unit(const fs::Directory& dir) {
+  return dir.file_count() > 0 || dir.children().empty();
+}
+
+template <typename Pred>
+std::vector<Candidate> collect_if(const fs::NamespaceTree& tree, Pred pred) {
+  std::vector<Candidate> out;
+  for (DirId d = 0; d < tree.dir_count(); ++d) {
+    const fs::Directory& dir = tree.dir(d);
+    if (d == tree.root() || !is_leaf_unit(dir)) continue;
+    if (dir.fragmented()) {
+      for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+        Candidate c = frag_candidate(tree, d, f);
+        if (pred(c)) out.push_back(std::move(c));
+      }
+    } else {
+      Candidate c = whole_dir_candidate(tree, d);
+      if (pred(c)) out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Candidate> collect_candidates(const fs::NamespaceTree& tree,
+                                          MdsId owner) {
+  return collect_if(tree,
+                    [owner](const Candidate& c) { return c.auth == owner; });
+}
+
+std::vector<Candidate> collect_all_candidates(const fs::NamespaceTree& tree) {
+  return collect_if(tree, [](const Candidate&) { return true; });
+}
+
+Candidate make_candidate(const fs::NamespaceTree& tree,
+                         const fs::SubtreeRef& ref) {
+  if (ref.is_frag()) return frag_candidate(tree, ref.dir, ref.frag);
+  return whole_dir_candidate(tree, ref.dir);
+}
+
+}  // namespace lunule::balancer

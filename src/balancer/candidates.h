@@ -1,0 +1,56 @@
+// Migration-candidate enumeration shared by all balancers.
+//
+// A *candidate* is a migratable unit — a leaf directory subtree or one
+// dirfrag of a fragmented directory — together with the aggregated
+// statistics every policy scores on: the CephFS decayed heat, and the
+// cutting-window sums (visits / first visits / recurrent visits / sibling
+// credits) plus the unvisited-inode census that Lunule's Pattern Analyzer
+// consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "fs/namespace_tree.h"
+
+namespace lunule::balancer {
+
+struct Candidate {
+  fs::SubtreeRef ref;
+  MdsId auth = kNoMds;
+  /// Inodes a migration of this unit would move.
+  std::uint64_t inodes = 0;
+
+  // -- CephFS-Vanilla statistic --
+  double heat = 0.0;
+
+  // -- Cutting-window sums (Lunule's Pattern Analyzer inputs) --
+  std::uint64_t visits_w = 0;
+  std::uint64_t file_visits_w = 0;
+  std::uint64_t first_visits_w = 0;
+  std::uint64_t recurrent_w = 0;
+  std::uint64_t creates_w = 0;
+  double sibling_credit_w = 0.0;
+  /// Visits in the most recent closed epoch only.
+  std::uint64_t visits_last_epoch = 0;
+  /// Files in this unit never visited so far.
+  std::uint64_t unvisited = 0;
+};
+
+/// Enumerates the migratable units currently authoritative on `owner`.
+/// Units are leaf directories (directories holding files or without
+/// children); fragmented directories contribute one unit per owned frag.
+[[nodiscard]] std::vector<Candidate> collect_candidates(
+    const fs::NamespaceTree& tree, MdsId owner);
+
+/// Enumerates the migratable units of the whole namespace regardless of
+/// current authority (used by Dir-Hash static pinning and by reports).
+[[nodiscard]] std::vector<Candidate> collect_all_candidates(
+    const fs::NamespaceTree& tree);
+
+/// Builds the candidate for one specific unit (used after splitting).
+[[nodiscard]] Candidate make_candidate(const fs::NamespaceTree& tree,
+                                       const fs::SubtreeRef& ref);
+
+}  // namespace lunule::balancer

@@ -1,0 +1,50 @@
+#include "balancer/dir_hash.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "fs/namespace_tree.h"
+
+namespace lunule::balancer {
+
+namespace {
+
+std::uint64_t hash_path(const std::string& path) {
+  // FNV-1a over the path bytes, then a strong finalizer.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : path) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+void DirHashBalancer::setup(mds::MdsCluster& cluster) {
+  fs::NamespaceTree& tree = cluster.tree();
+  const auto n = static_cast<std::uint64_t>(cluster.size());
+
+  for (DirId d = 1; d < tree.dir_count(); ++d) {
+    fs::Directory& dir = tree.dir(d);
+    const bool leaf_unit = dir.file_count() > 0 || dir.children().empty();
+    if (!leaf_unit) continue;
+    if (dir.file_count() >= params_.fragment_threshold &&
+        dir.frag_bits() < params_.fragment_bits) {
+      tree.fragment_dir(d, params_.fragment_bits);
+    }
+    const std::string path = tree.path_of(d);
+    if (tree.dir(d).fragmented()) {
+      for (FragId f = 0;
+           f < static_cast<FragId>(tree.dir(d).frag_count()); ++f) {
+        const std::uint64_t h =
+            hash_path(path + "#" + std::to_string(f));
+        tree.set_frag_auth(d, f, static_cast<MdsId>(h % n));
+      }
+    } else {
+      tree.set_auth(d, static_cast<MdsId>(hash_path(path) % n));
+    }
+  }
+}
+
+}  // namespace lunule::balancer

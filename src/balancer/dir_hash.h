@@ -1,0 +1,44 @@
+// Static hash-based metadata partitioning ("Dir-Hash", Section 4.6).
+//
+// The paper simulates a hash-based baseline inside CephFS by splitting the
+// namespace into fine-grained subtrees and statically pinning each to the
+// MDS chosen by the hash of its path.  We do the same: at setup every leaf
+// unit is pinned to hash(path) % n (large directories are fragmented first
+// so each fragment pins independently), and no re-balancing ever happens.
+// This yields an even *inode* distribution (Fig. 14a) but cannot adapt to a
+// skewed *request* distribution (Fig. 14b), and because sibling directories
+// scatter across MDSs it inflates path-traversal forwards (~2x in the
+// paper).
+#pragma once
+
+#include <cstdint>
+
+#include "balancer/balancer.h"
+
+namespace lunule::balancer {
+
+struct DirHashParams {
+  /// Directories with at least this many files are fragmented before
+  /// pinning so that one huge directory does not land on a single MDS.
+  std::uint32_t fragment_threshold = 4096;
+  /// Fragmentation depth applied to such directories (2^bits frags).
+  std::uint8_t fragment_bits = 3;
+};
+
+class DirHashBalancer final : public Balancer {
+ public:
+  explicit DirHashBalancer(DirHashParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "Dir-Hash"; }
+
+  /// Pins every leaf unit to hash(path [, frag]) % cluster size.
+  void setup(mds::MdsCluster& cluster) override;
+
+  /// Static partitioning: no runtime re-balancing.
+  void on_epoch(mds::MdsCluster&, std::span<const Load>) override {}
+
+ private:
+  DirHashParams params_;
+};
+
+}  // namespace lunule::balancer

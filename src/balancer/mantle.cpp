@@ -1,0 +1,88 @@
+#include "balancer/mantle.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "balancer/candidates.h"
+#include "common/assert.h"
+
+namespace lunule::balancer {
+
+MantleBalancer::MantleBalancer(std::string name, MantleWhenFn when,
+                               MantleHowMuchFn howmuch)
+    : name_(std::move(name)),
+      when_(std::move(when)),
+      howmuch_(std::move(howmuch)) {
+  LUNULE_CHECK(when_ != nullptr);
+  LUNULE_CHECK(howmuch_ != nullptr);
+}
+
+void MantleBalancer::on_epoch(mds::MdsCluster& cluster,
+                              std::span<const Load> loads) {
+  const MantleContext ctx{.loads = loads, .epoch = cluster.epoch()};
+  if (!when_(ctx)) return;
+
+  for (const SpillTarget& spill : howmuch_(ctx)) {
+    if (spill.amount <= 0.0) continue;
+    // Mantle keeps CephFS's heat-based candidate selection: rank the
+    // exporter's subtrees by heat and queue them until the heat-share
+    // estimate covers the requested amount.
+    std::vector<Candidate> cands =
+        collect_candidates(cluster.tree(), spill.from);
+    const double total_heat = std::accumulate(
+        cands.begin(), cands.end(), 0.0,
+        [](double acc, const Candidate& c) { return acc + c.heat; });
+    if (total_heat <= 0.0) continue;
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.heat > b.heat;
+              });
+    const double exporter_load =
+        loads[static_cast<std::size_t>(spill.from)];
+    double remaining = spill.amount;
+    for (const Candidate& c : cands) {
+      if (remaining <= 0.0) break;
+      if (c.heat <= 0.0) break;
+      const double est_load = exporter_load * (c.heat / total_heat);
+      // Same rule as CephFS's find_exports: a subtree hotter than the
+      // remaining spill amount is descended into, not exported; leaf
+      // directories therefore stay put.
+      if (est_load > remaining) continue;
+      if (cluster.migration().submit(c.ref, spill.to)) {
+        remaining -= est_load;
+      }
+    }
+  }
+}
+
+std::unique_ptr<MantleBalancer> make_greedy_spill(GreedySpillParams params) {
+  auto when = [params](const MantleContext& ctx) {
+    // Trigger whenever some MDS is loaded while its successor is idle.
+    for (std::size_t i = 0; i + 1 < ctx.loads.size(); ++i) {
+      if (ctx.loads[i] > params.idle_threshold &&
+          ctx.loads[i + 1] <= params.idle_threshold) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto howmuch = [params](const MantleContext& ctx) {
+    std::vector<SpillTarget> out;
+    for (std::size_t i = 0; i + 1 < ctx.loads.size(); ++i) {
+      if (ctx.loads[i] > params.idle_threshold &&
+          ctx.loads[i + 1] <= params.idle_threshold) {
+        out.push_back(SpillTarget{
+            .from = static_cast<MdsId>(i),
+            .to = static_cast<MdsId>(i + 1),
+            .amount = ctx.loads[i] * params.spill_fraction,
+        });
+      }
+    }
+    return out;
+  };
+  return std::make_unique<MantleBalancer>("GreedySpill", std::move(when),
+                                          std::move(howmuch));
+}
+
+}  // namespace lunule::balancer

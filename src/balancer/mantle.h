@@ -1,0 +1,67 @@
+// A Mantle-like programmable balancer framework, and the GreedySpill policy.
+//
+// Mantle (SC '15) decouples *when* to migrate and *how much* to migrate into
+// user-specified callbacks, while keeping CephFS's built-in (heat-based)
+// subtree selection — the paper stresses that "the APIs are limited and do
+// not cover the important subtree selection feature".  We mirror that: a
+// MantleBalancer is parameterized by a `when` predicate and a `howmuch`
+// targets function, and always selects candidates by heat.
+//
+// GreedySpill is the policy the paper uses as its second baseline
+// (originally from GIGA+): when the next-rank neighbour of a loaded MDS is
+// idle, spill half of the loaded MDS's load to it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "balancer/balancer.h"
+
+namespace lunule::balancer {
+
+/// Snapshot handed to Mantle policy callbacks each epoch.
+struct MantleContext {
+  std::span<const Load> loads;
+  EpochId epoch = 0;
+};
+
+/// One spill directive produced by a `howmuch` callback.
+struct SpillTarget {
+  MdsId from = kNoMds;
+  MdsId to = kNoMds;
+  double amount = 0.0;  // IOPS to ship
+};
+
+using MantleWhenFn = std::function<bool(const MantleContext&)>;
+using MantleHowMuchFn =
+    std::function<std::vector<SpillTarget>(const MantleContext&)>;
+
+class MantleBalancer : public Balancer {
+ public:
+  MantleBalancer(std::string name, MantleWhenFn when,
+                 MantleHowMuchFn howmuch);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  void on_epoch(mds::MdsCluster& cluster,
+                std::span<const Load> loads) override;
+
+ private:
+  std::string name_;
+  MantleWhenFn when_;
+  MantleHowMuchFn howmuch_;
+};
+
+struct GreedySpillParams {
+  /// A neighbour counts as idle below this IOPS.
+  double idle_threshold = 1.0;
+  /// Fraction of the loaded MDS's load spilled to each idle neighbour.
+  double spill_fraction = 0.5;
+};
+
+/// Builds the GreedySpill policy on top of the Mantle framework.
+[[nodiscard]] std::unique_ptr<MantleBalancer> make_greedy_spill(
+    GreedySpillParams params = {});
+
+}  // namespace lunule::balancer

@@ -1,0 +1,383 @@
+#include "balancer/policy_lang.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "common/stats.h"
+
+namespace lunule::balancer {
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+struct PolicyExpr::Node {
+  enum class Kind {
+    kNumber,
+    kVariable,
+    kUnaryMinus,
+    kUnaryNot,
+    kAdd, kSub, kMul, kDiv,
+    kLt, kLe, kGt, kGe, kEq, kNe,
+    kAnd, kOr,
+    kCall1,   // abs, sqrt
+    kCall2,   // min, max
+  };
+  Kind kind;
+  double number = 0.0;
+  std::string name;  // variable or function name
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+namespace {
+
+using Node = PolicyExpr::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+NodePtr make_node(Node::Kind kind, NodePtr lhs = nullptr,
+                  NodePtr rhs = nullptr, std::string name = {}) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  n->name = std::move(name);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  NodePtr parse() {
+    NodePtr expr = parse_or();
+    skip_ws();
+    if (pos_ != src_.size()) {
+      fail("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw PolicyError("policy parse error at offset " +
+                      std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(std::string_view token) {
+    skip_ws();
+    if (src_.substr(pos_, token.size()) != token) return false;
+    // Avoid eating "<" when the input is "<=" etc.
+    if (token.size() == 1 && pos_ + 1 < src_.size() &&
+        (token == "<" || token == ">" || token == "=" || token == "!") &&
+        src_[pos_ + 1] == '=') {
+      return false;
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  NodePtr parse_or() {
+    NodePtr lhs = parse_and();
+    while (eat("||")) {
+      lhs = make_node(Node::Kind::kOr, lhs, parse_and());
+    }
+    return lhs;
+  }
+
+  NodePtr parse_and() {
+    NodePtr lhs = parse_cmp();
+    while (eat("&&")) {
+      lhs = make_node(Node::Kind::kAnd, lhs, parse_cmp());
+    }
+    return lhs;
+  }
+
+  NodePtr parse_cmp() {
+    NodePtr lhs = parse_add();
+    if (eat("<=")) return make_node(Node::Kind::kLe, lhs, parse_add());
+    if (eat(">=")) return make_node(Node::Kind::kGe, lhs, parse_add());
+    if (eat("==")) return make_node(Node::Kind::kEq, lhs, parse_add());
+    if (eat("!=")) return make_node(Node::Kind::kNe, lhs, parse_add());
+    if (eat("<")) return make_node(Node::Kind::kLt, lhs, parse_add());
+    if (eat(">")) return make_node(Node::Kind::kGt, lhs, parse_add());
+    return lhs;
+  }
+
+  NodePtr parse_add() {
+    NodePtr lhs = parse_mul();
+    while (true) {
+      if (eat("+")) {
+        lhs = make_node(Node::Kind::kAdd, lhs, parse_mul());
+      } else if (eat("-")) {
+        lhs = make_node(Node::Kind::kSub, lhs, parse_mul());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parse_mul() {
+    NodePtr lhs = parse_unary();
+    while (true) {
+      if (eat("*")) {
+        lhs = make_node(Node::Kind::kMul, lhs, parse_unary());
+      } else if (eat("/")) {
+        lhs = make_node(Node::Kind::kDiv, lhs, parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parse_unary() {
+    if (eat("-")) {
+      return make_node(Node::Kind::kUnaryMinus, parse_unary());
+    }
+    if (eat("!")) {
+      return make_node(Node::Kind::kUnaryNot, parse_unary());
+    }
+    return parse_primary();
+  }
+
+  NodePtr parse_primary() {
+    skip_ws();
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    const char c = src_[pos_];
+    if (c == '(') {
+      ++pos_;
+      NodePtr inner = parse_or();
+      if (!eat(")")) fail("expected ')'");
+      return inner;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return parse_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return parse_ident_or_call();
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  NodePtr parse_number() {
+    std::size_t end = pos_;
+    while (end < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[end])) ||
+            src_[end] == '.' || src_[end] == 'e' || src_[end] == 'E' ||
+            ((src_[end] == '+' || src_[end] == '-') && end > pos_ &&
+             (src_[end - 1] == 'e' || src_[end - 1] == 'E')))) {
+      ++end;
+    }
+    const std::string text(src_.substr(pos_, end - pos_));
+    char* parsed_end = nullptr;
+    const double value = std::strtod(text.c_str(), &parsed_end);
+    if (parsed_end != text.c_str() + text.size()) fail("malformed number");
+    pos_ = end;
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kNumber;
+    n->number = value;
+    return n;
+  }
+
+  NodePtr parse_ident_or_call() {
+    std::size_t end = pos_;
+    while (end < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+            src_[end] == '_')) {
+      ++end;
+    }
+    std::string name(src_.substr(pos_, end - pos_));
+    pos_ = end;
+    skip_ws();
+    if (pos_ < src_.size() && src_[pos_] == '(') {
+      ++pos_;
+      NodePtr arg1 = parse_or();
+      if (name == "min" || name == "max") {
+        if (!eat(",")) fail(name + " takes two arguments");
+        NodePtr arg2 = parse_or();
+        if (!eat(")")) fail("expected ')'");
+        return make_node(Node::Kind::kCall2, arg1, arg2, std::move(name));
+      }
+      if (name == "abs" || name == "sqrt") {
+        if (!eat(")")) fail("expected ')'");
+        return make_node(Node::Kind::kCall1, arg1, nullptr, std::move(name));
+      }
+      fail("unknown function '" + name + "'");
+    }
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kVariable;
+    n->name = std::move(name);
+    return n;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+double eval_node(const Node& n, const PolicyEnv& env) {
+  using K = Node::Kind;
+  switch (n.kind) {
+    case K::kNumber:
+      return n.number;
+    case K::kVariable: {
+      const auto it = env.find(n.name);
+      if (it == env.end()) {
+        throw PolicyError("unknown policy variable '" + n.name + "'");
+      }
+      return it->second;
+    }
+    case K::kUnaryMinus:
+      return -eval_node(*n.lhs, env);
+    case K::kUnaryNot:
+      return eval_node(*n.lhs, env) == 0.0 ? 1.0 : 0.0;
+    case K::kAdd:
+      return eval_node(*n.lhs, env) + eval_node(*n.rhs, env);
+    case K::kSub:
+      return eval_node(*n.lhs, env) - eval_node(*n.rhs, env);
+    case K::kMul:
+      return eval_node(*n.lhs, env) * eval_node(*n.rhs, env);
+    case K::kDiv: {
+      const double denom = eval_node(*n.rhs, env);
+      return denom == 0.0 ? 0.0 : eval_node(*n.lhs, env) / denom;
+    }
+    case K::kLt:
+      return eval_node(*n.lhs, env) < eval_node(*n.rhs, env) ? 1.0 : 0.0;
+    case K::kLe:
+      return eval_node(*n.lhs, env) <= eval_node(*n.rhs, env) ? 1.0 : 0.0;
+    case K::kGt:
+      return eval_node(*n.lhs, env) > eval_node(*n.rhs, env) ? 1.0 : 0.0;
+    case K::kGe:
+      return eval_node(*n.lhs, env) >= eval_node(*n.rhs, env) ? 1.0 : 0.0;
+    case K::kEq:
+      return eval_node(*n.lhs, env) == eval_node(*n.rhs, env) ? 1.0 : 0.0;
+    case K::kNe:
+      return eval_node(*n.lhs, env) != eval_node(*n.rhs, env) ? 1.0 : 0.0;
+    case K::kAnd:
+      return (eval_node(*n.lhs, env) != 0.0 &&
+              eval_node(*n.rhs, env) != 0.0)
+                 ? 1.0
+                 : 0.0;
+    case K::kOr:
+      return (eval_node(*n.lhs, env) != 0.0 ||
+              eval_node(*n.rhs, env) != 0.0)
+                 ? 1.0
+                 : 0.0;
+    case K::kCall1: {
+      const double x = eval_node(*n.lhs, env);
+      if (n.name == "abs") return std::abs(x);
+      return x >= 0.0 ? std::sqrt(x) : 0.0;  // sqrt
+    }
+    case K::kCall2: {
+      const double a = eval_node(*n.lhs, env);
+      const double b = eval_node(*n.rhs, env);
+      return n.name == "min" ? std::min(a, b) : std::max(a, b);
+    }
+  }
+  return 0.0;
+}
+
+void collect_variables(const Node& n, std::set<std::string>& out) {
+  if (n.kind == Node::Kind::kVariable) out.insert(n.name);
+  if (n.lhs) collect_variables(*n.lhs, out);
+  if (n.rhs) collect_variables(*n.rhs, out);
+}
+
+}  // namespace
+
+PolicyExpr PolicyExpr::parse(std::string_view source) {
+  Parser parser(source);
+  return PolicyExpr(parser.parse());
+}
+
+double PolicyExpr::eval(const PolicyEnv& env) const {
+  return eval_node(*root_, env);
+}
+
+std::vector<std::string> PolicyExpr::variables() const {
+  std::set<std::string> vars;
+  collect_variables(*root_, vars);
+  return {vars.begin(), vars.end()};
+}
+
+PolicyEnv make_policy_env(std::span<const Load> loads, MdsId my_rank,
+                          double capacity, EpochId epoch) {
+  PolicyEnv env;
+  env["my"] = loads.empty()
+                  ? 0.0
+                  : loads[static_cast<std::size_t>(my_rank)];
+  env["rank"] = static_cast<double>(my_rank);
+  env["avg"] = mean(loads);
+  env["min"] = loads.empty() ? 0.0 : min_value(loads);
+  env["max"] = loads.empty() ? 0.0 : max_value(loads);
+  env["total"] = sum(loads);
+  env["n"] = static_cast<double>(loads.size());
+  env["capacity"] = capacity;
+  env["epoch"] = static_cast<double>(epoch);
+  return env;
+}
+
+std::unique_ptr<MantleBalancer> make_policy_balancer(
+    const PolicyBalancerParams& params) {
+  // Parse eagerly so malformed policies fail at configuration time.
+  const auto when_expr =
+      std::make_shared<PolicyExpr>(PolicyExpr::parse(params.when));
+  const auto howmuch_expr =
+      std::make_shared<PolicyExpr>(PolicyExpr::parse(params.howmuch));
+  const double capacity = params.mds_capacity;
+
+  auto when = [when_expr, capacity](const MantleContext& ctx) {
+    if (ctx.loads.empty()) return false;
+    const auto busiest = static_cast<MdsId>(
+        std::max_element(ctx.loads.begin(), ctx.loads.end()) -
+        ctx.loads.begin());
+    return when_expr->eval_bool(
+        make_policy_env(ctx.loads, busiest, capacity, ctx.epoch));
+  };
+  auto howmuch = [howmuch_expr, capacity](const MantleContext& ctx) {
+    std::vector<SpillTarget> out;
+    const double avg = mean(ctx.loads);
+    // Pair each above-average MDS with the least-loaded peers, CephFS
+    // style; the policy decides the amount per exporter.
+    std::vector<std::size_t> order(ctx.loads.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return ctx.loads[a] < ctx.loads[b];
+    });
+    std::size_t next_target = 0;
+    for (std::size_t i = 0; i < ctx.loads.size(); ++i) {
+      if (ctx.loads[i] <= avg) continue;
+      const double amount = howmuch_expr->eval(make_policy_env(
+          ctx.loads, static_cast<MdsId>(i), capacity, ctx.epoch));
+      if (amount <= 0.0) continue;
+      // Skip targets that are the exporter itself.
+      while (next_target < order.size() && order[next_target] == i) {
+        ++next_target;
+      }
+      if (next_target >= order.size()) break;
+      out.push_back(SpillTarget{
+          .from = static_cast<MdsId>(i),
+          .to = static_cast<MdsId>(order[next_target]),
+          .amount = amount,
+      });
+      ++next_target;
+    }
+    return out;
+  };
+  return std::make_unique<MantleBalancer>(params.name, std::move(when),
+                                          std::move(howmuch));
+}
+
+}  // namespace lunule::balancer

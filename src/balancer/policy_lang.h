@@ -1,0 +1,105 @@
+// A small expression language for Mantle-style balancing policies.
+//
+// Mantle (SC '15) lets operators inject Lua snippets deciding *when* and
+// *how much* to migrate.  We provide an equivalent, dependency-free
+// mini-language so policies can be written as strings:
+//
+//   when    : "max > 2 * avg && max > 0.5 * capacity"
+//   howmuch : "(my - avg) / 2"
+//
+// Grammar (precedence low -> high):
+//   expr    := or
+//   or      := and ("||" and)*
+//   and     := cmp ("&&" cmp)*
+//   cmp     := add (("<"|"<="|">"|">="|"=="|"!=") add)?
+//   add     := mul (("+"|"-") mul)*
+//   mul     := unary (("*"|"/") unary)*
+//   unary   := ("-"|"!") unary | primary
+//   primary := NUMBER | IDENT | IDENT "(" expr ")" | "(" expr ")"
+//
+// Identifiers resolve against a variable environment; the built-in
+// functions are abs(x), sqrt(x) and the two-argument min(x,y)/max(x,y).
+// Booleans are doubles (0 = false, non-zero = true), like Lua's truthiness
+// collapsed onto numbers.
+//
+// PolicyBalancer evaluates a `when` expression once per epoch against
+// cluster-level variables and, when it fires, evaluates `howmuch` per
+// exporter to produce spill targets (paired with the least-loaded MDSs),
+// keeping CephFS's heat-based selection — exactly Mantle's API surface,
+// including its limitation that the selection stage is not programmable.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "balancer/mantle.h"
+
+namespace lunule::balancer {
+
+/// Variable environment for expression evaluation.
+using PolicyEnv = std::map<std::string, double, std::less<>>;
+
+/// Thrown on syntax errors (with position info) and unknown identifiers.
+class PolicyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed, reusable policy expression.
+class PolicyExpr {
+ public:
+  /// Parses `source`; throws PolicyError on malformed input.
+  static PolicyExpr parse(std::string_view source);
+
+  /// Evaluates against `env`; throws PolicyError on unknown identifiers.
+  [[nodiscard]] double eval(const PolicyEnv& env) const;
+
+  /// Convenience: non-zero result = true.
+  [[nodiscard]] bool eval_bool(const PolicyEnv& env) const {
+    return eval(env) != 0.0;
+  }
+
+  /// Identifiers referenced by the expression (for validation/UIs).
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// AST node (exposed for the implementation's parser/evaluator).
+  struct Node;
+
+ private:
+  explicit PolicyExpr(std::shared_ptr<const Node> root)
+      : root_(std::move(root)) {}
+  std::shared_ptr<const Node> root_;
+};
+
+/// Builds the per-epoch variable environment a policy sees:
+///   my        — the candidate exporter's load
+///   rank      — the candidate exporter's rank id
+///   avg/min/max/total — cluster load statistics
+///   n         — cluster size
+///   capacity  — theoretical per-MDS capacity C
+///   epoch     — epoch counter
+[[nodiscard]] PolicyEnv make_policy_env(std::span<const Load> loads,
+                                        MdsId my_rank, double capacity,
+                                        EpochId epoch);
+
+struct PolicyBalancerParams {
+  std::string name = "policy";
+  /// Cluster-level trigger, evaluated with `my` = the busiest MDS's load.
+  std::string when;
+  /// Per-exporter spill amount, evaluated for each MDS whose load is above
+  /// average; non-positive results mean "do not export".
+  std::string howmuch;
+  double mds_capacity = 2500.0;
+};
+
+/// Compiles the two expressions into a MantleBalancer.  Throws PolicyError
+/// on malformed policies, so configuration mistakes fail at set-up time.
+[[nodiscard]] std::unique_ptr<MantleBalancer> make_policy_balancer(
+    const PolicyBalancerParams& params);
+
+}  // namespace lunule::balancer

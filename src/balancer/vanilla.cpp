@@ -1,0 +1,83 @@
+#include "balancer/vanilla.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "balancer/candidates.h"
+#include "common/stats.h"
+
+namespace lunule::balancer {
+
+void VanillaBalancer::on_epoch(mds::MdsCluster& cluster,
+                               std::span<const Load> loads) {
+  const double avg = mean(loads);
+  if (avg <= params_.idle_epsilon) return;
+
+  // Importers: everything below average, ordered lightest-first, each with
+  // capacity (avg - load).  The vanilla balancer has no notion of importer
+  // future load or per-epoch migration capacity.
+  struct Importer {
+    MdsId id;
+    double room;
+  };
+  std::vector<Importer> importers;
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    if (loads[j] < avg) {
+      importers.push_back(
+          {static_cast<MdsId>(j), avg - loads[j]});
+    }
+  }
+  std::sort(importers.begin(), importers.end(),
+            [](const Importer& a, const Importer& b) {
+              return a.room > b.room;
+            });
+  if (importers.empty()) return;
+
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    // Relative trigger only: inefficiency #1.
+    if (loads[i] <= avg * params_.rebalance_factor) continue;
+    const auto exporter = static_cast<MdsId>(i);
+    double excess = loads[i] - avg;
+
+    // Rank this exporter's subtrees by heat (inefficiency #3) and estimate
+    // each candidate's load as its heat share of the exporter's load.
+    std::vector<Candidate> cands =
+        collect_candidates(cluster.tree(), exporter);
+    const double total_heat = std::accumulate(
+        cands.begin(), cands.end(), 0.0,
+        [](double acc, const Candidate& c) { return acc + c.heat; });
+    if (total_heat <= 0.0) continue;
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.heat > b.heat;
+              });
+
+    std::size_t queued = 0;
+    for (const Candidate& c : cands) {
+      if (excess <= 0.0 || queued >= params_.max_exports_per_epoch) break;
+      if (c.heat <= 0.0) break;
+      const double est_load = loads[i] * (c.heat / total_heat);
+      // CephFS's find_exports never exports a subtree hotter than what the
+      // target importer should receive: it descends into it instead, and a
+      // leaf directory of plain files has nothing to descend into — the
+      // scan-front directory of the CNN/NLP workloads is therefore
+      // unexportable and the hotspot never moves (Section 2.2).
+      Importer* target = nullptr;
+      for (Importer& imp : importers) {
+        if (est_load <= imp.room) {
+          target = &imp;
+          break;
+        }
+      }
+      if (target == nullptr) continue;
+      if (cluster.migration().submit(c.ref, target->id)) {
+        ++queued;
+        excess -= est_load;
+        target->room -= est_load;
+      }
+    }
+  }
+}
+
+}  // namespace lunule::balancer

@@ -1,0 +1,58 @@
+// Model of the CephFS built-in metadata load balancer ("CephFS-Vanilla").
+//
+// The paper's Section 2.2 identifies three inefficiencies of this balancer,
+// and this implementation reproduces the mechanisms that cause them:
+//
+//   1. *Linear load model with a coarse relative trigger.*  An MDS becomes
+//      an exporter only when its load exceeds `rebalance_factor` times the
+//      cluster average.  This fails to react when the busiest MDS sits close
+//      to the average while the lightest is far below it (the paper's
+//      five-load example), and conversely fires at a moderate absolute load
+//      whenever the relative skew is large — benign imbalance is not
+//      tolerated.
+//
+//   2. *Exporter-only amount determination.*  The exported amount is simply
+//      the exporter's excess over the average, with no per-epoch migration
+//      capacity cap and no importer-side future-load consideration.
+//      Decisions made while earlier migrations are still streaming pile up
+//      in the export queue (the queue is never revised), producing the
+//      over-migration / ping-pong the paper observes on Filebench-Zipf.
+//
+//   3. *Heat-based candidate selection.*  Candidates are ranked by the
+//      exponentially decayed popularity counter ("heat") and their future
+//      load is estimated as their share of the exporter's heat.  For
+//      scanning workloads (CNN/NLP) heat points at *already-visited*
+//      subtrees that will never be touched again, so the migrations are
+//      invalid and the hotspot never moves.
+#pragma once
+
+#include "balancer/balancer.h"
+
+namespace lunule::balancer {
+
+struct VanillaParams {
+  /// An MDS exports when its load exceeds avg * rebalance_factor.
+  double rebalance_factor = 1.5;
+  /// Upper bound on subtrees queued per exporter per epoch (CephFS queues
+  /// aggressively; the paper saw 15 queued with only 2 migrating).
+  std::size_t max_exports_per_epoch = 15;
+  /// Loads below this IOPS floor are treated as zero (noise gate).
+  double idle_epsilon = 1.0;
+};
+
+class VanillaBalancer final : public Balancer {
+ public:
+  explicit VanillaBalancer(VanillaParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override { return "Vanilla"; }
+
+  void on_epoch(mds::MdsCluster& cluster,
+                std::span<const Load> loads) override;
+
+  [[nodiscard]] const VanillaParams& params() const { return params_; }
+
+ private:
+  VanillaParams params_;
+};
+
+}  // namespace lunule::balancer

@@ -1,0 +1,35 @@
+// Lightweight runtime checks that stay enabled in release builds.
+//
+// The simulator is deterministic; an invariant violation is always a bug, so
+// we prefer an immediate, descriptive abort over silent corruption.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lunule::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "LUNULE_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace lunule::detail
+
+/// Abort with a diagnostic if `expr` is false.  Always on.
+#define LUNULE_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::lunule::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                   \
+  } while (0)
+
+/// Abort with a diagnostic and an explanatory message if `expr` is false.
+#define LUNULE_CHECK_MSG(expr, msg)                                    \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::lunule::detail::check_failed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,77 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.h"
+
+namespace lunule {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unrecognized argument (expected --key=value): %s\n",
+                   argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+  for (const auto& [k, v] : values_) used_[k] = false;
+}
+
+bool Flags::has(std::string_view key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  used_.find(key)->second = true;
+  return true;
+}
+
+std::string Flags::get(std::string_view key, std::string_view def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::string(def);
+  used_.find(key)->second = true;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(std::string_view key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_.find(key)->second = true;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(std::string_view key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_.find(key)->second = true;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(std::string_view key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  used_.find(key)->second = true;
+  return it->second != "false" && it->second != "0";
+}
+
+void Flags::check_unused() const {
+  bool ok = true;
+  for (const auto& [k, used] : used_) {
+    if (!used) {
+      std::fprintf(stderr, "unknown flag: --%s\n", k.c_str());
+      ok = false;
+    }
+  }
+  if (!ok) std::exit(2);
+}
+
+}  // namespace lunule

@@ -1,0 +1,61 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lunule {
+
+int Histogram::bucket_of(double value) {
+  if (value < 1.0) return 0;
+  const int exponent = std::min(62, static_cast<int>(std::log2(value)));
+  const double lower = std::exp2(exponent);
+  const double frac = (value - lower) / lower;  // [0, 1)
+  const int sub = std::min(kSubBuckets - 1,
+                           static_cast<int>(frac * kSubBuckets));
+  return std::min(kBuckets - 1, exponent * kSubBuckets + sub);
+}
+
+double Histogram::bucket_value(int bucket) {
+  const int exponent = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const double lower = std::exp2(exponent);
+  // Bucket midpoint.
+  return lower * (1.0 + (static_cast<double>(sub) + 0.5) / kSubBuckets);
+}
+
+void Histogram::add(double value, std::uint64_t count) {
+  LUNULE_CHECK(value >= 0.0);
+  buckets_[static_cast<std::size_t>(bucket_of(value))] += count;
+  total_ += count;
+  sum_ += value * static_cast<double>(count);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::percentile(double p) const {
+  LUNULE_CHECK(p >= 0.0 && p <= 100.0);
+  if (total_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (static_cast<double>(seen) >= target) {
+      // Bucket 0 also holds sub-1.0 values; clamp by the observed maximum
+      // so tiny distributions do not overreport.
+      return std::min(bucket_value(b), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace lunule

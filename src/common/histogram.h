@@ -1,0 +1,46 @@
+// Log-bucketed histogram for latency-style distributions.
+//
+// Values are non-negative and bucketed with ~8% relative resolution
+// (16 sub-buckets per power of two), which keeps percentile queries
+// accurate to a few percent while the memory footprint stays constant —
+// the standard HDR-histogram trade-off, sized for the simulator's
+// tick-granularity latencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lunule {
+
+class Histogram {
+ public:
+  void add(double value, std::uint64_t count = 1);
+
+  /// Merges another histogram into this one.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t total_count() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  [[nodiscard]] double max_value() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+
+  /// Linear-interpolated percentile, p in [0, 100].  Returns the bucket's
+  /// representative value (accurate to the bucket resolution).
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  static constexpr int kSubBuckets = 16;   // per power of two
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  [[nodiscard]] static int bucket_of(double value);
+  [[nodiscard]] static double bucket_value(int bucket);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lunule

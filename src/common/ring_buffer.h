@@ -1,0 +1,54 @@
+// Fixed-capacity ring buffer of numeric samples.
+//
+// Used for the per-subtree "cutting windows" of the Pattern Analyzer
+// (Section 3.3): each directory keeps the visit counts of its last N epochs,
+// and l_t / l_s are sums over that window.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <numeric>
+
+namespace lunule {
+
+template <typename T, std::size_t N>
+class RingBuffer {
+  static_assert(N > 0);
+
+ public:
+  /// Appends a sample, evicting the oldest once full.
+  void push(T value) {
+    items_[head_] = value;
+    head_ = (head_ + 1) % N;
+    if (size_ < N) ++size_;
+  }
+
+  /// Number of samples currently held (<= N).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Sum over the retained window.
+  [[nodiscard]] T window_sum() const {
+    T acc{};
+    for (std::size_t i = 0; i < size_; ++i) acc += at(i);
+    return acc;
+  }
+
+  /// i-th most recent sample; at(0) is the newest.
+  [[nodiscard]] T at(std::size_t i) const {
+    return items_[(head_ + N - 1 - i) % N];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::array<T, N> items_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lunule

@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the simulator draws from an explicitly seeded
+// Rng instance so that a given scenario configuration reproduces bit-identical
+// results across runs and machines.  The generator is xoshiro256**, seeded
+// via splitmix64 (the construction recommended by the xoshiro authors); both
+// are tiny, fast, and have no global state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/assert.h"
+
+namespace lunule {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a single value (for hashing ids into streams).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  /// Seeds the four words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  /// Derives an independent child stream; used to give each component
+  /// (workload, client, balancer) its own generator from one scenario seed.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t s = state_[0] ^ mix64(stream_id + 0x9e3779b97f4a7c15ULL);
+    return Rng(s);
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    LUNULE_CHECK(bound > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_between(std::int64_t lo, std::int64_t hi) {
+    LUNULE_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Fisher–Yates shuffle of a span (deterministic given the stream state).
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = next_below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace lunule

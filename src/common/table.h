@@ -1,0 +1,41 @@
+// Text-table and CSV emission for the bench harness.
+//
+// Every bench binary regenerates one table/figure of the paper; TablePrinter
+// renders the rows as an aligned ASCII table on stdout, or as CSV when the
+// bench is invoked with --csv (for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lunule {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+  /// Percentage with sign, e.g. "+12.3%".
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders the aligned table (with a title line when non-empty).
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Renders the same rows as CSV.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lunule

@@ -1,0 +1,65 @@
+#include "common/time_series.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace lunule {
+
+double TimeSeries::average() const { return mean(values_); }
+
+double TimeSeries::maximum() const {
+  return values_.empty() ? 0.0 : max_value(values_);
+}
+
+double TimeSeries::tail_average(std::size_t n) const {
+  if (values_.empty()) return 0.0;
+  const std::size_t take = std::min(n, values_.size());
+  return mean(std::span<const double>(values_).last(take));
+}
+
+std::vector<double> TimeSeries::resampled(std::size_t buckets) const {
+  LUNULE_CHECK(buckets > 0);
+  std::vector<double> out;
+  out.reserve(buckets);
+  if (values_.empty()) return out;
+  const double stride =
+      static_cast<double>(values_.size()) / static_cast<double>(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const auto lo = static_cast<std::size_t>(static_cast<double>(b) * stride);
+    auto hi = static_cast<std::size_t>(static_cast<double>(b + 1) * stride);
+    hi = std::max(hi, lo + 1);
+    hi = std::min(hi, values_.size());
+    if (lo >= values_.size()) break;
+    out.push_back(
+        mean(std::span<const double>(values_).subspan(lo, hi - lo)));
+  }
+  return out;
+}
+
+TimeSeries& SeriesBundle::add(std::string name) {
+  series_.emplace_back(std::move(name));
+  return series_.back();
+}
+
+const TimeSeries& SeriesBundle::at(std::size_t i) const {
+  return series_.at(i);
+}
+
+TimeSeries& SeriesBundle::at(std::size_t i) { return series_.at(i); }
+
+const TimeSeries* SeriesBundle::find(std::string_view name) const {
+  for (const auto& s : series_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+std::size_t SeriesBundle::length() const {
+  std::size_t n = 0;
+  for (const auto& s : series_) n = std::max(n, s.size());
+  return n;
+}
+
+}  // namespace lunule

@@ -1,0 +1,47 @@
+// Fundamental scalar types shared by every Lunule module.
+//
+// The simulator advances in integer ticks (1 tick == 1 simulated second) and
+// groups ticks into balancer epochs (10 ticks by default, matching the
+// paper's default re-balance interval of 10 seconds).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lunule {
+
+/// Simulated time in seconds since the start of the experiment.
+using Tick = std::int64_t;
+
+/// Index of a balancer epoch (Tick / epoch_length).
+using EpochId = std::int64_t;
+
+/// Rank of a metadata server within the cluster (0-based, like Ceph's
+/// mds ranks).  -1 designates "no MDS" / "inherit from parent".
+using MdsId = std::int32_t;
+
+inline constexpr MdsId kNoMds = -1;
+
+/// Dense index of a directory inside NamespaceTree::dirs().
+using DirId = std::uint32_t;
+
+inline constexpr DirId kNoDir = std::numeric_limits<DirId>::max();
+
+/// Index of a file within its parent directory (files are stored as
+/// struct-of-arrays state inside the owning Directory).
+using FileIndex = std::uint32_t;
+
+/// Index of a directory fragment (dirfrag) inside a fragmented directory.
+/// -1 designates "the whole directory" in subtree references.
+using FragId = std::int32_t;
+
+inline constexpr FragId kWholeDir = -1;
+
+/// Metadata load expressed in operations per second (IOPS).
+using Load = double;
+
+/// Epoch stamp meaning "never" for last-access tracking.
+inline constexpr std::uint32_t kNeverAccessed =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace lunule

@@ -1,0 +1,62 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lunule {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double exponent)
+    : exponent_(exponent) {
+  LUNULE_CHECK(n > 0);
+  LUNULE_CHECK(exponent >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint64_t rank) const {
+  LUNULE_CHECK(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+double ZipfSampler::top_mass(std::uint64_t k) const {
+  if (k == 0) return 0.0;
+  return cdf_[std::min<std::uint64_t>(k, cdf_.size()) - 1];
+}
+
+double zipf_exponent_for(double fraction, double mass, std::uint64_t n) {
+  LUNULE_CHECK(fraction > 0.0 && fraction < 1.0);
+  LUNULE_CHECK(mass > 0.0 && mass < 1.0);
+  LUNULE_CHECK(n >= 10);
+  // Bisection on the exponent; top_mass is monotonically increasing in s.
+  double lo = 0.0;
+  double hi = 3.0;
+  const auto top_k = static_cast<std::uint64_t>(
+      std::max(1.0, fraction * static_cast<double>(n)));
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const ZipfSampler z(n, mid);
+    if (z.top_mass(top_k) < mass) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace lunule

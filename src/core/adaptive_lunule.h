@@ -1,0 +1,72 @@
+// Dynamic subtree-selection strategy — the paper's stated future work.
+//
+// Section 4.1 closes with: "we plan to extend it in future work by
+// implementing a dynamic strategy of the subtree selection".  This class
+// is one realization of that idea: it wraps a LunuleBalancer and tunes the
+// selection knobs from *observed migration validity* (the post-migration
+// auditor of Section 2.2's diagnostic):
+//
+//   * when the recent valid-migration fraction drops below `low_validity`,
+//     the selector is being fooled by stale signals — become conservative:
+//     fewer subtrees per decision and a stronger reliance on adjacency
+//     (raise the sibling weight by tightening the skip rate);
+//   * when validity is comfortably above `high_validity` and imbalance
+//     persists, selection is trustworthy — become more aggressive: more
+//     subtrees per decision, up to the configured ceiling.
+//
+// The controller is intentionally simple (multiplicative
+// increase/decrease between bounds); its value is demonstrating that the
+// audit signal closes the loop, not squeezing out the last percent.
+#pragma once
+
+#include "core/lunule_balancer.h"
+#include "mds/migration_audit.h"
+
+namespace lunule::core {
+
+struct AdaptiveParams {
+  LunuleParams base;
+  /// Validity band: below `low_validity` shrink selection, above
+  /// `high_validity` grow it.
+  double low_validity = 0.4;
+  double high_validity = 0.7;
+  /// Bounds on the per-decision subtree count the controller moves within.
+  std::size_t min_subtrees = 8;
+  std::size_t max_subtrees = 128;
+  /// Controller step (multiplicative).
+  double step = 1.25;
+  /// Epochs between controller updates.
+  EpochId update_interval = 6;
+};
+
+class AdaptiveLunuleBalancer final : public balancer::Balancer {
+ public:
+  explicit AdaptiveLunuleBalancer(AdaptiveParams params);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "Lunule-Adaptive";
+  }
+
+  void setup(mds::MdsCluster& cluster) override { inner_.setup(cluster); }
+
+  void on_epoch(mds::MdsCluster& cluster,
+                std::span<const Load> loads) override;
+
+  /// Current per-decision subtree budget (for tests/reports).
+  [[nodiscard]] std::size_t current_max_subtrees() const {
+    return current_max_subtrees_;
+  }
+  [[nodiscard]] const LunuleBalancer& inner() const { return inner_; }
+
+ private:
+  AdaptiveParams params_;
+  LunuleBalancer inner_;
+  std::size_t current_max_subtrees_;
+  EpochId last_update_ = 0;
+  // Audit counters at the last controller update (to compute the recent
+  // window's validity rather than the lifetime average).
+  std::uint64_t seen_valid_ = 0;
+  std::uint64_t seen_total_ = 0;
+};
+
+}  // namespace lunule::core

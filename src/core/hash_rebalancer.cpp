@@ -1,0 +1,82 @@
+#include "core/hash_rebalancer.h"
+
+#include <algorithm>
+
+#include "balancer/candidates.h"
+
+namespace lunule::core {
+
+HashRebalancerParams HashRebalancerParams::for_cluster(
+    const mds::ClusterParams& cluster) {
+  HashRebalancerParams p;
+  p.if_params.mds_capacity = cluster.mds_capacity_iops;
+  p.roles.epoch_capacity_cap = cluster.mds_capacity_iops * 0.9;
+  p.inode_cap = static_cast<std::uint64_t>(
+      cluster.migration.bandwidth_inodes_per_tick *
+      static_cast<double>(cluster.epoch_ticks) *
+      cluster.migration.max_inflight_per_exporter);
+  p.hot_skip_iops = cluster.migration.hot_abort_iops;
+  p.epoch_seconds = static_cast<double>(cluster.epoch_ticks);
+  return p;
+}
+
+HashRebalancer::HashRebalancer(HashRebalancerParams params)
+    : params_(params), initial_hash_(params.hash) {}
+
+void HashRebalancer::setup(mds::MdsCluster& cluster) {
+  initial_hash_.setup(cluster);
+}
+
+void HashRebalancer::on_epoch(mds::MdsCluster& cluster,
+                              std::span<const Load> loads) {
+  std::vector<MdsLoadStat> stats = monitor_.collect(cluster, loads);
+  last_if_ = imbalance_factor(loads, params_.if_params);
+  if (last_if_ <= params_.if_threshold) return;
+
+  // Lag awareness: keep the migration pipeline within one epoch's worth.
+  const std::uint64_t backlog = cluster.migration().backlog_inodes();
+  if (backlog >= params_.inode_cap) return;
+  std::uint64_t inode_budget = params_.inode_cap - backlog;
+
+  const MigrationPlan plan = decide_roles(stats, params_.roles);
+  if (plan.empty()) return;
+  monitor_.record_decisions(plan.exporters.size(), plan.importers.size());
+
+  for (const MdsId exporter : plan.exporters) {
+    std::vector<MigrationAssignment> mine;
+    for (const MigrationAssignment& a : plan.assignments) {
+      if (a.exporter == exporter && a.amount > 0.0) mine.push_back(a);
+    }
+    if (mine.empty()) continue;
+    cluster.migration().drop_queued(exporter);
+
+    // A hash service has no subtree semantics: rank the exporter's shards
+    // by their *observed* last-epoch load and re-pin the hottest movable
+    // ones until the assigned amounts are covered.
+    std::vector<balancer::Candidate> shards =
+        balancer::collect_candidates(cluster.tree(), exporter);
+    std::sort(shards.begin(), shards.end(),
+              [](const balancer::Candidate& a, const balancer::Candidate& b) {
+                return a.visits_last_epoch > b.visits_last_epoch;
+              });
+    for (const balancer::Candidate& shard : shards) {
+      const double rate = static_cast<double>(shard.visits_last_epoch) /
+                          params_.epoch_seconds;
+      if (rate <= 0.0) break;  // the rest of the list is idle
+      if (rate > params_.hot_skip_iops) continue;  // freeze would abort
+      if (shard.inodes > inode_budget) continue;
+      auto it = std::max_element(mine.begin(), mine.end(),
+                                 [](const MigrationAssignment& a,
+                                    const MigrationAssignment& b) {
+                                   return a.amount < b.amount;
+                                 });
+      if (it == mine.end() || it->amount <= 0.0) break;
+      if (cluster.migration().submit(shard.ref, it->importer)) {
+        it->amount -= rate;
+        inode_budget -= shard.inodes;
+      }
+    }
+  }
+}
+
+}  // namespace lunule::core

@@ -1,0 +1,75 @@
+// Generality extension (paper §3.4): the IF model on a hash-based
+// metadata service.
+//
+// The paper argues that Lunule's imbalance-factor model generalizes beyond
+// dynamic subtree partitioning: "it is straightforward to apply the IF
+// model to these scenarios since assessing the load imbalance level of the
+// target MDS cluster is a general assumption", while the subtree selector
+// does not carry over (hash services have no subtree semantics).  This
+// class realizes that design sketch:
+//
+//   * placement starts as static hashing (identical to DirHashBalancer);
+//   * every epoch the IF model (Eq. 3) decides whether re-balancing is
+//     worthwhile, and Algorithm 1 assigns exporter/importer roles and
+//     capped amounts — unchanged from subtree Lunule;
+//   * selection, however, can only use what a hash service has: per-shard
+//     (leaf unit) observed load.  The hottest movable shards of each
+//     exporter are re-pinned to its paired importers through the normal
+//     migration engine, so migration lag/cost/freeze still apply.
+//
+// The `ext_generality` bench compares this against pure Dir-Hash and full
+// Lunule on the Web workload: the IF model alone removes most of the
+// static placement's request skew, while full Lunule keeps its locality
+// advantage (fewer forwards).
+#pragma once
+
+#include "balancer/balancer.h"
+#include "balancer/dir_hash.h"
+#include "core/imbalance_factor.h"
+#include "core/load_monitor.h"
+#include "core/migration_initiator.h"
+
+namespace lunule::core {
+
+struct HashRebalancerParams {
+  IfParams if_params;
+  double if_threshold = 0.05;
+  RoleDeciderParams roles;
+  /// Initial static pinning configuration (same as Dir-Hash).
+  balancer::DirHashParams hash;
+  /// Per-epoch migration pipeline capacity in inodes (lag awareness).
+  std::uint64_t inode_cap = 30000;
+  /// Shards hotter than this rate cannot be frozen for re-pinning.
+  double hot_skip_iops = 300.0;
+  /// Seconds per epoch (converts last-epoch visit counts to IOPS).
+  double epoch_seconds = 10.0;
+
+  [[nodiscard]] static HashRebalancerParams for_cluster(
+      const mds::ClusterParams& cluster);
+};
+
+class HashRebalancer final : public balancer::Balancer {
+ public:
+  explicit HashRebalancer(HashRebalancerParams params);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "Lunule-Hash";
+  }
+
+  /// Static hash pinning, exactly like the Dir-Hash baseline.
+  void setup(mds::MdsCluster& cluster) override;
+
+  /// IF-triggered shard re-pinning.
+  void on_epoch(mds::MdsCluster& cluster,
+                std::span<const Load> loads) override;
+
+  [[nodiscard]] double last_if() const { return last_if_; }
+
+ private:
+  HashRebalancerParams params_;
+  balancer::DirHashBalancer initial_hash_;
+  LoadMonitor monitor_;
+  double last_if_ = 0.0;
+};
+
+}  // namespace lunule::core

@@ -1,0 +1,29 @@
+#include "core/imbalance_factor.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace lunule::core {
+
+double urgency(double l_max, const IfParams& params) {
+  LUNULE_CHECK(params.mds_capacity > 0.0);
+  LUNULE_CHECK(params.smoothness > 0.0 && params.smoothness < 1.0);
+  const double u = l_max / params.mds_capacity;
+  return 1.0 / (1.0 + std::exp((1.0 - 2.0 * u) / params.smoothness));
+}
+
+double normalized_cov(std::span<const double> loads) {
+  if (loads.size() < 2) return 0.0;
+  return coefficient_of_variation(loads) /
+         max_coefficient_of_variation(loads.size());
+}
+
+double imbalance_factor(std::span<const double> loads,
+                        const IfParams& params) {
+  if (loads.empty()) return 0.0;
+  return normalized_cov(loads) * urgency(max_value(loads), params);
+}
+
+}  // namespace lunule::core

@@ -1,0 +1,38 @@
+// The Imbalance Factor (IF) model — Equations 1–3 of the paper.
+//
+//   CoV = sigma(l) / mean(l)                    (Eq. 1, corrected stddev)
+//   U   = 1 / (1 + e^{(1 - 2u)/S}),  u = l_max/C  (Eq. 2, logistic urgency)
+//   IF  = CoV / sqrt(n) * U                     (Eq. 3)
+//
+// CoV captures the *dispersion* of the per-MDS loads; dividing by its
+// supremum sqrt(n) (reached by the one-hot load vector) normalizes it into
+// [0, 1]; and the urgency U discounts benign imbalance — when even the most
+// loaded MDS is far below its theoretical capacity C, re-balancing would
+// cost more than it gains.  S (default 0.2) controls the steepness of the
+// logistic transition around u = 0.5.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lunule::core {
+
+struct IfParams {
+  /// Theoretical single-MDS capacity C in IOPS (Eq. 2 denominator).
+  double mds_capacity = 2500.0;
+  /// Smoothness knob S of the logistic urgency, in (0, 1); paper uses 0.2.
+  double smoothness = 0.2;
+};
+
+/// Eq. 2: logistic urgency of the current imbalance.  `l_max` is the
+/// maximal per-MDS load observed this epoch.
+[[nodiscard]] double urgency(double l_max, const IfParams& params);
+
+/// Eq. 1 normalized by sqrt(n): load dispersion in [0, 1].
+[[nodiscard]] double normalized_cov(std::span<const double> loads);
+
+/// Eq. 3: the Imbalance Factor of the whole metadata cluster, in [0, 1].
+[[nodiscard]] double imbalance_factor(std::span<const double> loads,
+                                      const IfParams& params);
+
+}  // namespace lunule::core

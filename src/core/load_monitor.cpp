@@ -1,0 +1,44 @@
+#include "core/load_monitor.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace lunule::core {
+
+double forecast_load(std::span<const double> history, double current) {
+  if (history.size() < 3) return current;
+  const LinearFit fit = fit_linear(history);
+  const double predicted = fit.at(static_cast<double>(history.size()));
+  return std::max(0.0, predicted);
+}
+
+std::vector<MdsLoadStat> LoadMonitor::collect(const mds::MdsCluster& cluster,
+                                              std::span<const Load> loads) {
+  std::vector<MdsLoadStat> stats;
+  stats.reserve(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const auto id = static_cast<MdsId>(i);
+    MdsLoadStat s;
+    s.id = id;
+    s.cld = loads[i];
+    s.fld = forecast_load(cluster.server(id).load_history(), loads[i]);
+    stats.push_back(s);
+  }
+  // Every non-primary MDS sends one ImbalanceState message to the primary.
+  if (loads.size() > 1) {
+    total_bytes_ += static_cast<std::uint64_t>(loads.size() - 1) *
+                    mds::ImbalanceStateMsg::wire_bytes();
+  }
+  ++epochs_;
+  return stats;
+}
+
+void LoadMonitor::record_decisions(std::size_t n_exporters,
+                                   std::size_t n_importers) {
+  mds::MigrationDecisionMsg msg;
+  msg.assignments.resize(std::max<std::size_t>(1, n_importers));
+  total_bytes_ += n_exporters * msg.wire_bytes();
+}
+
+}  // namespace lunule::core

@@ -1,0 +1,58 @@
+// Lunule's centralized N-to-1 load collection ("Stats collection",
+// Section 4.1 of the paper).
+//
+// Every epoch each MDS's Load Monitor sends one ImbalanceState message
+// (rank + metadata request rate) to the Migration Initiator residing on the
+// lowest-ranked MDS; the initiator answers exporters with MigrationDecision
+// messages.  Besides assembling the per-MDS load statistics that Algorithm 1
+// consumes (current load `cld` plus the linear-regression next-epoch
+// forecast `fld`), this module keeps a byte counter of the control-plane
+// traffic it generates, which backs the Section 3.4 overhead table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "mds/cluster.h"
+#include "mds/messages.h"
+
+namespace lunule::core {
+
+/// Per-MDS load statistic fed into Algorithm 1.
+struct MdsLoadStat {
+  MdsId id = kNoMds;
+  double cld = 0.0;  // current load (IOPS of the just-closed epoch)
+  double fld = 0.0;  // forecast load for the next epoch (linear regression)
+  // Working fields of Algorithm 1:
+  double eld = 0.0;  // export demand assigned to an exporter
+  double ild = 0.0;  // import capacity assigned to an importer
+};
+
+class LoadMonitor {
+ public:
+  /// Collects this epoch's ImbalanceState reports and computes each MDS's
+  /// `cld`/`fld` from the server load histories.
+  [[nodiscard]] std::vector<MdsLoadStat> collect(
+      const mds::MdsCluster& cluster, std::span<const Load> loads);
+
+  /// Records the decision messages sent back to `n_exporters` exporters.
+  void record_decisions(std::size_t n_exporters, std::size_t n_importers);
+
+  /// Control-plane bytes accumulated so far (reports + decisions).
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t epochs_collected() const { return epochs_; }
+
+ private:
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+/// Next-epoch load forecast: ordinary least squares over the recent load
+/// history, clamped to be non-negative.  Falls back to the current load
+/// when the history is too short.
+[[nodiscard]] double forecast_load(std::span<const double> history,
+                                   double current);
+
+}  // namespace lunule::core

@@ -1,0 +1,78 @@
+#include "core/migration_initiator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace lunule::core {
+
+double MigrationPlan::total_amount() const {
+  double acc = 0.0;
+  for (const MigrationAssignment& a : assignments) acc += a.amount;
+  return acc;
+}
+
+MigrationPlan decide_roles(std::span<MdsLoadStat> stats,
+                           const RoleDeciderParams& params) {
+  LUNULE_CHECK(params.epoch_capacity_cap > 0.0);
+  MigrationPlan plan;
+  if (stats.size() < 2) return plan;
+
+  double avg = 0.0;
+  for (const MdsLoadStat& s : stats) avg += s.cld;
+  avg /= static_cast<double>(stats.size());
+  if (avg <= 0.0) return plan;
+
+  // Phase 1 (lines 3-12): role assignment with capped demands.
+  std::vector<MdsLoadStat*> exporters;
+  std::vector<MdsLoadStat*> importers;
+  for (MdsLoadStat& s : stats) {
+    s.eld = 0.0;
+    s.ild = 0.0;
+    const double delta = std::abs(s.cld - avg);
+    const double rel = delta / avg;
+    if (rel * rel <= params.load_threshold) continue;
+    if (s.cld > avg) {
+      s.eld = std::min(params.epoch_capacity_cap, delta);
+      exporters.push_back(&s);
+      plan.exporters.push_back(s.id);
+    } else if (s.fld - s.cld < delta) {
+      // The forecast load growth cannot fill the gap on its own; import
+      // only the remainder the growth will not cover.
+      s.ild = std::min(params.epoch_capacity_cap,
+                       delta - std::max(0.0, s.fld - s.cld));
+      if (s.ild > 0.0) {
+        importers.push_back(&s);
+        plan.importers.push_back(s.id);
+      }
+    }
+  }
+
+  // Phase 2 (lines 13-18): bidirectional pairing.  Pair the most stressed
+  // exporters with the roomiest importers first so large demands match
+  // large capacities.
+  std::sort(exporters.begin(), exporters.end(),
+            [](const MdsLoadStat* a, const MdsLoadStat* b) {
+              return a->eld > b->eld;
+            });
+  std::sort(importers.begin(), importers.end(),
+            [](const MdsLoadStat* a, const MdsLoadStat* b) {
+              return a->ild > b->ild;
+            });
+  for (MdsLoadStat* e : exporters) {
+    for (MdsLoadStat* i : importers) {
+      if (e->eld <= 0.0) break;
+      if (i->ild <= 0.0) continue;
+      const double amount = std::min(e->eld, i->ild);
+      plan.assignments.push_back(MigrationAssignment{
+          .exporter = e->id, .importer = i->id, .amount = amount});
+      e->eld -= amount;
+      i->ild -= amount;
+    }
+  }
+  return plan;
+}
+
+}  // namespace lunule::core

@@ -1,0 +1,58 @@
+// The Migration Initiator's role decider — Algorithm 1 of the paper.
+//
+// Given the per-MDS load statistics collected by the Load Monitor, the role
+// decider partitions the cluster into exporters and importers and computes
+// the export matrix E, where E[i][j] is the load (IOPS) MDS-i must ship to
+// MDS-j.  The three novelties over the exporter-only vanilla logic:
+//
+//   1. Per-epoch capacity cap: both the exporting demand (eld) and the
+//      importing demand (ild) are capped by `Cap`, the maximal load one
+//      MDS can ship or absorb within one epoch, bounding migration cost.
+//   2. Importer-side future-load awareness: an MDS qualifies as importer
+//      only if its forecast load increase (fld - cld) cannot already fill
+//      the gap to the average; the anticipated increase is subtracted from
+//      its importing capacity, avoiding over-migration into an MDS that is
+//      about to get busy on its own.
+//   3. Bidirectional pairing: each exporter/importer pair exchanges
+//      min(eld, ild), so neither side is over-committed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/load_monitor.h"
+
+namespace lunule::core {
+
+struct RoleDeciderParams {
+  /// Threshold L on the squared relative deviation ((|cld-avg|)/avg)^2
+  /// above which an MDS takes part in the re-balance (0.0025 = an MDS joins
+  /// once it deviates by more than 5% from the cluster average).
+  double load_threshold = 0.0025;
+  /// Cap: maximal load (IOPS) one MDS may export or import per epoch.
+  double epoch_capacity_cap = 1500.0;
+};
+
+/// One cell of the export matrix E: ship `amount` IOPS from -> to.
+struct MigrationAssignment {
+  MdsId exporter = kNoMds;
+  MdsId importer = kNoMds;
+  double amount = 0.0;
+};
+
+struct MigrationPlan {
+  std::vector<MigrationAssignment> assignments;
+  std::vector<MdsId> exporters;
+  std::vector<MdsId> importers;
+
+  [[nodiscard]] bool empty() const { return assignments.empty(); }
+  /// Total load this plan intends to move.
+  [[nodiscard]] double total_amount() const;
+};
+
+/// Algorithm 1: role and migration-amount determination.  `stats` entries
+/// are mutated in place (their eld/ild working fields are filled in).
+[[nodiscard]] MigrationPlan decide_roles(std::span<MdsLoadStat> stats,
+                                         const RoleDeciderParams& params);
+
+}  // namespace lunule::core

@@ -1,0 +1,46 @@
+// The Pattern Analyzer — migration-index computation (Section 3.3, Eq. 4).
+//
+//   mIndex = alpha * l_t + beta * l_s
+//
+// For each candidate subtree the analyzer estimates, from the cutting-window
+// statistics the AccessRecorder maintains:
+//   * alpha — the temporal-locality inclination: the recurrent-visit ratio
+//     of the most recent cutting windows (recurrently visited inodes over
+//     total visited inodes),
+//   * beta  — the spatial-locality inclination: the ratio of accesses that
+//     hit previously *unvisited* inodes; a subtree with no recent visits but
+//     remaining unvisited inodes is treated as fully spatial (beta = 1),
+//   * l_t   — predicted temporal load: metadata visits concentrated on the
+//     subtree in the last N cutting windows,
+//   * l_s   — predicted spatial load: first visits in the window plus the
+//     sibling-correlation credits (a first visit in a sibling subtree
+//     increments this subtree's l_s with a configurable probability).
+//
+// A subtree whose window is all zeros and whose inodes are exhausted
+// (everything already visited) gets mIndex = 0 — that is precisely the
+// "already scanned, will never be visited again" case in which the vanilla
+// heat counter still reports a large stale value.
+#pragma once
+
+#include "balancer/candidates.h"
+
+namespace lunule::core {
+
+struct MigrationIndex {
+  double alpha = 0.0;  // temporal-locality impact factor
+  double beta = 0.0;   // spatial-locality impact factor
+  double l_t = 0.0;    // predicted temporally-driven visits (window units)
+  double l_s = 0.0;    // predicted spatially-driven visits (window units)
+  double mindex = 0.0; // Eq. 4
+
+  /// mIndex expressed as predicted IOPS, given the window span in seconds.
+  [[nodiscard]] double predicted_iops(double window_seconds) const {
+    return window_seconds > 0.0 ? mindex / window_seconds : 0.0;
+  }
+};
+
+/// Computes Eq. 4 for one candidate.
+[[nodiscard]] MigrationIndex compute_mindex(
+    const balancer::Candidate& candidate);
+
+}  // namespace lunule::core

@@ -1,0 +1,126 @@
+#include "core/subtree_selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lunule::core {
+
+namespace {
+
+struct Scored {
+  balancer::Candidate cand;
+  double pred = 0.0;
+};
+
+}  // namespace
+
+std::vector<Selection> SubtreeSelector::select(
+    fs::NamespaceTree& tree, MdsId exporter, double amount_iops,
+    std::uint64_t inode_budget_override) const {
+  const std::uint64_t inode_cap = inode_budget_override > 0
+                                      ? inode_budget_override
+                                      : params_.inode_cap;
+  std::vector<Selection> out;
+  if (amount_iops <= 0.0) return out;
+
+  // The observed last-epoch rate of a candidate; units currently hotter
+  // than hot_skip_iops cannot be frozen by the Migrator (their export
+  // would abort), so the whole-unit paths skip them and the split path
+  // handles them at fragment granularity.
+  const double epoch_seconds =
+      params_.window_seconds / static_cast<double>(fs::kCuttingWindows);
+  const auto current_rate = [&](const balancer::Candidate& c) {
+    return static_cast<double>(c.visits_last_epoch) / epoch_seconds;
+  };
+
+  std::vector<Scored> scored;
+  for (balancer::Candidate& c : balancer::collect_candidates(tree, exporter)) {
+    const double p = pred_iops(c);
+    if (p > 0.0) scored.push_back(Scored{.cand = std::move(c), .pred = p});
+  }
+  if (scored.empty()) return out;
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.pred > b.pred; });
+
+  const double tol = params_.tolerance * amount_iops;
+
+  // Path 1: a single subtree approximately matching the amount.
+  for (const Scored& s : scored) {
+    if (std::abs(s.pred - amount_iops) <= tol &&
+        s.cand.inodes <= inode_cap &&
+        current_rate(s.cand) <= params_.hot_skip_iops) {
+      return {Selection{.ref = s.cand.ref,
+                        .predicted_iops = s.pred,
+                        .inodes = s.cand.inodes}};
+    }
+  }
+
+  // Path 2: split the smallest subtree whose *predicted future load*
+  // exceeds the amount and take fragments until the demand is covered.
+  // The prediction (not the current rate) is the criterion: a scan-front
+  // directory may be blazing hot right now but predict almost nothing —
+  // splitting it would be the vanilla balancer's mistake.
+  const Scored* oversized = nullptr;
+  for (const Scored& s : scored) {
+    if (s.pred > amount_iops) {
+      oversized = &s;  // list is descending: keep the smallest such
+    }
+  }
+  if (oversized != nullptr && !oversized->cand.ref.is_frag()) {
+    const DirId d = oversized->cand.ref.dir;
+    const fs::Directory& dir = tree.dir(d);
+    if (dir.file_count() >= params_.min_files_to_fragment) {
+      // Split no deeper than keeps ~min_files_to_fragment/2 files per
+      // fragment — CephFS never fragments directories into slivers.
+      int depth = 0;
+      std::uint32_t per_frag = dir.file_count();
+      while (depth < params_.split_bits &&
+             per_frag / 2 >= params_.min_files_to_fragment / 2) {
+        per_frag /= 2;
+        ++depth;
+      }
+      if (depth == 0) depth = 1;
+      const auto bits = static_cast<std::uint8_t>(
+          std::min<int>(std::max<int>(dir.frag_bits() + 1,
+                                      depth),
+                        10));
+      tree.fragment_dir(d, bits);
+      double remaining = amount_iops;
+      std::uint64_t inode_budget = inode_cap;
+      for (FragId f = 0; f < static_cast<FragId>(tree.dir(d).frag_count());
+           ++f) {
+        if (remaining <= tol || out.size() >= params_.max_subtrees) break;
+        const balancer::Candidate fc = balancer::make_candidate(
+            tree, fs::SubtreeRef{.dir = d, .frag = f});
+        if (fc.auth != exporter) continue;
+        if (current_rate(fc) > params_.hot_skip_iops) continue;
+        const double p = pred_iops(fc);
+        if (p <= 0.0 || fc.inodes > inode_budget) continue;
+        out.push_back(Selection{
+            .ref = fc.ref, .predicted_iops = p, .inodes = fc.inodes});
+        remaining -= p;
+        inode_budget -= fc.inodes;
+      }
+      if (!out.empty()) return out;
+    }
+  }
+
+  // Path 3: minimal set, greedy largest-first, bounded by the per-epoch
+  // inode capacity and the subtree-count cap.
+  double remaining = amount_iops;
+  std::uint64_t inode_budget = inode_cap;
+  for (const Scored& s : scored) {
+    if (remaining <= tol || out.size() >= params_.max_subtrees) break;
+    if (s.cand.inodes > inode_budget) continue;
+    if (current_rate(s.cand) > params_.hot_skip_iops) continue;
+    // Skip candidates that would clearly overshoot the leftover demand.
+    if (s.pred > remaining * (1.0 + params_.tolerance)) continue;
+    out.push_back(Selection{
+        .ref = s.cand.ref, .predicted_iops = s.pred, .inodes = s.cand.inodes});
+    remaining -= s.pred;
+    inode_budget -= s.cand.inodes;
+  }
+  return out;
+}
+
+}  // namespace lunule::core

@@ -1,0 +1,86 @@
+// The workload-aware Subtree Selector (Sections 3.3 and 4.1).
+//
+// Given a migration decision <exporter, amount>, the selector ranks the
+// exporter's subtrees by migration index (Eq. 4, converted to predicted
+// IOPS) and picks a set whose aggregate prediction matches the requested
+// amount, via the paper's three search paths:
+//
+//   (1) a single subtree whose mIndex is approximately equal to the amount
+//       (within a 10% tolerance);
+//   (2) otherwise, a subtree whose mIndex exceeds the amount is *split* —
+//       the directory is fragmented and fragments are taken until the
+//       amount is covered;
+//   (3) otherwise, a minimal set of subtrees whose mIndex values sum to
+//       roughly the demand (greedy, largest first).
+//
+// Selection is additionally bounded by the per-epoch migration capacity in
+// *inodes* (what the Migrator can actually stream within one epoch), which
+// keeps the spatial path from queueing thousands of cold directories at
+// once — the exact over-migration failure the vanilla balancer exhibits.
+#pragma once
+
+#include <vector>
+
+#include "balancer/candidates.h"
+#include "core/pattern_analyzer.h"
+#include "fs/namespace_tree.h"
+
+namespace lunule::core {
+
+struct SelectorParams {
+  /// Relative tolerance for the "approximately equal" search path.
+  double tolerance = 0.10;
+  /// Fragmentation depth applied when splitting a too-large directory
+  /// (2^split_bits new fragments; deep enough that a split fragment of
+  /// even a cluster-saturating directory can be frozen and exported).
+  std::uint8_t split_bits = 5;
+  /// Candidates currently serving more than this rate (IOPS) are skipped
+  /// in the whole-unit paths — the Migrator could not freeze them (they
+  /// would abort) — and handled by the split path instead.
+  double hot_skip_iops = 300.0;
+  /// Directories below this population are not worth fragmenting.
+  /// (CephFS's own split threshold is in the tens of thousands; this value
+  /// is scaled to the simulator's reduced namespace sizes.)
+  std::uint32_t min_files_to_fragment = 24;
+  /// Maximal inodes selected per decision (per-epoch migration capacity).
+  std::uint64_t inode_cap = 40000;
+  /// Maximal number of subtrees per decision (bounds export-queue growth).
+  std::size_t max_subtrees = 64;
+  /// Seconds covered by the cutting windows (converts mIndex to IOPS).
+  double window_seconds = 60.0;
+};
+
+/// One selected unit plus its predicted IOPS contribution.
+struct Selection {
+  fs::SubtreeRef ref;
+  double predicted_iops = 0.0;
+  std::uint64_t inodes = 0;
+};
+
+class SubtreeSelector {
+ public:
+  explicit SubtreeSelector(SelectorParams params) : params_(params) {}
+
+  /// Chooses subtrees owned by `exporter` with aggregate predicted load of
+  /// about `amount_iops`.  May fragment directories (hence the mutable
+  /// tree).  Returns an empty vector when the exporter has no candidate
+  /// with a positive migration index.  `inode_budget_override` (when
+  /// non-zero) replaces params().inode_cap for this call — the balancer
+  /// passes the *remaining* migration-pipeline capacity so in-flight
+  /// transfers and the new selection together never exceed one epoch's
+  /// migration throughput.
+  [[nodiscard]] std::vector<Selection> select(
+      fs::NamespaceTree& tree, MdsId exporter, double amount_iops,
+      std::uint64_t inode_budget_override = 0) const;
+
+  [[nodiscard]] const SelectorParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] double pred_iops(const balancer::Candidate& c) const {
+    return compute_mindex(c).predicted_iops(params_.window_seconds);
+  }
+
+  SelectorParams params_;
+};
+
+}  // namespace lunule::core

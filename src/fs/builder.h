@@ -1,0 +1,56 @@
+// Synthetic namespace builders matching the shapes of the paper's five
+// workloads (Table 1).
+//
+// The balancers only observe namespace *shape* and access *order*, so a
+// synthetic tree with the same directory fan-out and file population
+// exercises exactly the code paths the paper's real datasets exercised.
+// Every builder mounts its tree under a dedicated top-level directory so
+// the mixed workload (Section 4.4) can host all of them side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/namespace_tree.h"
+
+namespace lunule::fs {
+
+/// ImageNet-like layout (CNN preprocessing): `class_dirs` directories under
+/// /<name>, each holding `files_per_dir` image files.  The real ILSVRC2012
+/// train set is 1000 class directories with ~1280 images each.
+/// Returns the class-directory ids in creation order.
+std::vector<DirId> build_imagenet_like(NamespaceTree& tree,
+                                       const std::string& name,
+                                       std::uint32_t class_dirs,
+                                       std::uint32_t files_per_dir);
+
+/// THUCTC-like corpus (NLP training): `folders` large folders under
+/// /<name>, each holding `files_per_folder` small text files.  The real
+/// corpus is 836K files in 14 folders.  Returns the folder ids.
+std::vector<DirId> build_corpus_like(NamespaceTree& tree,
+                                     const std::string& name,
+                                     std::uint32_t folders,
+                                     std::uint32_t files_per_folder);
+
+/// Web-server document tree (web trace replay): `sections` top sections,
+/// each with `dirs_per_section` directories of `files_per_dir` pages.
+/// The FSU trace covers ~302K files.
+struct WebTreeLayout {
+  std::vector<DirId> leaf_dirs;
+  std::uint64_t total_files = 0;
+};
+WebTreeLayout build_web_tree(NamespaceTree& tree, const std::string& name,
+                             std::uint32_t sections,
+                             std::uint32_t dirs_per_section,
+                             std::uint32_t files_per_dir);
+
+/// Per-client private directories (Filebench-Zipf and MDtest): `clients`
+/// directories under /<name>, each pre-populated with `files_per_dir` files
+/// (0 for MDtest, which creates its files at runtime).
+std::vector<DirId> build_private_dirs(NamespaceTree& tree,
+                                      const std::string& name,
+                                      std::uint32_t clients,
+                                      std::uint32_t files_per_dir);
+
+}  // namespace lunule::fs

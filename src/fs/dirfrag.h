@@ -1,0 +1,80 @@
+// Directory fragments (dirfrags) and their per-fragment load statistics.
+//
+// CephFS partitions large directories into power-of-two fragments by dentry
+// hash so that a single huge directory can be spread over several MDSs.  We
+// reproduce that: a Directory with frag_bits = k has 2^k fragments and file
+// index i belongs to fragment (i & (2^k - 1)), i.e. a hash-like interleaved
+// mapping.  Each fragment carries:
+//   * an optional authority pin overriding the directory's subtree authority
+//     (this is how both dirfrag migration and the Dir-Hash baseline's static
+//     pinning are expressed), and
+//   * the access statistics that balancers consume — the decayed popularity
+//     ("heat") used by the CephFS-Vanilla policy, and the cutting-window
+//     rings (visits / first visits / recurrent visits / sibling credits)
+//     used by Lunule's Pattern Analyzer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ring_buffer.h"
+#include "common/types.h"
+
+namespace lunule::fs {
+
+/// Number of balancer epochs covered by the Pattern Analyzer's cutting
+/// windows (the paper's "last N cutting windows").
+inline constexpr std::size_t kCuttingWindows = 6;
+
+struct FragStats {
+  /// Authority pin; kNoMds means "inherit the owning directory's authority".
+  MdsId auth_pin = kNoMds;
+
+  /// Read-replica holders (bitmask over MDS ranks, bit i = MDS-i).  CephFS
+  /// replicates hot dirfrags to peers so reads spread without migration
+  /// (mds_bal_replicate_threshold); writes still go to the authority.
+  std::uint32_t replica_mask = 0;
+
+  [[nodiscard]] bool replicated() const { return replica_mask != 0; }
+  [[nodiscard]] bool replicated_on(MdsId m) const {
+    return (replica_mask >> static_cast<unsigned>(m)) & 1u;
+  }
+
+  /// Files mapped to this fragment.
+  std::uint32_t file_count = 0;
+  /// Of those, how many have ever been visited.
+  std::uint32_t visited_files = 0;
+
+  /// CephFS-Vanilla's temporal popularity counter (exponentially decayed
+  /// once per epoch).
+  double heat = 0.0;
+
+  // -- Current (open) epoch accumulators, folded into the rings at epoch
+  //    close by AccessRecorder::close_epoch(). --
+  /// Metadata operations this epoch (load proxy; several ops may target
+  /// the same file — lookup/getattr/open chains).
+  std::uint32_t visits_epoch = 0;
+  /// Logical file visits this epoch: the first op on a file per epoch
+  /// (the granularity of the paper's per-inode boolean queue).
+  std::uint32_t file_visits_epoch = 0;
+  std::uint32_t first_visits_epoch = 0;
+  std::uint32_t recurrent_epoch = 0;
+  std::uint32_t creates_epoch = 0;
+  double sibling_credit_epoch = 0.0;
+
+  // -- Closed-epoch cutting windows. --
+  RingBuffer<std::uint32_t, kCuttingWindows> visits_window;
+  RingBuffer<std::uint32_t, kCuttingWindows> file_visits_window;
+  RingBuffer<std::uint32_t, kCuttingWindows> first_visits_window;
+  RingBuffer<std::uint32_t, kCuttingWindows> recurrent_window;
+  RingBuffer<std::uint32_t, kCuttingWindows> creates_window;
+  RingBuffer<double, kCuttingWindows> sibling_credit_window;
+
+  /// Lifetime visit counter (reporting only).
+  std::uint64_t total_visits = 0;
+
+  [[nodiscard]] std::uint32_t unvisited_files() const {
+    return file_count - visited_files;
+  }
+};
+
+}  // namespace lunule::fs

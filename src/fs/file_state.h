@@ -1,0 +1,39 @@
+// Per-file metadata access state.
+//
+// Lunule's Pattern Analyzer (Section 3.3 of the paper) needs to know, for
+// every inode, whether an access is a *first* visit (spatial-locality signal
+// feeding l_s / beta) or a *recurrent* visit within the recent cutting
+// windows (temporal-locality signal feeding l_t / alpha).  The paper's
+// implementation keeps a boolean queue of the last n epochs per inode; an
+// equivalent and more compact encoding is the epoch of the last access.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace lunule::fs {
+
+struct FileState {
+  /// Epoch of the most recent access, or kNeverAccessed.
+  std::uint32_t last_access_epoch = kNeverAccessed;
+
+  [[nodiscard]] bool visited() const {
+    return last_access_epoch != kNeverAccessed;
+  }
+
+  /// True when the file was visited in an *earlier* epoch within the last
+  /// `window` epochs (the paper's boolean queue has epoch granularity:
+  /// the several metadata ops that make up one file access land in the
+  /// same epoch and count as a single visit, not as recurrence).
+  [[nodiscard]] bool recurrent_at(EpochId now, std::uint32_t window) const {
+    if (!visited()) return false;
+    const EpochId age = now - static_cast<EpochId>(last_access_epoch);
+    return age >= 1 && age <= static_cast<EpochId>(window);
+  }
+};
+
+static_assert(sizeof(FileState) == 4, "FileState must stay compact: the "
+              "simulator tracks up to millions of files");
+
+}  // namespace lunule::fs

@@ -1,0 +1,288 @@
+#include "fs/namespace_tree.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lunule::fs {
+
+NamespaceTree::NamespaceTree() {
+  dirs_.emplace_back(0, kNoDir, "/");
+  // The root is always a subtree root; CephFS pins "/" to mds.0 at startup.
+  dirs_[0].explicit_auth_ = 0;
+}
+
+DirId NamespaceTree::add_dir(DirId parent, std::string name) {
+  LUNULE_CHECK(parent < dirs_.size());
+  const auto id = static_cast<DirId>(dirs_.size());
+  dirs_.emplace_back(id, parent, std::move(name));
+  dirs_[parent].children_.push_back(id);
+  add_inodes_to_ancestors(parent, 1);
+  return id;
+}
+
+void NamespaceTree::add_files(DirId d, std::uint32_t count) {
+  Directory& dir = dirs_[d];
+  const auto old_size = static_cast<std::uint32_t>(dir.files_.size());
+  dir.files_.resize(old_size + count);
+  const std::uint32_t mask = dir.frag_count() - 1;
+  for (std::uint32_t i = old_size; i < old_size + count; ++i) {
+    ++dir.frags_[i & mask].file_count;
+  }
+  add_inodes_to_ancestors(d, count);
+}
+
+FileIndex NamespaceTree::create_file(DirId d) {
+  Directory& dir = dirs_[d];
+  const auto idx = static_cast<FileIndex>(dir.files_.size());
+  dir.files_.emplace_back();
+  ++dir.frags_[idx & (dir.frag_count() - 1)].file_count;
+  add_inodes_to_ancestors(d, 1);
+  return idx;
+}
+
+void NamespaceTree::fragment_dir(DirId d, std::uint8_t bits) {
+  Directory& dir = dirs_[d];
+  LUNULE_CHECK_MSG(bits >= dir.frag_bits_, "dirfrags can only be split");
+  LUNULE_CHECK(bits <= 10);
+  if (bits == dir.frag_bits_) return;
+
+  const std::uint32_t old_count = dir.frag_count();
+  const std::uint32_t new_count = 1u << bits;
+  std::vector<FragStats> next(new_count);
+
+  // With the interleaved mapping, new fragment f refines old fragment
+  // (f & old_mask): inherit its pin and split its statistics.
+  const std::uint32_t old_mask = old_count - 1;
+  const std::uint32_t new_mask = new_count - 1;
+  const auto n_files = static_cast<std::uint32_t>(dir.files_.size());
+  for (std::uint32_t i = 0; i < n_files; ++i) {
+    FragStats& nf = next[i & new_mask];
+    ++nf.file_count;
+    if (dir.files_[i].visited()) ++nf.visited_files;
+  }
+  for (std::uint32_t f = 0; f < new_count; ++f) {
+    const FragStats& old_frag = dir.frags_[f & old_mask];
+    FragStats& nf = next[f];
+    nf.auth_pin = old_frag.auth_pin;
+    const double ratio =
+        old_frag.file_count == 0
+            ? 0.0
+            : static_cast<double>(nf.file_count) /
+                  static_cast<double>(old_frag.file_count);
+    nf.heat = old_frag.heat * ratio;
+    nf.visits_epoch =
+        static_cast<std::uint32_t>(old_frag.visits_epoch * ratio);
+    nf.first_visits_epoch =
+        static_cast<std::uint32_t>(old_frag.first_visits_epoch * ratio);
+    nf.recurrent_epoch =
+        static_cast<std::uint32_t>(old_frag.recurrent_epoch * ratio);
+    nf.creates_epoch =
+        static_cast<std::uint32_t>(old_frag.creates_epoch * ratio);
+    nf.sibling_credit_epoch = old_frag.sibling_credit_epoch * ratio;
+    nf.total_visits =
+        static_cast<std::uint64_t>(static_cast<double>(old_frag.total_visits) * ratio);
+    // Replay the cutting windows oldest-first, scaled by the file ratio, so
+    // a just-split fragment still has a meaningful migration index.
+    for (std::size_t w = old_frag.visits_window.size(); w-- > 0;) {
+      nf.visits_window.push(static_cast<std::uint32_t>(
+          old_frag.visits_window.at(w) * ratio));
+      nf.file_visits_window.push(static_cast<std::uint32_t>(
+          old_frag.file_visits_window.at(w) * ratio));
+      nf.first_visits_window.push(static_cast<std::uint32_t>(
+          old_frag.first_visits_window.at(w) * ratio));
+      nf.recurrent_window.push(static_cast<std::uint32_t>(
+          old_frag.recurrent_window.at(w) * ratio));
+      nf.creates_window.push(static_cast<std::uint32_t>(
+          old_frag.creates_window.at(w) * ratio));
+      nf.sibling_credit_window.push(old_frag.sibling_credit_window.at(w) *
+                                    ratio);
+    }
+  }
+  dir.frags_ = std::move(next);
+  dir.frag_bits_ = bits;
+  bump_generation();
+}
+
+void NamespaceTree::set_auth(DirId d, MdsId m) {
+  LUNULE_CHECK(m != kNoMds);
+  dirs_[d].explicit_auth_ = m;
+  bump_generation();
+}
+
+void NamespaceTree::clear_auth(DirId d) {
+  LUNULE_CHECK_MSG(d != root(), "the root must stay pinned");
+  dirs_[d].explicit_auth_ = kNoMds;
+  bump_generation();
+}
+
+void NamespaceTree::set_frag_auth(DirId d, FragId f, MdsId m) {
+  Directory& dir = dirs_[d];
+  LUNULE_CHECK(f >= 0 && static_cast<std::uint32_t>(f) < dir.frag_count());
+  dir.frags_[static_cast<std::size_t>(f)].auth_pin = m;
+  bump_generation();
+}
+
+MdsId NamespaceTree::auth_of(DirId d) const {
+  const Directory& dir = dirs_[d];
+  if (dir.cache_gen_ == auth_gen_) return dir.cached_auth_;
+  MdsId a;
+  if (dir.explicit_auth_ != kNoMds) {
+    a = dir.explicit_auth_;
+  } else {
+    LUNULE_CHECK(dir.parent_ != kNoDir);
+    a = auth_of(dir.parent_);
+  }
+  dir.cached_auth_ = a;
+  dir.cache_gen_ = auth_gen_;
+  return a;
+}
+
+MdsId NamespaceTree::auth_of_file(DirId d, FileIndex i) const {
+  const Directory& dir = dirs_[d];
+  const MdsId pin = dir.frags_[i & (dir.frag_count() - 1)].auth_pin;
+  return pin != kNoMds ? pin : auth_of(d);
+}
+
+MdsId NamespaceTree::auth_of_subtree(const SubtreeRef& ref) const {
+  if (ref.is_frag()) {
+    const MdsId pin = dirs_[ref.dir].frags_[static_cast<std::size_t>(ref.frag)].auth_pin;
+    return pin != kNoMds ? pin : auth_of(ref.dir);
+  }
+  return auth_of(ref.dir);
+}
+
+namespace {
+
+/// An authority change invalidates read replicas (CephFS re-establishes
+/// them from the new authority if the fragment stays hot).
+void drop_replicas_below(NamespaceTree& tree, DirId d) {
+  for (FragStats& frag : tree.dir(d).frags()) frag.replica_mask = 0;
+  for (const DirId c : tree.dir(d).children()) {
+    if (tree.dir(c).explicit_auth() == kNoMds) {
+      drop_replicas_below(tree, c);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t NamespaceTree::migrate_subtree(const SubtreeRef& ref,
+                                             MdsId to) {
+  const std::uint64_t moved = exclusive_inodes(ref);
+  if (ref.is_frag()) {
+    dirs_[ref.dir].frags_[static_cast<std::size_t>(ref.frag)].replica_mask =
+        0;
+    set_frag_auth(ref.dir, ref.frag, to);
+  } else {
+    drop_replicas_below(*this, ref.dir);
+    set_auth(ref.dir, to);
+  }
+  return moved;
+}
+
+void NamespaceTree::simplify_auth() {
+  // Directory ids are assigned parent-before-child, so one ascending pass
+  // sees each parent fully simplified before its children.
+  bool changed = false;
+  for (DirId d = 1; d < dirs_.size(); ++d) {
+    Directory& dir = dirs_[d];
+    if (dir.explicit_auth_ != kNoMds) {
+      // What would this directory inherit without its own pin?
+      const MdsId inherited = auth_of(dir.parent_);
+      if (dir.explicit_auth_ == inherited) {
+        dir.explicit_auth_ = kNoMds;
+        changed = true;
+        bump_generation();
+      }
+    }
+    const MdsId resolved = auth_of(d);
+    for (auto& frag : dir.frags_) {
+      if (frag.auth_pin != kNoMds && frag.auth_pin == resolved) {
+        frag.auth_pin = kNoMds;
+        changed = true;
+      }
+    }
+  }
+  if (changed) bump_generation();
+}
+
+std::uint64_t NamespaceTree::exclusive_inodes(const SubtreeRef& ref) const {
+  const Directory& dir = dirs_[ref.dir];
+  if (ref.is_frag()) {
+    return dir.frags_[static_cast<std::size_t>(ref.frag)].file_count;
+  }
+  // Count this directory + unpinned files, then recurse into children that
+  // are not subtree bounds themselves.
+  std::uint64_t count = 1;
+  for (const auto& frag : dir.frags_) {
+    if (frag.auth_pin == kNoMds) count += frag.file_count;
+  }
+  for (DirId c : dir.children_) {
+    if (dirs_[c].explicit_auth_ == kNoMds) {
+      count += exclusive_inodes(SubtreeRef{.dir = c});
+    }
+  }
+  return count;
+}
+
+std::string NamespaceTree::path_of(DirId d) const {
+  if (d == root()) return "/";
+  std::string path;
+  while (d != root()) {
+    path = "/" + dirs_[d].name_ + path;
+    d = dirs_[d].parent_;
+  }
+  return path;
+}
+
+std::uint32_t NamespaceTree::depth_of(DirId d) const {
+  std::uint32_t depth = 0;
+  while (d != root()) {
+    d = dirs_[d].parent_;
+    ++depth;
+  }
+  return depth;
+}
+
+bool NamespaceTree::is_ancestor(DirId ancestor, DirId d) const {
+  while (true) {
+    if (d == ancestor) return true;
+    if (d == root()) return false;
+    d = dirs_[d].parent_;
+  }
+}
+
+std::vector<std::uint64_t> NamespaceTree::inodes_per_mds(
+    std::size_t n_mds) const {
+  std::vector<std::uint64_t> counts(n_mds, 0);
+  for (const auto& dir : dirs_) {
+    const MdsId dir_auth = auth_of(dir.id());
+    LUNULE_CHECK(static_cast<std::size_t>(dir_auth) < n_mds);
+    ++counts[static_cast<std::size_t>(dir_auth)];
+    for (const auto& frag : dir.frags()) {
+      const MdsId a = frag.auth_pin != kNoMds ? frag.auth_pin : dir_auth;
+      LUNULE_CHECK(static_cast<std::size_t>(a) < n_mds);
+      counts[static_cast<std::size_t>(a)] += frag.file_count;
+    }
+  }
+  return counts;
+}
+
+std::vector<DirId> NamespaceTree::subtree_roots() const {
+  std::vector<DirId> roots;
+  for (const auto& dir : dirs_) {
+    if (dir.explicit_auth() != kNoMds) roots.push_back(dir.id());
+  }
+  return roots;
+}
+
+void NamespaceTree::add_inodes_to_ancestors(DirId d, std::uint64_t count) {
+  while (true) {
+    dirs_[d].subtree_inodes_ += count;
+    if (d == root()) break;
+    d = dirs_[d].parent_;
+  }
+}
+
+}  // namespace lunule::fs

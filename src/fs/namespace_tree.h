@@ -1,0 +1,106 @@
+// The simulated hierarchical namespace with CephFS subtree-authority
+// semantics.
+//
+// Authority resolution: a directory with an explicit authority pin is a
+// *subtree root*; every other directory inherits the authority of its
+// nearest pinned ancestor.  Fragmented directories may additionally pin
+// individual dirfrags.  Resolution results are cached per directory and
+// invalidated wholesale by bumping a generation counter whenever any pin
+// changes (migrations are rare relative to accesses, so this trade is
+// heavily in favour of reads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "fs/directory.h"
+
+namespace lunule::fs {
+
+/// Reference to a migratable unit: a whole directory subtree, or one
+/// fragment of a directory when `frag != kWholeDir`.
+struct SubtreeRef {
+  DirId dir = kNoDir;
+  FragId frag = kWholeDir;
+
+  [[nodiscard]] bool is_frag() const { return frag != kWholeDir; }
+  friend bool operator==(const SubtreeRef&, const SubtreeRef&) = default;
+};
+
+class NamespaceTree {
+ public:
+  NamespaceTree();
+
+  // -- Construction ---------------------------------------------------
+  [[nodiscard]] DirId root() const { return 0; }
+  DirId add_dir(DirId parent, std::string name);
+  /// Adds `count` (unvisited) files to `d` in bulk; build-time only.
+  void add_files(DirId d, std::uint32_t count);
+  /// Creates one file at runtime (MDtest-create path); returns its index.
+  FileIndex create_file(DirId d);
+  /// Splits `d` into 2^bits fragments, redistributing per-frag file counts.
+  /// Only legal to grow the fragmentation (bits >= current frag_bits).
+  void fragment_dir(DirId d, std::uint8_t bits);
+
+  // -- Authority ------------------------------------------------------
+  void set_auth(DirId d, MdsId m);
+  void clear_auth(DirId d);
+  void set_frag_auth(DirId d, FragId f, MdsId m);
+
+  /// Resolved authority of directory `d` (cached).
+  [[nodiscard]] MdsId auth_of(DirId d) const;
+  /// Resolved authority of file `i` within `d` (respects frag pins).
+  [[nodiscard]] MdsId auth_of_file(DirId d, FileIndex i) const;
+  /// Resolved authority of a migratable unit.
+  [[nodiscard]] MdsId auth_of_subtree(const SubtreeRef& ref) const;
+  /// Bumped whenever any pin changes; clients use it to invalidate their
+  /// location caches.
+  [[nodiscard]] std::uint64_t auth_generation() const { return auth_gen_; }
+
+  /// Moves the authority of a migratable unit to `to`, returning the number
+  /// of inodes transferred (the unit's exclusive inode count).  This is the
+  /// commit step performed by the migration engine.
+  std::uint64_t migrate_subtree(const SubtreeRef& ref, MdsId to);
+
+  /// Removes redundant pins: an explicit pin equal to what the directory
+  /// would inherit anyway is dropped (CephFS's subtree-map trimming).
+  void simplify_auth();
+
+  // -- Queries ---------------------------------------------------------
+  [[nodiscard]] const Directory& dir(DirId d) const { return dirs_[d]; }
+  [[nodiscard]] Directory& dir(DirId d) { return dirs_[d]; }
+  [[nodiscard]] std::size_t dir_count() const { return dirs_.size(); }
+  [[nodiscard]] std::uint64_t total_inodes() const {
+    return dirs_[0].subtree_inodes();
+  }
+
+  /// Inodes in the subtree of `ref`, excluding descendants that are pinned
+  /// elsewhere (i.e. what a migration of `ref` would actually move).
+  [[nodiscard]] std::uint64_t exclusive_inodes(const SubtreeRef& ref) const;
+
+  /// "/a/b/c" style path (for reports and debugging).
+  [[nodiscard]] std::string path_of(DirId d) const;
+  [[nodiscard]] std::uint32_t depth_of(DirId d) const;
+  /// True if `ancestor` is on the root path of `d` (or equal to it).
+  [[nodiscard]] bool is_ancestor(DirId ancestor, DirId d) const;
+
+  /// Census of inode placement: inodes currently authoritative on each of
+  /// `n_mds` servers (Figure 14a).
+  [[nodiscard]] std::vector<std::uint64_t> inodes_per_mds(
+      std::size_t n_mds) const;
+
+  /// All directories that are currently subtree roots (explicitly pinned),
+  /// plus the tree root.
+  [[nodiscard]] std::vector<DirId> subtree_roots() const;
+
+ private:
+  void bump_generation() { ++auth_gen_; }
+  void add_inodes_to_ancestors(DirId d, std::uint64_t count);
+
+  std::vector<Directory> dirs_;
+  std::uint64_t auth_gen_ = 1;
+};
+
+}  // namespace lunule::fs

@@ -1,0 +1,56 @@
+#include "fs/path_resolver.h"
+
+namespace lunule::fs {
+
+std::vector<std::string_view> split_path(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') ++pos;
+    const std::size_t start = pos;
+    while (pos < path.size() && path[pos] != '/') ++pos;
+    if (pos > start) parts.push_back(path.substr(start, pos - start));
+  }
+  return parts;
+}
+
+std::optional<DirId> PathResolver::child_of(DirId parent,
+                                            std::string_view name) const {
+  for (const DirId c : tree_.dir(parent).children()) {
+    if (tree_.dir(c).name() == name) return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> PathResolver::list(DirId dir) const {
+  std::vector<std::string> names;
+  for (const DirId c : tree_.dir(dir).children()) {
+    names.push_back(tree_.dir(c).name());
+  }
+  return names;
+}
+
+std::optional<ResolvedPath> PathResolver::resolve(
+    std::string_view path) const {
+  if (path.empty() || path[0] != '/') return std::nullopt;
+  ResolvedPath out;
+  DirId current = tree_.root();
+  out.chain.push_back(current);
+  MdsId prev_auth = tree_.auth_of(current);
+  for (const std::string_view component : split_path(path)) {
+    const std::optional<DirId> next = child_of(current, component);
+    if (!next) return std::nullopt;
+    current = *next;
+    out.chain.push_back(current);
+    const MdsId a = tree_.auth_of(current);
+    if (a != prev_auth) {
+      ++out.boundary_crossings;
+      prev_auth = a;
+    }
+  }
+  out.dir = current;
+  out.auth = tree_.auth_of(current);
+  return out;
+}
+
+}  // namespace lunule::fs

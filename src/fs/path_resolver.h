@@ -1,0 +1,55 @@
+// String-path resolution over the namespace tree.
+//
+// The simulator's hot paths work on DirId/FileIndex handles, but a public
+// file-system API needs "/cnn/class7" style lookups: examples, tools and
+// tests use this resolver, and it documents the authority-resolution
+// semantics (which MDS a path lands on, how many authority boundaries a
+// traversal crosses — the quantity the forward model charges for).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fs/namespace_tree.h"
+
+namespace lunule::fs {
+
+struct ResolvedPath {
+  DirId dir = kNoDir;
+  /// MDS that is authoritative for the directory.
+  MdsId auth = kNoMds;
+  /// Directories on the root path (inclusive), in root-to-leaf order.
+  std::vector<DirId> chain;
+  /// Authority-boundary crossings along the chain (the forwards a client
+  /// with a cold location cache would incur).
+  std::uint32_t boundary_crossings = 0;
+};
+
+class PathResolver {
+ public:
+  explicit PathResolver(const NamespaceTree& tree) : tree_(tree) {}
+
+  /// Resolves an absolute path ("/a/b"); returns nullopt if any component
+  /// does not exist.  "/" resolves to the root.  Trailing slashes and
+  /// repeated separators are tolerated ("/a//b/" == "/a/b").
+  [[nodiscard]] std::optional<ResolvedPath> resolve(
+      std::string_view path) const;
+
+  /// Looks up one child by name (nullopt if absent).
+  [[nodiscard]] std::optional<DirId> child_of(DirId parent,
+                                              std::string_view name) const;
+
+  /// Lists the child names of a directory, in creation order.
+  [[nodiscard]] std::vector<std::string> list(DirId dir) const;
+
+ private:
+  const NamespaceTree& tree_;
+};
+
+/// Splits an absolute path into components ("/a//b/" -> ["a", "b"]).
+[[nodiscard]] std::vector<std::string_view> split_path(
+    std::string_view path);
+
+}  // namespace lunule::fs

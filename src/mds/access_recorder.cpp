@@ -1,0 +1,136 @@
+#include "mds/access_recorder.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "fs/directory.h"
+
+namespace lunule::mds {
+
+AccessRecorder::AccessRecorder(fs::NamespaceTree& tree, RecorderParams params,
+                               Rng rng)
+    : tree_(tree), params_(params), rng_(rng) {
+  LUNULE_CHECK(params_.heat_decay > 0.0 && params_.heat_decay < 1.0);
+  LUNULE_CHECK(params_.sibling_credit_prob >= 0.0 &&
+               params_.sibling_credit_prob <= 1.0);
+}
+
+AccessOutcome AccessRecorder::record(DirId d, FileIndex i, EpochId epoch) {
+  fs::Directory& dir = tree_.dir(d);
+  fs::FileState& file = dir.file(i);
+
+  AccessOutcome out;
+  // Only the first op on a file per epoch is a logical visit; the rest of
+  // the lookup/getattr/open chain lands in the same epoch and carries no
+  // locality information.
+  const bool logical_visit =
+      file.last_access_epoch != static_cast<std::uint32_t>(epoch);
+  out.first_visit = !file.visited();
+  out.recurrent =
+      !out.first_visit && file.recurrent_at(epoch, params_.recurrence_window);
+  file.last_access_epoch = static_cast<std::uint32_t>(epoch);
+
+  fs::FragStats& frag = dir.frag(dir.frag_of(i));
+  ++frag.visits_epoch;
+  ++frag.total_visits;
+  frag.heat += 1.0;
+  if (logical_visit) ++frag.file_visits_epoch;
+  if (out.first_visit) {
+    ++frag.first_visits_epoch;
+    ++frag.visited_files;
+    credit_sibling(d);
+  }
+  if (logical_visit && out.recurrent) ++frag.recurrent_epoch;
+  mark_active(d);
+  return out;
+}
+
+void AccessRecorder::record_create(DirId d, FileIndex i, EpochId epoch) {
+  fs::Directory& dir = tree_.dir(d);
+  fs::FileState& file = dir.file(i);
+  file.last_access_epoch = static_cast<std::uint32_t>(epoch);
+
+  fs::FragStats& frag = dir.frag(dir.frag_of(i));
+  ++frag.visits_epoch;
+  ++frag.file_visits_epoch;
+  ++frag.total_visits;
+  frag.heat += 1.0;
+  ++frag.first_visits_epoch;
+  ++frag.creates_epoch;
+  ++frag.visited_files;
+  mark_active(d);
+}
+
+void AccessRecorder::credit_sibling(DirId d) {
+  if (params_.sibling_credit_prob <= 0.0) return;
+  if (!rng_.next_bool(params_.sibling_credit_prob)) return;
+  const fs::Directory& dir = tree_.dir(d);
+  if (dir.parent() == kNoDir) return;
+  const auto& siblings = tree_.dir(dir.parent()).children();
+  if (siblings.size() < 2) return;
+  DirId sibling;
+  if (rng_.next_bool(params_.sibling_adjacent_fraction)) {
+    // Namespace-order adjacency: credit the next sibling, the most likely
+    // continuation of a directory-order scan.
+    const auto it = std::find(siblings.begin(), siblings.end(), d);
+    const auto idx = static_cast<std::size_t>(it - siblings.begin());
+    sibling = siblings[(idx + 1) % siblings.size()];
+    if (sibling == d) return;
+  } else {
+    // Uniformly random sibling other than `d` itself.
+    const auto pick = static_cast<std::size_t>(
+        rng_.next_below(siblings.size() - 1));
+    sibling = siblings[pick];
+    if (sibling == d) sibling = siblings.back();
+  }
+  fs::Directory& sib = tree_.dir(sibling);
+  const auto frag_pick =
+      static_cast<FragId>(rng_.next_below(sib.frag_count()));
+  sib.frag(frag_pick).sibling_credit_epoch += 1.0;
+  mark_active(sibling);
+}
+
+void AccessRecorder::mark_active(DirId d) {
+  if (d >= is_active_.size()) is_active_.resize(tree_.dir_count(), 0);
+  if (is_active_[d]) return;
+  is_active_[d] = 1;
+  active_.push_back(d);
+}
+
+void AccessRecorder::close_epoch() {
+  std::vector<DirId> still_active;
+  still_active.reserve(active_.size());
+  for (const DirId d : active_) {
+    fs::Directory& dir = tree_.dir(d);
+    bool live = false;
+    for (fs::FragStats& frag : dir.frags()) {
+      frag.visits_window.push(frag.visits_epoch);
+      frag.file_visits_window.push(frag.file_visits_epoch);
+      frag.first_visits_window.push(frag.first_visits_epoch);
+      frag.recurrent_window.push(frag.recurrent_epoch);
+      frag.creates_window.push(frag.creates_epoch);
+      frag.sibling_credit_window.push(frag.sibling_credit_epoch);
+      frag.visits_epoch = 0;
+      frag.file_visits_epoch = 0;
+      frag.first_visits_epoch = 0;
+      frag.recurrent_epoch = 0;
+      frag.creates_epoch = 0;
+      frag.sibling_credit_epoch = 0.0;
+      frag.heat *= params_.heat_decay;
+      if (frag.heat < 0.01) frag.heat = 0.0;
+      if (frag.heat > 0.0 || frag.visits_window.window_sum() > 0 ||
+          frag.first_visits_window.window_sum() > 0 ||
+          frag.sibling_credit_window.window_sum() > 0.0) {
+        live = true;
+      }
+    }
+    if (live) {
+      still_active.push_back(d);
+    } else {
+      is_active_[d] = 0;
+    }
+  }
+  active_ = std::move(still_active);
+}
+
+}  // namespace lunule::mds

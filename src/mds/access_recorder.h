@@ -1,0 +1,77 @@
+// Per-access statistics recording ("Stats recording" of Section 4.1).
+//
+// On every metadata operation the owning dirfrag's counters are updated:
+//   * visits (feeding l_t and the vanilla heat counter),
+//   * first visits — accesses to never-before-visited inodes (feeding l_s
+//     and the spatial inclination beta),
+//   * recurrent visits — re-accesses within the recent cutting windows
+//     (feeding the temporal inclination alpha), and
+//   * sibling credits — on a first visit, one sibling directory receives an
+//     l_s credit with a configurable probability, implementing the paper's
+//     "strong access correlations between sibling subtrees" heuristic.
+//
+// At each epoch boundary close_epoch() folds the open-epoch accumulators
+// into the cutting-window rings and applies the exponential heat decay that
+// the CephFS-Vanilla balancer relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fs/namespace_tree.h"
+
+namespace lunule::mds {
+
+struct RecorderParams {
+  /// Cutting-window span in epochs used for recurrence classification.
+  std::uint32_t recurrence_window = fs::kCuttingWindows;
+  /// Probability that a first visit credits one sibling subtree's l_s.
+  double sibling_credit_prob = 0.3;
+  /// Of those credits, the fraction granted to the *next* sibling in
+  /// directory order (spatial locality in file systems is largely
+  /// namespace-order: scans proceed in readdir order); the rest goes to a
+  /// uniformly random sibling.
+  double sibling_adjacent_fraction = 0.5;
+  /// Per-epoch multiplicative decay of the vanilla heat counter.
+  double heat_decay = 0.8;
+};
+
+struct AccessOutcome {
+  bool first_visit = false;
+  bool recurrent = false;
+};
+
+class AccessRecorder {
+ public:
+  AccessRecorder(fs::NamespaceTree& tree, RecorderParams params, Rng rng);
+
+  /// Records a read/lookup access to file `i` of directory `d`.
+  AccessOutcome record(DirId d, FileIndex i, EpochId epoch);
+
+  /// Records a create of file `i` (always a first visit).
+  void record_create(DirId d, FileIndex i, EpochId epoch);
+
+  /// Folds open-epoch accumulators into the windows and decays heat.
+  void close_epoch();
+
+  /// Directories with any live statistics (hot set; shrinks as stats age).
+  [[nodiscard]] const std::vector<DirId>& active_dirs() const {
+    return active_;
+  }
+
+  [[nodiscard]] const RecorderParams& params() const { return params_; }
+
+ private:
+  void mark_active(DirId d);
+  void credit_sibling(DirId d);
+
+  fs::NamespaceTree& tree_;
+  RecorderParams params_;
+  Rng rng_;
+  std::vector<DirId> active_;
+  std::vector<std::uint8_t> is_active_;  // indexed by DirId, lazily grown
+};
+
+}  // namespace lunule::mds

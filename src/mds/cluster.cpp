@@ -1,0 +1,171 @@
+#include "mds/cluster.h"
+
+#include "common/assert.h"
+
+namespace lunule::mds {
+
+MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
+    : tree_(tree), params_(params) {
+  LUNULE_CHECK(params_.n_mds >= 1);
+  LUNULE_CHECK(params_.epoch_ticks >= 1);
+  servers_.reserve(params_.n_mds);
+  for (std::size_t i = 0; i < params_.n_mds; ++i) {
+    servers_.emplace_back(static_cast<MdsId>(i), params_.mds_capacity_iops);
+  }
+  recorder_ = std::make_unique<AccessRecorder>(
+      tree_, params_.recorder, Rng(params_.seed).fork(/*stream=*/1));
+  MigrationParams mig = params_.migration;
+  mig.epoch_seconds = epoch_seconds();
+  migration_ = std::make_unique<MigrationEngine>(tree_, mig);
+  migration_->set_commit_hook(
+      [this](const fs::SubtreeRef& ref, std::uint64_t moved) {
+        audit_.on_commit(tree_, ref, moved, epoch_);
+      });
+}
+
+void MdsCluster::begin_tick(Tick /*now*/) {
+  for (MdsServer& s : servers_) {
+    const bool migrating = migration_->involved(s.id());
+    s.begin_tick(migrating ? 1.0 - params_.migration.capacity_penalty : 1.0);
+  }
+}
+
+void MdsCluster::end_tick() { migration_->tick(); }
+
+std::vector<Load> MdsCluster::close_epoch() {
+  std::vector<Load> loads;
+  loads.reserve(servers_.size());
+  for (MdsServer& s : servers_) {
+    s.close_epoch(epoch_seconds());
+    loads.push_back(s.current_load());
+  }
+  recorder_->close_epoch();
+  audit_.on_epoch_close(tree_, epoch_);
+  if (params_.replicate_threshold_iops > 0.0) update_replicas();
+  ++epoch_;
+  return loads;
+}
+
+void MdsCluster::update_replicas() {
+  const double epoch_secs = epoch_seconds();
+  // All peers hold a replica of a hot fragment (bitmask of every rank);
+  // the authority's bit is redundant but harmless.
+  const std::uint32_t all_mask =
+      servers_.size() >= 32 ? ~0u : (1u << servers_.size()) - 1;
+  for (const DirId d : recorder_->active_dirs()) {
+    for (fs::FragStats& frag : tree_.dir(d).frags()) {
+      const double rate =
+          frag.visits_window.empty()
+              ? 0.0
+              : static_cast<double>(frag.visits_window.at(0)) / epoch_secs;
+      if (!frag.replicated() && rate > params_.replicate_threshold_iops) {
+        frag.replica_mask = all_mask;
+      } else if (frag.replicated() &&
+                 rate < params_.unreplicate_threshold_iops) {
+        frag.replica_mask = 0;
+      }
+    }
+  }
+}
+
+std::uint64_t MdsCluster::replicated_frags() const {
+  std::uint64_t count = 0;
+  for (DirId d = 0; d < tree_.dir_count(); ++d) {
+    for (const fs::FragStats& frag : tree_.dir(d).frags()) {
+      if (frag.replicated()) ++count;
+    }
+  }
+  return count;
+}
+
+ServeResult MdsCluster::try_serve(DirId d, FileIndex i) {
+  if (migration_->is_frozen(d, i)) return ServeResult::kFrozen;
+  MdsId m = tree_.auth_of_file(d, i);
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+
+  // Hot-dirfrag read replication: when the target fragment is replicated,
+  // any holder can serve the read — pick the one with the fewest ops this
+  // epoch (the authority remains a holder).
+  const fs::Directory& dir = tree_.dir(d);
+  const fs::FragStats& frag = dir.frag(dir.frag_of(i));
+  if (frag.replicated()) {
+    MdsId best = m;
+    std::uint64_t best_served =
+        servers_[static_cast<std::size_t>(m)].served_in_open_epoch();
+    for (std::size_t r = 0; r < servers_.size(); ++r) {
+      if (!frag.replicated_on(static_cast<MdsId>(r))) continue;
+      const std::uint64_t served = servers_[r].served_in_open_epoch();
+      if (served < best_served) {
+        best = static_cast<MdsId>(r);
+        best_served = served;
+      }
+    }
+    m = best;
+  }
+
+  if (!servers_[static_cast<std::size_t>(m)].try_serve()) {
+    return ServeResult::kSaturated;
+  }
+  recorder_->record(d, i, epoch_);
+  return ServeResult::kServed;
+}
+
+ServeResult MdsCluster::try_create(DirId d) {
+  const FileIndex idx = tree_.dir(d).file_count();
+  if (migration_->is_frozen(d, idx)) return ServeResult::kFrozen;
+  // The create lands in the fragment the new dentry hashes to.
+  const fs::Directory& dir = tree_.dir(d);
+  const MdsId pin = dir.frag(dir.frag_of(idx)).auth_pin;
+  const MdsId m = pin != kNoMds ? pin : tree_.auth_of(d);
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  if (!servers_[static_cast<std::size_t>(m)].try_serve()) {
+    return ServeResult::kSaturated;
+  }
+  const FileIndex created = tree_.create_file(d);
+  LUNULE_CHECK(created == idx);
+  recorder_->record_create(d, created, epoch_);
+
+  // CephFS-style auto-split: fragment one level deeper whenever the
+  // per-fragment population crosses the threshold.
+  if (params_.dirfrag_split_threshold > 0) {
+    const fs::Directory& grown = tree_.dir(d);
+    if (grown.frag_bits() < params_.dirfrag_split_max_bits &&
+        grown.file_count() >=
+            params_.dirfrag_split_threshold * grown.frag_count()) {
+      tree_.fragment_dir(d, static_cast<std::uint8_t>(grown.frag_bits() + 1));
+    }
+  }
+  return ServeResult::kServed;
+}
+
+void MdsCluster::charge_forward(MdsId m) {
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  servers_[static_cast<std::size_t>(m)].charge_forward(1.0);
+}
+
+MdsId MdsCluster::add_server() {
+  const auto id = static_cast<MdsId>(servers_.size());
+  servers_.emplace_back(id, params_.mds_capacity_iops);
+  return id;
+}
+
+std::uint64_t MdsCluster::total_served() const {
+  std::uint64_t acc = 0;
+  for (const MdsServer& s : servers_) acc += s.total_served();
+  return acc;
+}
+
+std::uint64_t MdsCluster::total_forwards() const {
+  std::uint64_t acc = 0;
+  for (const MdsServer& s : servers_) acc += s.total_forwards();
+  return acc;
+}
+
+std::vector<Load> MdsCluster::current_loads() const {
+  std::vector<Load> loads;
+  loads.reserve(servers_.size());
+  for (const MdsServer& s : servers_) loads.push_back(s.current_load());
+  return loads;
+}
+
+}  // namespace lunule::mds

@@ -1,0 +1,126 @@
+// The metadata-server cluster: servers + access recording + migration.
+//
+// MdsCluster is the substrate every balancer operates on.  It routes each
+// metadata operation to the authoritative MDS of its target (respecting
+// dirfrag pins), enforces per-tick service capacity, stalls operations whose
+// subtree is frozen mid-migration, applies the migration capacity penalty,
+// and closes balancer epochs (load sampling + statistics roll-over).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fs/namespace_tree.h"
+#include "mds/access_recorder.h"
+#include "mds/migration.h"
+#include "mds/migration_audit.h"
+#include "mds/mds_server.h"
+
+namespace lunule::mds {
+
+struct ClusterParams {
+  std::size_t n_mds = 5;
+  /// Theoretical per-MDS capacity C in IOPS (Eq. 2 of the paper).
+  double mds_capacity_iops = 2500.0;
+  /// Ticks (simulated seconds) per balancer epoch; the paper's default
+  /// re-balance interval is 10 seconds.
+  int epoch_ticks = 10;
+  MigrationParams migration;
+  RecorderParams recorder;
+  /// CephFS-style automatic dirfrag splitting (mds_bal_split_size): when a
+  /// directory's per-fragment population crosses this threshold on create,
+  /// the MDS fragments it one level deeper.  0 disables auto-splitting
+  /// (the default here: the balancers split on their own schedule, and the
+  /// reproduction benches are calibrated without it).
+  std::uint32_t dirfrag_split_threshold = 0;
+  /// Upper bound on automatic fragmentation depth (2^bits fragments).
+  std::uint8_t dirfrag_split_max_bits = 6;
+  /// CephFS-style hot-dirfrag read replication
+  /// (mds_bal_replicate_threshold): a fragment serving more reads per
+  /// second than this gets replicated to every peer, and reads are served
+  /// by the least-loaded holder; below `unreplicate_threshold_iops` the
+  /// replicas are dropped.  0 disables replication (the default: the
+  /// paper's balancers are evaluated without it).
+  double replicate_threshold_iops = 0.0;
+  double unreplicate_threshold_iops = 0.0;
+  std::uint64_t seed = 42;
+};
+
+enum class ServeResult {
+  kServed,     // operation completed this tick
+  kSaturated,  // authoritative MDS out of capacity this tick
+  kFrozen,     // target subtree frozen by an in-flight migration
+};
+
+class MdsCluster {
+ public:
+  MdsCluster(fs::NamespaceTree& tree, ClusterParams params);
+
+  // -- Tick / epoch lifecycle ---------------------------------------------
+  /// Opens a tick: refreshes per-server budgets (with migration penalties).
+  void begin_tick(Tick now);
+  /// Closes a tick: advances in-flight migrations.
+  void end_tick();
+  /// Closes an epoch and returns the per-MDS loads (IOPS) observed in it.
+  std::vector<Load> close_epoch();
+
+  // -- Request service ------------------------------------------------------
+  /// Serves a lookup/read of file `i` in directory `d`.
+  ServeResult try_serve(DirId d, FileIndex i);
+  /// Serves a create in directory `d`; on success the file exists afterwards.
+  ServeResult try_create(DirId d);
+  /// Charges a path-traversal forward (redirect) to MDS `m`.
+  void charge_forward(MdsId m);
+
+  // -- Topology -------------------------------------------------------------
+  /// Adds one MDS at runtime (cluster-expansion experiments, Fig. 12a).
+  MdsId add_server();
+  [[nodiscard]] std::size_t size() const { return servers_.size(); }
+  [[nodiscard]] const MdsServer& server(MdsId m) const {
+    return servers_[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] MdsServer& server(MdsId m) {
+    return servers_[static_cast<std::size_t>(m)];
+  }
+
+  [[nodiscard]] fs::NamespaceTree& tree() { return tree_; }
+  [[nodiscard]] const fs::NamespaceTree& tree() const { return tree_; }
+  [[nodiscard]] AccessRecorder& recorder() { return *recorder_; }
+  [[nodiscard]] MigrationEngine& migration() { return *migration_; }
+  [[nodiscard]] const MigrationEngine& migration() const {
+    return *migration_;
+  }
+  /// Post-migration validity auditor (the paper's "never visited after
+  /// migration" diagnostic, Section 2.2).
+  [[nodiscard]] const MigrationAudit& audit() const { return audit_; }
+  [[nodiscard]] const ClusterParams& params() const { return params_; }
+  [[nodiscard]] EpochId epoch() const { return epoch_; }
+  [[nodiscard]] double epoch_seconds() const {
+    return static_cast<double>(params_.epoch_ticks);
+  }
+  [[nodiscard]] std::uint64_t total_served() const;
+  [[nodiscard]] std::uint64_t total_forwards() const;
+
+  /// Current per-MDS loads from the last closed epoch.
+  [[nodiscard]] std::vector<Load> current_loads() const;
+
+  /// Number of dirfrags currently replicated (reporting).
+  [[nodiscard]] std::uint64_t replicated_frags() const;
+
+ private:
+  /// Replica management at epoch close (replicate hot frags, drop cold).
+  void update_replicas();
+  fs::NamespaceTree& tree_;
+  ClusterParams params_;
+  std::vector<MdsServer> servers_;
+  std::unique_ptr<AccessRecorder> recorder_;
+  std::unique_ptr<MigrationEngine> migration_;
+  MigrationAudit audit_;
+  EpochId epoch_ = 0;
+};
+
+}  // namespace lunule::mds

@@ -1,0 +1,42 @@
+#include "mds/mds_server.h"
+
+#include "common/assert.h"
+
+namespace lunule::mds {
+
+MdsServer::MdsServer(MdsId id, double capacity_iops)
+    : id_(id), capacity_(capacity_iops) {
+  LUNULE_CHECK(capacity_iops > 0.0);
+  history_.reserve(kHistoryEpochs);
+}
+
+void MdsServer::begin_tick(double capacity_factor) {
+  LUNULE_CHECK(capacity_factor > 0.0 && capacity_factor <= 1.0);
+  budget_ = capacity_ * capacity_factor;
+}
+
+bool MdsServer::try_serve(double cost) {
+  if (budget_ < cost) return false;
+  budget_ -= cost;
+  ++served_epoch_;
+  ++total_served_;
+  return true;
+}
+
+void MdsServer::charge_forward(double cost) {
+  budget_ -= cost;  // may go (slightly) negative: redirects are not shed
+  if (budget_ < 0.0) budget_ = 0.0;
+  ++total_forwards_;
+}
+
+void MdsServer::close_epoch(double epoch_seconds) {
+  LUNULE_CHECK(epoch_seconds > 0.0);
+  load_ = static_cast<double>(served_epoch_) / epoch_seconds;
+  served_epoch_ = 0;
+  if (history_.size() == kHistoryEpochs) {
+    history_.erase(history_.begin());
+  }
+  history_.push_back(load_);
+}
+
+}  // namespace lunule::mds

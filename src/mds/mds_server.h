@@ -1,0 +1,74 @@
+// A single simulated metadata server (MDS daemon).
+//
+// Each MDS can serve a bounded number of metadata operations per simulated
+// second (its capacity, corresponding to the paper's constant C — "the
+// maximal IOPS that a single MDS theoretically could achieve", Eq. 2).  Per
+// epoch it reports its observed load (served IOPS) and keeps a short load
+// history from which Algorithm 1's linear-regression forecast (`fld`) is
+// computed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lunule::mds {
+
+class MdsServer {
+ public:
+  MdsServer(MdsId id, double capacity_iops);
+
+  [[nodiscard]] MdsId id() const { return id_; }
+  /// Theoretical maximum IOPS (the paper's C).
+  [[nodiscard]] double capacity() const { return capacity_; }
+
+  // -- Tick-level service ------------------------------------------------
+  /// Opens a tick with the given effective-capacity factor in (0, 1]
+  /// (reduced while the server participates in a migration).
+  void begin_tick(double capacity_factor);
+
+  /// Attempts to consume `cost` service units this tick.  Returns false if
+  /// the server is saturated.
+  bool try_serve(double cost = 1.0);
+
+  /// Consumes capacity for a request forward (redirect) without counting it
+  /// as a served metadata operation.  Never blocks: if the budget is
+  /// exhausted the forward still happens, it just eats into goodput.
+  void charge_forward(double cost);
+
+  // -- Epoch-level accounting ---------------------------------------------
+  /// Closes an epoch spanning `epoch_seconds` and records the load sample.
+  void close_epoch(double epoch_seconds);
+
+  /// IOPS observed during the last closed epoch.
+  [[nodiscard]] Load current_load() const { return load_; }
+
+  /// Recent per-epoch loads, oldest first (bounded window).
+  [[nodiscard]] std::span<const double> load_history() const {
+    return history_;
+  }
+
+  [[nodiscard]] std::uint64_t served_in_open_epoch() const {
+    return served_epoch_;
+  }
+  [[nodiscard]] std::uint64_t total_served() const { return total_served_; }
+  [[nodiscard]] std::uint64_t total_forwards() const {
+    return total_forwards_;
+  }
+
+ private:
+  static constexpr std::size_t kHistoryEpochs = 12;
+
+  MdsId id_;
+  double capacity_;
+  double budget_ = 0.0;
+  std::uint64_t served_epoch_ = 0;
+  std::uint64_t total_served_ = 0;
+  std::uint64_t total_forwards_ = 0;
+  Load load_ = 0.0;
+  std::vector<double> history_;
+};
+
+}  // namespace lunule::mds

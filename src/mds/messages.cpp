@@ -1,0 +1,28 @@
+#include "mds/messages.h"
+
+namespace lunule::mds {
+
+ControlPlaneTraffic lunule_traffic(std::size_t n_mds) {
+  ControlPlaneTraffic t;
+  t.per_mds_out_bytes = ImbalanceStateMsg::wire_bytes();
+  t.primary_in_bytes = (n_mds - 1) * ImbalanceStateMsg::wire_bytes();
+  // Reports in, plus (worst case) one decision back to every exporter.
+  MigrationDecisionMsg decision;
+  decision.assignments.resize(n_mds > 1 ? n_mds - 1 : 0);
+  t.total_bytes =
+      (n_mds - 1) * (ImbalanceStateMsg::wire_bytes() + decision.wire_bytes());
+  return t;
+}
+
+ControlPlaneTraffic vanilla_traffic(std::size_t n_mds) {
+  ControlPlaneTraffic t;
+  HeartbeatMsg hb;
+  hb.all_loads.resize(n_mds);
+  // Every MDS broadcasts to every other MDS.
+  t.per_mds_out_bytes = (n_mds - 1) * hb.wire_bytes();
+  t.primary_in_bytes = (n_mds - 1) * hb.wire_bytes();
+  t.total_bytes = n_mds * (n_mds - 1) * hb.wire_bytes();
+  return t;
+}
+
+}  // namespace lunule::mds

@@ -1,0 +1,70 @@
+// Wire messages of the load-balancing control plane, with a byte-size model.
+//
+// Lunule replaces CephFS's decentralized N-to-N Heartbeat exchange with a
+// centralized N-to-1 collection: every epoch each MDS sends one small
+// ImbalanceState message (rank + request rate) to the Migration Initiator,
+// which answers exporters with MigrationDecision messages.  The byte-size
+// model below backs the Section 3.4 overhead table (0.94 KB/epoch out-bound
+// per non-primary MDS; ~14.1 KB/epoch in-bound at the primary of a 16-MDS
+// cluster includes transport framing, which we model as a fixed envelope).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lunule::mds {
+
+/// Fixed per-message transport envelope (ceph_msg_header + footer ballpark).
+inline constexpr std::size_t kMsgEnvelopeBytes = 942;
+
+/// Lunule's N-to-1 per-epoch load report.
+struct ImbalanceStateMsg {
+  MdsId rank = kNoMds;
+  double load_iops = 0.0;
+
+  [[nodiscard]] static std::size_t wire_bytes() {
+    return kMsgEnvelopeBytes + sizeof(MdsId) + sizeof(double);
+  }
+};
+
+/// One exporter assignment within a migration decision.
+struct ExportAssignment {
+  MdsId importer = kNoMds;
+  double amount_iops = 0.0;
+};
+
+/// Initiator -> exporter: how much load to ship to which importers.
+struct MigrationDecisionMsg {
+  MdsId exporter = kNoMds;
+  std::vector<ExportAssignment> assignments;
+
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return kMsgEnvelopeBytes + sizeof(MdsId) +
+           assignments.size() * sizeof(ExportAssignment);
+  }
+};
+
+/// CephFS-Vanilla's decentralized heartbeat: every MDS broadcasts its view
+/// of all loads to every other MDS (N-to-N), so each message carries the
+/// full load vector.
+struct HeartbeatMsg {
+  std::vector<double> all_loads;
+
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return kMsgEnvelopeBytes + all_loads.size() * (sizeof(double) * 4);
+  }
+};
+
+/// Total per-epoch control-plane bytes for a cluster of n MDSs.
+struct ControlPlaneTraffic {
+  std::size_t per_mds_out_bytes = 0;   // non-primary out-bound
+  std::size_t primary_in_bytes = 0;    // initiator in-bound
+  std::size_t total_bytes = 0;
+};
+
+[[nodiscard]] ControlPlaneTraffic lunule_traffic(std::size_t n_mds);
+[[nodiscard]] ControlPlaneTraffic vanilla_traffic(std::size_t n_mds);
+
+}  // namespace lunule::mds

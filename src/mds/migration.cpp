@@ -1,0 +1,152 @@
+#include "mds/migration.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lunule::mds {
+
+MigrationEngine::MigrationEngine(fs::NamespaceTree& tree,
+                                 MigrationParams params)
+    : tree_(tree), params_(params) {
+  LUNULE_CHECK(params_.bandwidth_inodes_per_tick > 0.0);
+  LUNULE_CHECK(params_.max_inflight_per_exporter >= 1);
+  LUNULE_CHECK(params_.freeze_fraction >= 0.0 &&
+               params_.freeze_fraction < 1.0);
+  LUNULE_CHECK(params_.capacity_penalty >= 0.0 &&
+               params_.capacity_penalty < 1.0);
+}
+
+bool MigrationEngine::submit(const fs::SubtreeRef& ref, MdsId to) {
+  const MdsId from = tree_.auth_of_subtree(ref);
+  if (from == to) return false;
+  const std::uint64_t inodes = tree_.exclusive_inodes(ref);
+  if (inodes == 0) return false;
+  for (const ExportTask& t : tasks_) {
+    if (t.subtree == ref) return false;  // already pending
+    // A pending whole-directory export covering `ref` also blocks it.
+    if (!t.subtree.is_frag() &&
+        tree_.is_ancestor(t.subtree.dir, ref.dir)) {
+      return false;
+    }
+  }
+  tasks_.push_back(ExportTask{
+      .subtree = ref, .from = from, .to = to, .inodes = inodes});
+  ++submitted_;
+  return true;
+}
+
+double MigrationEngine::subtree_rate(const fs::SubtreeRef& ref) const {
+  const fs::Directory& dir = tree_.dir(ref.dir);
+  auto frag_visits = [](const fs::FragStats& f) -> double {
+    return f.visits_window.empty()
+               ? static_cast<double>(f.visits_epoch)
+               : static_cast<double>(f.visits_window.at(0));
+  };
+  double visits = 0.0;
+  if (ref.is_frag()) {
+    visits = frag_visits(dir.frag(ref.frag));
+  } else {
+    // Leaf-unit candidates hold their files directly; include any unpinned
+    // descendants for completeness (namespaces are shallow).
+    for (const fs::FragStats& f : dir.frags()) {
+      if (f.auth_pin == kNoMds) visits += frag_visits(f);
+    }
+    for (const DirId c : dir.children()) {
+      if (tree_.dir(c).explicit_auth() == kNoMds) {
+        visits += subtree_rate(fs::SubtreeRef{.dir = c}) *
+                  params_.epoch_seconds;
+      }
+    }
+  }
+  return visits / params_.epoch_seconds;
+}
+
+void MigrationEngine::tick() {
+  // Abort exports of subtrees under heavy load: the freeze step of the
+  // two-phase protocol cannot complete while requests keep arriving.
+  std::erase_if(tasks_, [this](const ExportTask& t) {
+    if (subtree_rate(t.subtree) <= params_.hot_abort_iops) return false;
+    ++aborted_;
+    return true;
+  });
+  // Activate queued tasks while their exporter has a free slot.
+  for (ExportTask& t : tasks_) {
+    if (!t.active && active_count(t.from) <
+                         static_cast<std::size_t>(
+                             params_.max_inflight_per_exporter)) {
+      t.active = true;
+    }
+  }
+  // Stream active tasks; an exporter's bandwidth is shared by its slots.
+  std::vector<std::size_t> done;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    ExportTask& t = tasks_[i];
+    if (!t.active) continue;
+    const auto share = static_cast<double>(active_count(t.from));
+    t.transferred += params_.bandwidth_inodes_per_tick / std::max(1.0, share);
+    if (t.transferred >= static_cast<double>(t.inodes)) {
+      done.push_back(i);
+    }
+  }
+  // Commit completed transfers (authority switch).
+  for (auto it = done.rbegin(); it != done.rend(); ++it) {
+    ExportTask& t = tasks_[*it];
+    if (commit_hook_) commit_hook_(t.subtree, t.inodes);
+    const std::uint64_t moved = tree_.migrate_subtree(t.subtree, t.to);
+    total_migrated_ += moved;
+    ++completed_;
+    tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  if (!done.empty()) tree_.simplify_auth();
+}
+
+bool MigrationEngine::is_frozen(DirId d, FileIndex i) const {
+  for (const ExportTask& t : tasks_) {
+    if (!t.frozen(params_.freeze_fraction)) continue;
+    if (t.subtree.is_frag()) {
+      if (t.subtree.dir == d &&
+          tree_.dir(d).frag_of(i) == t.subtree.frag) {
+        return true;
+      }
+    } else if (tree_.is_ancestor(t.subtree.dir, d)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MigrationEngine::involved(MdsId m) const {
+  return std::any_of(tasks_.begin(), tasks_.end(), [m](const ExportTask& t) {
+    return t.active && (t.from == m || t.to == m);
+  });
+}
+
+std::size_t MigrationEngine::pending_exports(MdsId m) const {
+  return static_cast<std::size_t>(
+      std::count_if(tasks_.begin(), tasks_.end(),
+                    [m](const ExportTask& t) { return t.from == m; }));
+}
+
+void MigrationEngine::drop_queued(MdsId m) {
+  std::erase_if(tasks_, [m](const ExportTask& t) {
+    return t.from == m && !t.active;
+  });
+}
+
+std::uint64_t MigrationEngine::backlog_inodes() const {
+  double backlog = 0.0;
+  for (const ExportTask& t : tasks_) {
+    backlog += static_cast<double>(t.inodes) - t.transferred;
+  }
+  return backlog > 0.0 ? static_cast<std::uint64_t>(backlog) : 0;
+}
+
+std::size_t MigrationEngine::active_count(MdsId exporter) const {
+  return static_cast<std::size_t>(std::count_if(
+      tasks_.begin(), tasks_.end(), [exporter](const ExportTask& t) {
+        return t.active && t.from == exporter;
+      }));
+}
+
+}  // namespace lunule::mds

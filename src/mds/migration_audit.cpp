@@ -1,0 +1,75 @@
+#include "mds/migration_audit.h"
+
+#include <algorithm>
+
+namespace lunule::mds {
+
+void MigrationAudit::on_commit(const fs::NamespaceTree& tree,
+                               const fs::SubtreeRef& ref,
+                               std::uint64_t inodes, EpochId epoch) {
+  open_.push_back(Entry{
+      .ref = ref,
+      .frag_count_at_commit = tree.dir(ref.dir).frag_count(),
+      .inodes = inodes,
+      .committed = epoch,
+  });
+}
+
+namespace {
+
+std::uint64_t subtree_last_epoch_visits(const fs::NamespaceTree& tree,
+                                        DirId d) {
+  const fs::Directory& dir = tree.dir(d);
+  std::uint64_t visits = 0;
+  for (const fs::FragStats& f : dir.frags()) {
+    visits += f.visits_window.empty() ? 0 : f.visits_window.at(0);
+  }
+  for (const DirId c : dir.children()) {
+    visits += subtree_last_epoch_visits(tree, c);
+  }
+  return visits;
+}
+
+}  // namespace
+
+std::uint64_t MigrationAudit::last_epoch_visits(const fs::NamespaceTree& tree,
+                                                const Entry& entry) {
+  const fs::Directory& dir = tree.dir(entry.ref.dir);
+  if (entry.ref.is_frag()) {
+    // Later splits refine fragments: with the interleaved mapping, every
+    // current fragment f refines commit-time fragment (f & (count-1)).
+    const std::uint32_t commit_mask = entry.frag_count_at_commit - 1;
+    std::uint64_t visits = 0;
+    for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+      if ((static_cast<std::uint32_t>(f) & commit_mask) ==
+          static_cast<std::uint32_t>(entry.ref.frag)) {
+        const fs::FragStats& fs = dir.frag(f);
+        visits += fs.visits_window.empty() ? 0 : fs.visits_window.at(0);
+      }
+    }
+    return visits;
+  }
+  return subtree_last_epoch_visits(tree, entry.ref.dir);
+}
+
+void MigrationAudit::on_epoch_close(const fs::NamespaceTree& tree,
+                                    EpochId epoch) {
+  std::vector<Entry> still_open;
+  still_open.reserve(open_.size());
+  for (Entry& e : open_) {
+    e.visits += last_epoch_visits(tree, e);
+    if (epoch - e.committed >= params_.observation_epochs) {
+      if (e.visits >= params_.min_visits) {
+        ++valid_;
+      } else {
+        ++invalid_;
+        wasted_ += e.inodes;
+      }
+    } else {
+      still_open.push_back(e);
+    }
+  }
+  open_ = std::move(still_open);
+}
+
+}  // namespace lunule::mds

@@ -1,0 +1,169 @@
+#include "sim/json_export.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace lunule::sim {
+
+void JsonWriter::separator() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back() == '1') os_ << ',';
+    needs_comma_.back() = '1';
+  }
+}
+
+void JsonWriter::begin_object() {
+  separator();
+  os_ << '{';
+  needs_comma_.push_back('0');
+}
+
+void JsonWriter::end_object() {
+  LUNULE_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  os_ << '[';
+  needs_comma_.push_back('0');
+}
+
+void JsonWriter::end_array() {
+  LUNULE_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  separator();
+  escaped(name);
+  os_ << ':';
+  // The value that follows must not emit another separator.
+  if (!needs_comma_.empty()) needs_comma_.back() = '0';
+}
+
+void JsonWriter::escaped(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\t': os_ << "\\t"; break;
+      case '\r': os_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonWriter::value(std::string_view s) {
+  separator();
+  escaped(s);
+}
+
+void JsonWriter::value(double v) {
+  separator();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separator();
+  os_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separator();
+  os_ << v;
+}
+
+void JsonWriter::value(bool b) {
+  separator();
+  os_ << (b ? "true" : "false");
+}
+
+void write_series(JsonWriter& w, const TimeSeries& series) {
+  w.begin_object();
+  w.field("name", std::string_view(series.name()));
+  w.key("values");
+  w.begin_array();
+  for (const double v : series.values()) w.value(v);
+  w.end_array();
+  w.end_object();
+}
+
+void write_result(std::ostream& os, const ScenarioResult& r) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("workload", std::string_view(r.workload));
+  w.field("balancer", std::string_view(r.balancer));
+  w.field("end_tick", static_cast<std::int64_t>(r.end_tick));
+  w.field("epoch_seconds", r.per_mds_iops.seconds_per_sample());
+  w.field("total_served", r.total_served);
+  w.field("total_forwards", r.total_forwards);
+  w.field("migrated_inodes", r.migrated_total);
+  w.field("migrations_completed", r.migrations_completed);
+  w.field("clients_done", static_cast<std::uint64_t>(r.clients_done));
+  w.field("n_clients", static_cast<std::uint64_t>(r.n_clients));
+  w.field("mean_if", r.mean_if);
+  w.field("peak_aggregate_iops", r.peak_aggregate_iops);
+  w.field("mean_stall_fraction", r.mean_stall_fraction);
+  w.field("valid_migration_fraction", r.valid_migration_fraction);
+  w.field("migrations_audited", r.migrations_audited);
+  w.field("wasted_migration_inodes", r.wasted_migration_inodes);
+  w.key("op_latency");
+  w.begin_object();
+  w.field("mean", r.op_latency.mean());
+  w.field("p50", r.op_latency.percentile(50));
+  w.field("p99", r.op_latency.percentile(99));
+  w.field("max", r.op_latency.max_value());
+  w.end_object();
+
+  w.key("per_mds_iops");
+  w.begin_array();
+  for (std::size_t i = 0; i < r.per_mds_iops.count(); ++i) {
+    write_series(w, r.per_mds_iops.at(i));
+  }
+  w.end_array();
+
+  w.key("if_series");
+  write_series(w, r.if_series);
+  w.key("aggregate_iops");
+  write_series(w, r.aggregate_iops);
+  w.key("migrated_series");
+  write_series(w, r.migrated_inodes);
+
+  w.key("total_served_per_mds");
+  w.begin_array();
+  for (const std::uint64_t v : r.total_served_per_mds) w.value(v);
+  w.end_array();
+
+  w.key("jct_seconds");
+  w.begin_array();
+  for (const double v : r.jct_seconds) w.value(v);
+  w.end_array();
+
+  w.end_object();
+}
+
+std::string to_json(const ScenarioResult& result) {
+  std::ostringstream os;
+  write_result(os, result);
+  return os.str();
+}
+
+}  // namespace lunule::sim

@@ -1,0 +1,64 @@
+// JSON serialization of scenario results.
+//
+// Every bench already prints aligned tables (and CSV with --csv); this
+// module serializes a full ScenarioResult — including the per-MDS time
+// series — as a single self-describing JSON document, for plotting
+// notebooks and external tooling.  The writer is dependency-free and emits
+// deterministic output (fixed key order, shortest-round-trip numbers are
+// not required: doubles print with enough digits to reproduce the plots).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/scenario.h"
+
+namespace lunule::sim {
+
+/// A minimal JSON writer: values are appended through typed helpers and
+/// escaping is handled centrally.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits `"key":` (with a leading comma when needed).
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool b);
+
+  /// Convenience: key + value.
+  template <typename T>
+  void field(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  void separator();
+  void escaped(std::string_view s);
+
+  std::ostream& os_;
+  // Tracks whether a separator is needed at each nesting level.
+  std::string needs_comma_;  // stack of 0/1 flags
+};
+
+/// Serializes one time series as {"name": ..., "values": [...]}.
+void write_series(JsonWriter& w, const TimeSeries& series);
+
+/// Serializes a whole result, including all per-MDS series, the IF /
+/// aggregate / migrated series, totals and job-completion times.
+void write_result(std::ostream& os, const ScenarioResult& result);
+
+/// Convenience wrapper returning the document as a string.
+[[nodiscard]] std::string to_json(const ScenarioResult& result);
+
+}  // namespace lunule::sim

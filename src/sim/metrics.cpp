@@ -1,0 +1,37 @@
+#include "sim/metrics.h"
+
+#include <string>
+
+#include "common/stats.h"
+
+namespace lunule::sim {
+
+MetricsCollector::MetricsCollector(double epoch_seconds,
+                                   core::IfParams if_params)
+    : per_mds_(epoch_seconds), if_params_(if_params) {}
+
+void MetricsCollector::on_epoch(const mds::MdsCluster& cluster,
+                                std::span<const Load> loads) {
+  // Grow the per-MDS bundle when the cluster expands mid-run; the new
+  // series are back-filled with zeros so all series share the time axis.
+  while (per_mds_.count() < loads.size()) {
+    TimeSeries& s =
+        per_mds_.add("MDS-" + std::to_string(per_mds_.count() + 1));
+    for (std::size_t i = 0; i < if_series_.size(); ++i) s.push(0.0);
+  }
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    per_mds_.at(i).push(loads[i]);
+  }
+  if_series_.push(core::imbalance_factor(loads, if_params_));
+  aggregate_.push(sum(loads));
+  migrated_.push(
+      static_cast<double>(cluster.migration().total_migrated_inodes()));
+}
+
+double MetricsCollector::mean_if(std::size_t skip) const {
+  const auto vals = if_series_.values();
+  if (vals.size() <= skip) return 0.0;
+  return mean(vals.subspan(skip));
+}
+
+}  // namespace lunule::sim

@@ -1,0 +1,58 @@
+// Per-epoch metric collection.
+//
+// Regardless of which balancer runs, the collector samples at every epoch
+// the quantities the paper's figures plot:
+//   * per-MDS IOPS (Figs. 3, 10, 12),
+//   * the Imbalance Factor of the observed loads, computed with the IF
+//     model of Eq. 3 — the paper uses IF as the *metric* of balance quality
+//     for all balancers (Figs. 6, 9),
+//   * aggregate cluster IOPS (Figs. 7, 12, 13), and
+//   * cumulative migrated inodes (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_series.h"
+#include "common/types.h"
+#include "core/imbalance_factor.h"
+#include "mds/cluster.h"
+
+namespace lunule::sim {
+
+class MetricsCollector {
+ public:
+  MetricsCollector(double epoch_seconds, core::IfParams if_params);
+
+  /// Samples one closed epoch.
+  void on_epoch(const mds::MdsCluster& cluster, std::span<const Load> loads);
+
+  [[nodiscard]] const SeriesBundle& per_mds_iops() const { return per_mds_; }
+  [[nodiscard]] const TimeSeries& if_series() const { return if_series_; }
+  [[nodiscard]] const TimeSeries& aggregate_iops() const {
+    return aggregate_;
+  }
+  [[nodiscard]] const TimeSeries& migrated_inodes() const {
+    return migrated_;
+  }
+
+  /// Mean IF after dropping the first `skip` warm-up epochs.
+  [[nodiscard]] double mean_if(std::size_t skip = 0) const;
+  /// Peak aggregate cluster throughput over the run.
+  [[nodiscard]] double peak_aggregate_iops() const {
+    return aggregate_.maximum();
+  }
+  [[nodiscard]] std::size_t epochs() const { return if_series_.size(); }
+  [[nodiscard]] double epoch_seconds() const {
+    return per_mds_.seconds_per_sample();
+  }
+
+ private:
+  SeriesBundle per_mds_;
+  TimeSeries if_series_{"IF"};
+  TimeSeries aggregate_{"aggregate_iops"};
+  TimeSeries migrated_{"migrated_inodes"};
+  core::IfParams if_params_;
+};
+
+}  // namespace lunule::sim

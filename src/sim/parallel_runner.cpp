@@ -1,0 +1,37 @@
+#include "sim/parallel_runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace lunule::sim {
+
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioConfig>& configs, std::size_t max_threads) {
+  std::vector<ScenarioResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  std::size_t workers = max_threads != 0
+                            ? max_threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, configs.size());
+
+  // Work-stealing by atomic counter: each worker claims the next index.
+  std::atomic<std::size_t> next{0};
+  auto work = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) return;
+      results[i] = run_scenario(configs[i]);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace lunule::sim

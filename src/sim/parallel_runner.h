@@ -1,0 +1,23 @@
+// Parallel execution of independent scenarios.
+//
+// The evaluation matrix (5 workloads x 4 balancers, Figs. 6-7) consists of
+// fully independent, deterministic simulations — an embarrassingly
+// parallel job.  run_scenarios() fans the configs out over a bounded
+// thread pool and returns the results in input order; determinism is
+// preserved because each simulation owns all of its state (no globals,
+// per-scenario seeded RNGs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace lunule::sim {
+
+/// Runs every config (in parallel, up to `max_threads` at once; 0 = use
+/// the hardware concurrency) and returns results in input order.
+[[nodiscard]] std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioConfig>& configs, std::size_t max_threads = 0);
+
+}  // namespace lunule::sim

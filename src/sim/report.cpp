@@ -1,0 +1,98 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/assert.h"
+
+namespace lunule::sim {
+
+void print_series_bundle(std::ostream& os, const std::string& title,
+                         const SeriesBundle& bundle,
+                         const ReportOptions& opts) {
+  std::vector<std::string> headers{"t(min)"};
+  std::vector<std::vector<double>> columns;
+  const std::size_t length = bundle.length();
+  const std::size_t buckets = std::min(opts.buckets, std::max<std::size_t>(
+                                                         1, length));
+  for (std::size_t i = 0; i < bundle.count(); ++i) {
+    headers.push_back(bundle.at(i).name());
+    columns.push_back(bundle.at(i).resampled(buckets));
+  }
+  TablePrinter table(std::move(headers));
+  const double bucket_seconds =
+      static_cast<double>(length) / static_cast<double>(buckets) *
+      bundle.seconds_per_sample();
+  for (std::size_t b = 0; b < buckets; ++b) {
+    std::vector<std::string> row;
+    row.push_back(TablePrinter::fmt(
+        static_cast<double>(b + 1) * bucket_seconds / 60.0, 1));
+    for (const auto& col : columns) {
+      row.push_back(b < col.size() ? TablePrinter::fmt(col[b], 1)
+                                   : std::string("-"));
+    }
+    table.add_row(std::move(row));
+  }
+  if (opts.csv) {
+    table.print_csv(os);
+  } else {
+    table.print(os, title);
+  }
+}
+
+void print_series_columns(std::ostream& os, const std::string& title,
+                          const std::vector<const TimeSeries*>& series,
+                          const std::vector<std::string>& names,
+                          double seconds_per_sample,
+                          const ReportOptions& opts) {
+  LUNULE_CHECK(series.size() == names.size());
+  std::size_t length = 0;
+  for (const TimeSeries* s : series) length = std::max(length, s->size());
+  const std::size_t buckets =
+      std::min(opts.buckets, std::max<std::size_t>(1, length));
+
+  std::vector<std::string> headers{"t(min)"};
+  headers.insert(headers.end(), names.begin(), names.end());
+  TablePrinter table(std::move(headers));
+
+  std::vector<std::vector<double>> columns;
+  columns.reserve(series.size());
+  for (const TimeSeries* s : series) {
+    // Resample each series over its own duration so curves of different
+    // lengths (faster/slower runs) align by progress, like the paper's
+    // time-axis plots that simply end earlier for faster systems.
+    columns.push_back(s->resampled(buckets));
+  }
+  const double bucket_seconds = static_cast<double>(length) /
+                                static_cast<double>(buckets) *
+                                seconds_per_sample;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    std::vector<std::string> row;
+    row.push_back(TablePrinter::fmt(
+        static_cast<double>(b + 1) * bucket_seconds / 60.0, 1));
+    for (const auto& col : columns) {
+      row.push_back(b < col.size() ? TablePrinter::fmt(col[b], 3)
+                                   : std::string("-"));
+    }
+    table.add_row(std::move(row));
+  }
+  if (opts.csv) {
+    table.print_csv(os);
+  } else {
+    table.print(os, title);
+  }
+}
+
+void ShapeChecker::expect(bool ok, const std::string& what) {
+  checks_.emplace_back(ok, what);
+  if (!ok) ++failures_;
+}
+
+void ShapeChecker::print(std::ostream& os) const {
+  os << "[SHAPE-CHECK]\n";
+  for (const auto& [ok, what] : checks_) {
+    os << "  " << (ok ? "PASS" : "FAIL") << "  " << what << "\n";
+  }
+}
+
+}  // namespace lunule::sim

@@ -1,0 +1,51 @@
+// Report printing helpers shared by the bench binaries.
+//
+// Each bench regenerates one paper table/figure.  Time-series figures are
+// printed as bucket-resampled rows (one row per time bucket, one column per
+// series); summary tables print one row per experiment cell.  All printers
+// honour a --csv mode for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/time_series.h"
+
+namespace lunule::sim {
+
+struct ReportOptions {
+  bool csv = false;
+  std::size_t buckets = 12;  // time buckets for series tables
+};
+
+/// Prints a bundle of series sharing one time axis (e.g. one per MDS).
+void print_series_bundle(std::ostream& os, const std::string& title,
+                         const SeriesBundle& bundle,
+                         const ReportOptions& opts);
+
+/// Prints several independent single series side by side (e.g. the IF curve
+/// of each balancer).  Series may have different lengths; shorter ones are
+/// padded with blanks.
+void print_series_columns(std::ostream& os, const std::string& title,
+                          const std::vector<const TimeSeries*>& series,
+                          const std::vector<std::string>& names,
+                          double seconds_per_sample,
+                          const ReportOptions& opts);
+
+/// Emits a PASS/FAIL line for one qualitative shape check; the bench's exit
+/// status aggregates them.
+class ShapeChecker {
+ public:
+  void expect(bool ok, const std::string& what);
+  void print(std::ostream& os) const;
+  [[nodiscard]] bool all_ok() const { return failures_ == 0; }
+  [[nodiscard]] int exit_code() const { return failures_ == 0 ? 0 : 1; }
+
+ private:
+  std::vector<std::pair<bool, std::string>> checks_;
+  int failures_ = 0;
+};
+
+}  // namespace lunule::sim

@@ -1,0 +1,134 @@
+// Scenario construction: workload x balancer x cluster configurations.
+//
+// A ScenarioConfig describes one experiment cell of the paper's evaluation
+// matrix (which workload, which balancer, cluster size, client population,
+// scale).  make_scenario() builds the namespace with the Table 1 shape,
+// instantiates the clients with staggered start times and jittered issue
+// rates (real client fleets never start in lock-step), wires up the chosen
+// balancer, and returns a ready-to-run Simulation.
+//
+// The `scale` knob shrinks dataset sizes and request counts together so
+// benches can trade fidelity for runtime without distorting shapes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+#include "sim/simulation.h"
+
+namespace lunule::sim {
+
+enum class WorkloadKind { kCnn, kNlp, kWeb, kZipf, kMd, kMixed };
+enum class BalancerKind {
+  kVanilla,
+  kGreedySpill,
+  kLunule,
+  kLunuleLight,
+  kDirHash,
+  /// Generality extension (paper §3.4): static hash placement with
+  /// IF-model-driven shard re-pinning.
+  kLunuleHash,
+  kNone,
+};
+
+[[nodiscard]] std::string_view workload_name(WorkloadKind k);
+[[nodiscard]] std::string_view balancer_name(BalancerKind k);
+
+struct ScenarioConfig {
+  WorkloadKind workload = WorkloadKind::kZipf;
+  BalancerKind balancer = BalancerKind::kLunule;
+
+  std::size_t n_mds = 5;
+  std::size_t n_clients = 100;
+  /// Theoretical per-MDS capacity C (IOPS).
+  double mds_capacity_iops = 2500.0;
+  /// Per-client maximal metadata issue rate (ops/s), jittered per client.
+  double client_rate = 150.0;
+  double client_rate_jitter = 0.05;
+  /// Client start times spread uniformly over [0, start_spread) ticks.
+  /// The paper launches its 100 clients simultaneously; a small spread
+  /// models fleet-launch skew.
+  Tick client_start_spread = 8;
+
+  /// Dataset / request-count scale multiplier (1.0 = bench default, which
+  /// is already reduced relative to the paper's full datasets).
+  double scale = 1.0;
+
+  Tick max_ticks = 2400;
+  int epoch_ticks = 10;
+  bool stop_when_done = true;
+
+  bool data_enabled = false;
+  /// Aggregate OSD capacity (data ops/s) when the data path is enabled.
+  double data_capacity = 60000.0;
+
+  /// Pattern Analyzer's sibling-correlation credit probability (0 disables
+  /// the spatial-locality signal — ablation studies).
+  double sibling_credit_prob = 0.3;
+
+  /// Hot-dirfrag read replication threshold (IOPS); 0 disables it (the
+  /// default, matching the paper's evaluation).
+  double replicate_threshold_iops = 0.0;
+
+  std::uint64_t seed = 42;
+};
+
+/// The cluster parameters a scenario config resolves to (capacity,
+/// epoch length, migration calibration).  Exposed so callers can derive
+/// custom balancer parameters (e.g. LunuleParams::for_cluster) that stay
+/// consistent with the scenario.
+[[nodiscard]] mds::ClusterParams cluster_params_for(
+    const ScenarioConfig& cfg);
+
+/// Builds a balancer instance for a given kind and cluster configuration.
+[[nodiscard]] std::unique_ptr<balancer::Balancer> make_balancer(
+    BalancerKind kind, const mds::ClusterParams& cluster_params);
+
+/// Builds the complete simulation for one experiment cell.
+[[nodiscard]] std::unique_ptr<Simulation> make_scenario(
+    const ScenarioConfig& cfg);
+
+/// Same, but with a caller-supplied balancer (ablation studies, custom
+/// policies); cfg.balancer is ignored.
+[[nodiscard]] std::unique_ptr<Simulation> make_scenario_with_balancer(
+    const ScenarioConfig& cfg,
+    std::unique_ptr<balancer::Balancer> balancer);
+
+// -- Batch runner used by the figure benches --------------------------------
+
+struct ScenarioResult {
+  std::string workload;
+  std::string balancer;
+  SeriesBundle per_mds_iops;
+  TimeSeries if_series;
+  TimeSeries aggregate_iops;
+  TimeSeries migrated_inodes;
+  std::vector<std::uint64_t> total_served_per_mds;
+  std::vector<double> jct_seconds;  // completed clients only
+  /// Per-operation completion latency (ticks), merged over all clients.
+  Histogram op_latency;
+  /// Mean stall fraction over all clients (share of active time blocked).
+  double mean_stall_fraction = 0.0;
+  /// Fraction of audited migrations whose subtree was used at its new home
+  /// (1.0 when nothing was audited); low values reproduce the paper's
+  /// "never visited after migration" finding.
+  double valid_migration_fraction = 1.0;
+  std::uint64_t migrations_audited = 0;
+  std::uint64_t wasted_migration_inodes = 0;
+  std::uint64_t total_served = 0;
+  std::uint64_t total_forwards = 0;
+  std::uint64_t migrated_total = 0;
+  std::uint64_t migrations_completed = 0;
+  std::size_t clients_done = 0;
+  std::size_t n_clients = 0;
+  Tick end_tick = 0;
+  double mean_if = 0.0;
+  double peak_aggregate_iops = 0.0;
+};
+
+/// Runs a scenario to completion and extracts the reporting summary.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+}  // namespace lunule::sim

@@ -1,0 +1,92 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lunule::sim {
+
+Simulation::Simulation(std::unique_ptr<fs::NamespaceTree> tree,
+                       std::unique_ptr<mds::MdsCluster> cluster,
+                       std::unique_ptr<mds::DataPath> data,
+                       std::unique_ptr<balancer::Balancer> balancer,
+                       Options options, core::IfParams if_params)
+    : tree_(std::move(tree)),
+      cluster_(std::move(cluster)),
+      data_(std::move(data)),
+      balancer_(std::move(balancer)),
+      options_(options),
+      metrics_(static_cast<double>(options.epoch_ticks), if_params) {
+  LUNULE_CHECK(tree_ != nullptr);
+  LUNULE_CHECK(cluster_ != nullptr);
+  LUNULE_CHECK(balancer_ != nullptr);
+  LUNULE_CHECK(options_.epoch_ticks >= 1);
+}
+
+void Simulation::add_client(std::unique_ptr<workloads::Client> client) {
+  clients_.push_back(std::move(client));
+}
+
+void Simulation::schedule(Tick t, std::function<void(Simulation&)> fn) {
+  events_.emplace(t, std::move(fn));
+}
+
+std::size_t Simulation::clients_done() const {
+  return static_cast<std::size_t>(std::count_if(
+      clients_.begin(), clients_.end(),
+      [](const std::unique_ptr<workloads::Client>& c) { return c->done(); }));
+}
+
+std::vector<double> Simulation::job_completion_seconds() const {
+  std::vector<double> out;
+  for (const auto& c : clients_) {
+    if (c->done()) out.push_back(static_cast<double>(c->completion_tick()));
+  }
+  return out;
+}
+
+void Simulation::run() {
+  balancer_->setup(*cluster_);
+  for (now_ = 0; now_ < options_.max_ticks; ++now_) {
+    // Fire events scheduled for this tick.
+    auto range = events_.equal_range(now_);
+    for (auto it = range.first; it != range.second; ++it) {
+      it->second(*this);
+    }
+    events_.erase(range.first, range.second);
+
+    cluster_->begin_tick(now_);
+    if (data_) data_->begin_tick();
+
+    // Rotate the service order so early clients do not permanently win
+    // the race for the bottleneck MDS's capacity.
+    const std::size_t n = clients_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = (k + static_cast<std::size_t>(now_)) % n;
+      clients_[idx]->run_tick(*cluster_, data_.get(), now_);
+    }
+    cluster_->end_tick();
+
+    if ((now_ + 1) % options_.epoch_ticks == 0) {
+      const std::vector<Load> loads = cluster_->close_epoch();
+      metrics_.on_epoch(*cluster_, loads);
+      balancer_->on_epoch(*cluster_, loads);
+      if (options_.stop_on_memory_limit &&
+          mds::memory_census(*tree_, cluster_->size(), options_.memory)
+              .over_limit) {
+        stopped_on_memory_ = true;
+        ++now_;
+        break;
+      }
+    }
+
+    if (options_.stop_when_done && events_.empty() &&
+        clients_done() == clients_.size()) {
+      ++now_;
+      break;
+    }
+  }
+  end_tick_ = now_;
+}
+
+}  // namespace lunule::sim

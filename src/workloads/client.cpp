@@ -1,0 +1,128 @@
+#include "workloads/client.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lunule::workloads {
+
+Client::Client(std::uint32_t id, ClientParams params,
+               std::unique_ptr<WorkloadProgram> program)
+    : id_(id), params_(params), program_(std::move(program)) {
+  LUNULE_CHECK(program_ != nullptr);
+  LUNULE_CHECK(params_.max_ops_per_tick > 0.0);
+}
+
+MdsId Client::resolve_with_forwards(mds::MdsCluster& cluster, const Op& op,
+                                    Tick now) {
+  const fs::NamespaceTree& tree = cluster.tree();
+  if (auth_cache_.size() < tree.dir_count()) {
+    auth_cache_.resize(tree.dir_count(), kNoMds);
+    lease_until_.resize(tree.dir_count(), -1);
+  }
+  MdsId target;
+  if (op.kind == OpKind::kCreate) {
+    const fs::Directory& dir = tree.dir(op.dir);
+    const FileIndex idx = dir.file_count();
+    const MdsId pin = dir.frag(dir.frag_of(idx)).auth_pin;
+    target = pin != kNoMds ? pin : tree.auth_of(op.dir);
+  } else {
+    target = tree.auth_of_file(op.dir, op.file);
+  }
+  // The cache is validated at directory level: after one traversal the
+  // client knows the directory's dirfrag->MDS map (like a CephFS client
+  // holding the dirfrag tree), so per-frag routing does not re-traverse.
+  const MdsId dir_auth = tree.auth_of(op.dir);
+  if (auth_cache_[op.dir] == dir_auth && now < lease_until_[op.dir]) {
+    return target;
+  }
+  const std::uint64_t before = forwards_;
+
+  // Cache miss or stale entry: the request traverses the path from the
+  // root, bouncing once per authority boundary crossed.
+  MdsId prev = tree.auth_of(tree.root());
+  // Collect the root path (depths are small: <= 4 in all our namespaces).
+  DirId chain[16];
+  int depth = 0;
+  for (DirId d = op.dir; d != tree.root(); d = tree.dir(d).parent()) {
+    LUNULE_CHECK(depth < 16);
+    chain[depth++] = d;
+  }
+  for (int i = depth - 1; i >= 0; --i) {
+    const MdsId a = tree.auth_of(chain[i]);
+    if (a != prev) {
+      ++forwards_;
+      cluster.charge_forward(prev);  // the redirecting MDS does the bounce
+      prev = a;
+    }
+  }
+  if (target != prev) {
+    // One extra hop when the file's dirfrag is pinned away from its dir.
+    ++forwards_;
+    cluster.charge_forward(prev);
+  }
+  auth_cache_[op.dir] = dir_auth;
+  lease_until_[op.dir] = now + params_.lease_ticks;
+  // Each redirect costs the client a round trip: it consumes issue budget
+  // just like an operation would (closed loop — forwards slow the client
+  // down, which is how Dir-Hash's locality destruction hurts end-to-end
+  // throughput in the paper).
+  budget_ -= static_cast<double>(forwards_ - before);
+  return target;
+}
+
+std::uint32_t Client::run_tick(mds::MdsCluster& cluster, mds::DataPath* data,
+                               Tick now) {
+  if (done_ || now < params_.start_tick) return 0;
+  started_ = true;
+  ++active_;
+
+  budget_ = std::min(budget_ + params_.max_ops_per_tick,
+                     2.0 * params_.max_ops_per_tick);
+  std::uint32_t served = 0;
+  while (budget_ >= 1.0) {
+    if (pending_data_) {
+      LUNULE_CHECK(data != nullptr);
+      if (!data->try_serve()) break;  // data path saturated: stall
+      pending_data_ = false;
+      ++data_ops_;
+      budget_ -= 1.0;
+      continue;
+    }
+    if (!have_op_) {
+      if (!program_->next(op_)) {
+        done_ = true;
+        completion_tick_ = now;
+        break;
+      }
+      have_op_ = true;
+    }
+    if (op_first_attempt_ < 0) op_first_attempt_ = now;
+    resolve_with_forwards(cluster, op_, now);
+    const mds::ServeResult res =
+        op_.kind == OpKind::kCreate ? cluster.try_create(op_.dir)
+                                    : cluster.try_serve(op_.dir, op_.file);
+    if (res != mds::ServeResult::kServed) break;  // head-of-line blocking
+    budget_ -= 1.0;
+    ++meta_ops_;
+    ++served;
+    latency_.add(static_cast<double>(now - op_first_attempt_ + 1));
+    op_first_attempt_ = -1;
+    const bool had_data = op_.has_data && data != nullptr;
+    if (had_data) pending_data_ = true;
+    // Fetch the next operation eagerly so job completion is recorded at
+    // the tick the last operation was served, not one tick later.
+    if (!program_->next(op_)) {
+      have_op_ = false;
+      if (!pending_data_) {
+        done_ = true;
+        completion_tick_ = now;
+        break;
+      }
+    }
+  }
+  if (served == 0 && !done_) ++stalled_;
+  return served;
+}
+
+}  // namespace lunule::workloads

@@ -1,0 +1,108 @@
+// Closed-loop client emulator.
+//
+// A client replays its workload program against the MDS cluster with a
+// bounded issue rate and head-of-line blocking: when the authoritative MDS
+// of its next operation is saturated (or the target subtree is frozen by a
+// migration), the client stalls for the rest of the tick.  This closed loop
+// is what couples aggregate throughput to load balance — a cluster whose
+// load sits on one MDS serves at most one MDS's capacity, however many
+// clients are running (the behaviour all of the paper's figures measure).
+//
+// The client also maintains a per-directory location cache mirroring the
+// CephFS client's knowledge of subtree bounds: when the cached authority of
+// a path is stale or unknown, the request is *forwarded* along the path's
+// authority chain (each crossing charges a redirect to the MDS it bounces
+// off), reproducing the forwarding overhead that penalizes the Dir-Hash
+// baseline (Section 4.6, Figure 14).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "mds/cluster.h"
+#include "mds/data_path.h"
+#include "workloads/workload.h"
+
+namespace lunule::workloads {
+
+struct ClientParams {
+  /// Maximal metadata operations issued per simulated second.
+  double max_ops_per_tick = 150.0;
+  /// First tick at which this client starts issuing.
+  Tick start_tick = 0;
+  /// Dentry-lease lifetime: cached subtree locations expire after this
+  /// many seconds and the next access re-traverses the path (CephFS client
+  /// leases default to tens of seconds).
+  Tick lease_ticks = 30;
+};
+
+class Client {
+ public:
+  Client(std::uint32_t id, ClientParams params,
+         std::unique_ptr<WorkloadProgram> program);
+
+  /// Runs one simulation tick; returns the metadata ops served.
+  std::uint32_t run_tick(mds::MdsCluster& cluster, mds::DataPath* data,
+                         Tick now);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool started() const { return started_; }
+  /// Tick at which the job finished (valid once done()).
+  [[nodiscard]] Tick completion_tick() const { return completion_tick_; }
+  [[nodiscard]] std::uint64_t meta_ops_completed() const { return meta_ops_; }
+  [[nodiscard]] std::uint64_t data_ops_completed() const { return data_ops_; }
+  [[nodiscard]] std::uint64_t forwards() const { return forwards_; }
+  /// Ticks in which the client wanted to issue but served nothing —
+  /// head-of-line blocked on a saturated/frozen MDS or a full data path.
+  [[nodiscard]] std::uint64_t stalled_ticks() const { return stalled_; }
+  /// Ticks in which the client was active (started and not yet done).
+  [[nodiscard]] std::uint64_t active_ticks() const { return active_; }
+  /// Fraction of active time spent fully stalled.
+  [[nodiscard]] double stall_fraction() const {
+    return active_ == 0 ? 0.0
+                        : static_cast<double>(stalled_) /
+                              static_cast<double>(active_);
+  }
+  /// Distribution of per-operation completion latency in ticks (1 = served
+  /// in the tick it was issued; higher values count head-of-line blocking
+  /// on saturated or frozen MDSs).
+  [[nodiscard]] const Histogram& op_latency() const { return latency_; }
+  [[nodiscard]] const ClientParams& params() const { return params_; }
+
+ private:
+  /// Resolves the op's authoritative MDS, counting and charging forwards
+  /// when this client's location cache is stale along the path.
+  MdsId resolve_with_forwards(mds::MdsCluster& cluster, const Op& op,
+                              Tick now);
+
+  std::uint32_t id_;
+  ClientParams params_;
+  std::unique_ptr<WorkloadProgram> program_;
+
+  double budget_ = 0.0;
+  bool started_ = false;
+  bool done_ = false;
+  Tick completion_tick_ = -1;
+  std::uint64_t meta_ops_ = 0;
+  std::uint64_t data_ops_ = 0;
+  std::uint64_t forwards_ = 0;
+  std::uint64_t stalled_ = 0;
+  std::uint64_t active_ = 0;
+
+  bool have_op_ = false;
+  Op op_{};
+  bool pending_data_ = false;
+  Tick op_first_attempt_ = -1;
+  Histogram latency_;
+
+  // Location cache: last known authority per directory (kNoMds = unknown)
+  // plus the tick the lease on that knowledge expires.
+  std::vector<MdsId> auth_cache_;
+  std::vector<Tick> lease_until_;
+};
+
+}  // namespace lunule::workloads

@@ -1,0 +1,43 @@
+// MDtest create program ("MD" of Table 1).
+//
+// Each client operates on its own initially empty directory and keeps
+// creating empty files into it — a write-only, 100%-metadata workload used
+// by many metadata studies.  The per-directory load is a stable create
+// stream, and the directories grow without bound (the paper's runs ended
+// after ~15 minutes when the MDSs ran out of memory).
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace lunule::workloads {
+
+class MdtestCreateProgram final : public WorkloadProgram {
+ public:
+  /// dir: the client's private (empty) directory; creates: files to create
+  /// before the job completes (0 = run until the simulation ends).
+  MdtestCreateProgram(DirId dir, std::uint64_t creates)
+      : dir_(dir), remaining_(creates), open_ended_(creates == 0) {}
+
+  bool next(Op& out) override {
+    if (!open_ended_) {
+      if (remaining_ == 0) return false;
+      --remaining_;
+    }
+    out.dir = dir_;
+    out.file = 0;  // the MDS assigns the dentry slot on create
+    out.kind = OpKind::kCreate;
+    out.has_data = false;  // 100% metadata
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t planned_meta_ops() const override {
+    return open_ended_ ? 0 : remaining_;
+  }
+
+ private:
+  DirId dir_;
+  std::uint64_t remaining_;
+  bool open_ended_;
+};
+
+}  // namespace lunule::workloads

@@ -1,0 +1,47 @@
+#include "workloads/scan.h"
+
+#include "common/assert.h"
+
+namespace lunule::workloads {
+
+ScanProgram::ScanProgram(std::vector<DirId> dirs,
+                         std::vector<std::uint32_t> files_per_dir,
+                         double meta_ratio)
+    : dirs_(std::move(dirs)),
+      files_per_dir_(std::move(files_per_dir)),
+      // Ratios >= 0.999 mean "pure metadata": one op per file, no data
+      // phase (avoids a degenerate ~1e9 ops/file pacing rate).
+      pacer_(meta_ratio < 0.999 ? meta_ops_for_ratio(meta_ratio) : 1.0,
+             /*with_data=*/meta_ratio < 0.999) {
+  LUNULE_CHECK(dirs_.size() == files_per_dir_.size());
+  // Planned op count uses the long-run average (exact up to rounding).
+  double planned = 0.0;
+  for (const std::uint32_t n : files_per_dir_) {
+    planned += static_cast<double>(n) * pacer_.meta_ops_per_file();
+  }
+  planned_ = static_cast<std::uint64_t>(planned);
+}
+
+bool ScanProgram::next(Op& out) {
+  while (meta_left_ == 0) {
+    // Advance to the next file (skipping exhausted directories).
+    if (dir_pos_ >= dirs_.size()) return false;
+    if (file_pos_ >= files_per_dir_[dir_pos_]) {
+      ++dir_pos_;
+      file_pos_ = 0;
+      continue;
+    }
+    meta_left_ = pacer_.begin_file();
+    break;
+  }
+  if (dir_pos_ >= dirs_.size()) return false;
+  out.dir = dirs_[dir_pos_];
+  out.file = file_pos_;
+  out.kind = OpKind::kLookup;
+  --meta_left_;
+  out.has_data = pacer_.with_data() && meta_left_ == 0;
+  if (meta_left_ == 0) ++file_pos_;
+  return true;
+}
+
+}  // namespace lunule::workloads

@@ -1,0 +1,41 @@
+// Whole-dataset scan program — the access pattern of the CNN image
+// preprocessing and NLP training workloads (Table 1).
+//
+// The client walks a list of directories in a fixed order and touches every
+// file of each directory exactly once.  No file is ever re-visited, which
+// is precisely the pattern that invalidates heat-based candidate selection
+// (Section 2.2, inefficiency #3): by the time a subtree is "hot" its load
+// is already gone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace lunule::workloads {
+
+class ScanProgram final : public WorkloadProgram {
+ public:
+  /// dirs: directories to scan, in order; files_per_dir[i] files each.
+  /// meta_ratio: Table 1 metadata-operation ratio of the workload.
+  ScanProgram(std::vector<DirId> dirs, std::vector<std::uint32_t> files_per_dir,
+              double meta_ratio);
+
+  bool next(Op& out) override;
+  [[nodiscard]] std::uint64_t planned_meta_ops() const override {
+    return planned_;
+  }
+
+ private:
+  std::vector<DirId> dirs_;
+  std::vector<std::uint32_t> files_per_dir_;
+  MetaOpPacer pacer_;
+  std::uint64_t planned_ = 0;
+
+  std::size_t dir_pos_ = 0;
+  FileIndex file_pos_ = 0;
+  std::uint32_t meta_left_ = 0;  // remaining meta ops for the current file
+};
+
+}  // namespace lunule::workloads

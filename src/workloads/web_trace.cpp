@@ -1,0 +1,74 @@
+#include "workloads/web_trace.h"
+
+#include "common/assert.h"
+
+namespace lunule::workloads {
+
+WebTrace::WebTrace(std::vector<DirId> leaf_dirs, std::uint32_t files_per_dir,
+                   std::uint64_t length, double zipf_exponent, Rng rng) {
+  LUNULE_CHECK(!leaf_dirs.empty());
+  LUNULE_CHECK(files_per_dir > 0);
+  universe_ = static_cast<std::uint64_t>(leaf_dirs.size()) * files_per_dir;
+
+  // Two-level popularity, like real web-server logs: directories (site
+  // sections) follow their own Zipf law, and files within a directory
+  // follow another.  This gives the trace both the per-file temporal
+  // locality and the *section-level* spatial skew that a static hash
+  // partitioning cannot adapt to (Section 4.6 of the paper).
+  const ZipfSampler dir_zipf(leaf_dirs.size(), 1.1);
+  const ZipfSampler file_zipf(files_per_dir, zipf_exponent);
+  // Scatter the directory popularity ranks over the tree so hot sections
+  // are not simply the first ones created.
+  std::vector<DirId> by_rank = leaf_dirs;
+  rng.shuffle(std::span<DirId>(by_rank));
+  records_.reserve(length);
+  for (std::uint64_t i = 0; i < length; ++i) {
+    const std::uint64_t dir_rank = dir_zipf.sample(rng);
+    const std::uint64_t file_rank = file_zipf.sample(rng);
+    records_.push_back(TraceRecord{
+        .dir = by_rank[dir_rank],
+        .file = static_cast<FileIndex>(mix64(file_rank) % files_per_dir)});
+  }
+}
+
+WebTrace WebTrace::from_records(std::vector<TraceRecord> records,
+                                std::uint64_t universe_files) {
+  WebTrace trace;
+  trace.records_ = std::move(records);
+  trace.universe_ = universe_files;
+  return trace;
+}
+
+WebReplayProgram::WebReplayProgram(std::shared_ptr<const WebTrace> trace,
+                                   std::uint64_t offset,
+                                   std::uint64_t requests, double meta_ratio)
+    : trace_(std::move(trace)),
+      pos_(offset),
+      remaining_files_(requests),
+      pacer_(meta_ops_for_ratio(meta_ratio), /*with_data=*/true) {
+  LUNULE_CHECK(trace_ != nullptr && !trace_->records().empty());
+}
+
+std::uint64_t WebReplayProgram::planned_meta_ops() const {
+  return static_cast<std::uint64_t>(static_cast<double>(remaining_files_) *
+                                    pacer_.meta_ops_per_file());
+}
+
+bool WebReplayProgram::next(Op& out) {
+  if (meta_left_ == 0) {
+    if (remaining_files_ == 0) return false;
+    --remaining_files_;
+    const auto& recs = trace_->records();
+    current_ = recs[pos_ % recs.size()];
+    ++pos_;
+    meta_left_ = pacer_.begin_file();
+  }
+  out.dir = current_.dir;
+  out.file = current_.file;
+  out.kind = OpKind::kLookup;
+  --meta_left_;
+  out.has_data = meta_left_ == 0;
+  return true;
+}
+
+}  // namespace lunule::workloads

@@ -1,0 +1,74 @@
+// Web-trace generation and replay (the "Web" workload of Table 1).
+//
+// The paper replays an Apache access log gathered at Florida State
+// University (302K files, 8.06M HTTP requests), with every client fetching
+// files in trace order.  The trace itself is not redistributable, so we
+// generate a synthetic equivalent preserving the property the balancer
+// cares about: strong *temporal* locality — file popularity follows a Zipf
+// law, and popular files recur throughout the trace.  Clients replay the
+// shared trace in order from per-client offsets, like the paper's clients.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "workloads/workload.h"
+
+namespace lunule::workloads {
+
+/// One trace record: a file reference.
+struct TraceRecord {
+  DirId dir = kNoDir;
+  FileIndex file = 0;
+};
+
+/// A shared synthetic web trace: Zipf-popular file references.
+class WebTrace {
+ public:
+  /// leaf_dirs: document-tree leaf directories; files_per_dir: uniform
+  /// population per leaf; length: number of requests in the trace.
+  /// Popularity ranks are scattered over the tree (a popular page may live
+  /// anywhere), matching real web namespaces.
+  WebTrace(std::vector<DirId> leaf_dirs, std::uint32_t files_per_dir,
+           std::uint64_t length, double zipf_exponent, Rng rng);
+
+  /// Wraps an externally obtained record sequence (e.g. a parsed Apache
+  /// log) in a replayable trace.
+  [[nodiscard]] static WebTrace from_records(
+      std::vector<TraceRecord> records, std::uint64_t universe_files);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t universe_files() const { return universe_; }
+
+ private:
+  WebTrace() = default;
+  std::vector<TraceRecord> records_;
+  std::uint64_t universe_ = 0;
+};
+
+/// Replays the shared trace in order, starting at `offset`, for
+/// `requests` requests (wrapping around).
+class WebReplayProgram final : public WorkloadProgram {
+ public:
+  WebReplayProgram(std::shared_ptr<const WebTrace> trace,
+                   std::uint64_t offset, std::uint64_t requests,
+                   double meta_ratio);
+
+  bool next(Op& out) override;
+  [[nodiscard]] std::uint64_t planned_meta_ops() const override;
+
+ private:
+  std::shared_ptr<const WebTrace> trace_;
+  std::uint64_t pos_;
+  std::uint64_t remaining_files_;
+  MetaOpPacer pacer_;
+  std::uint32_t meta_left_ = 0;
+  TraceRecord current_{};
+};
+
+}  // namespace lunule::workloads

@@ -1,0 +1,77 @@
+// Workload programs: per-client metadata operation generators.
+//
+// A WorkloadProgram is a deterministic stream of operations replayed by one
+// closed-loop client.  Each operation targets one file of one directory and
+// is either a lookup-style metadata access or a create; an operation may
+// additionally carry a data phase, which only matters when the scenario
+// enables the data path (Figures 8, 10, 11).
+//
+// The per-workload ratio of metadata operations to data operations follows
+// Table 1 of the paper (CNN 78.1%, NLP 92.8%, Web 57.2%, Zipf 50.0%,
+// MDtest 100%): a program emits `meta_ops_per_file` metadata operations per
+// file touched, the last of which carries the file's single data phase.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace lunule::workloads {
+
+enum class OpKind : std::uint8_t {
+  kLookup,  // metadata read (lookup/getattr/open/readdir position)
+  kCreate,  // metadata write creating a new file
+};
+
+struct Op {
+  DirId dir = kNoDir;
+  FileIndex file = 0;  // ignored for kCreate (the MDS assigns the slot)
+  OpKind kind = OpKind::kLookup;
+  bool has_data = false;  // a data phase follows this metadata op
+};
+
+class WorkloadProgram {
+ public:
+  virtual ~WorkloadProgram() = default;
+
+  /// Produces the next operation.  Returns false when the program (job)
+  /// has finished; `out` is untouched in that case.
+  virtual bool next(Op& out) = 0;
+
+  /// Total metadata operations this program will emit (0 if open-ended).
+  [[nodiscard]] virtual std::uint64_t planned_meta_ops() const { return 0; }
+};
+
+/// Emits fractional meta-ops-per-file deterministically: e.g. 3.57 yields
+/// mostly 4-op files interleaved with 3-op files so the long-run average
+/// matches.  The final op of each file carries the data phase.
+class MetaOpPacer {
+ public:
+  explicit MetaOpPacer(double meta_ops_per_file, bool with_data)
+      : per_file_(meta_ops_per_file), with_data_(with_data) {}
+
+  /// Starts pacing a new file; returns the number of meta ops to emit.
+  std::uint32_t begin_file() {
+    carry_ += per_file_;
+    const auto n = static_cast<std::uint32_t>(carry_);
+    carry_ -= static_cast<double>(n);
+    return n > 0 ? n : 1;
+  }
+
+  [[nodiscard]] bool with_data() const { return with_data_; }
+  [[nodiscard]] double meta_ops_per_file() const { return per_file_; }
+
+ private:
+  double per_file_;
+  bool with_data_;
+  double carry_ = 0.0;
+};
+
+/// meta_ops_per_file value reproducing a Table 1 metadata-operation ratio
+/// under the 1-data-op-per-file model: ratio = m / (m + 1).
+[[nodiscard]] constexpr double meta_ops_for_ratio(double meta_ratio) {
+  return meta_ratio / (1.0 - meta_ratio);
+}
+
+}  // namespace lunule::workloads

@@ -1,0 +1,118 @@
+// Tests for per-access statistics recording and epoch roll-over.
+#include "mds/access_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "fs/builder.h"
+
+namespace lunule::mds {
+namespace {
+
+class AccessRecorderTest : public ::testing::Test {
+ protected:
+  AccessRecorderTest() {
+    dirs = fs::build_private_dirs(tree, "w", 4, 32);
+  }
+
+  RecorderParams params_with(double sibling_prob) {
+    RecorderParams p;
+    p.sibling_credit_prob = sibling_prob;
+    return p;
+  }
+
+  fs::NamespaceTree tree;
+  std::vector<DirId> dirs;
+};
+
+TEST_F(AccessRecorderTest, FirstAndRecurrentClassification) {
+  AccessRecorder rec(tree, params_with(0.0), Rng(1));
+  const AccessOutcome first = rec.record(dirs[0], 3, /*epoch=*/0);
+  EXPECT_TRUE(first.first_visit);
+  EXPECT_FALSE(first.recurrent);
+  const AccessOutcome again = rec.record(dirs[0], 3, /*epoch=*/1);
+  EXPECT_FALSE(again.first_visit);
+  EXPECT_TRUE(again.recurrent);
+  // Far outside the recurrence window: neither first nor recurrent.
+  const AccessOutcome later = rec.record(dirs[0], 3, /*epoch=*/100);
+  EXPECT_FALSE(later.first_visit);
+  EXPECT_FALSE(later.recurrent);
+}
+
+TEST_F(AccessRecorderTest, FragCountersAccumulate) {
+  AccessRecorder rec(tree, params_with(0.0), Rng(1));
+  rec.record(dirs[0], 0, 0);
+  rec.record(dirs[0], 0, 0);
+  rec.record(dirs[0], 1, 0);
+  const fs::FragStats& f = tree.dir(dirs[0]).frag(0);
+  EXPECT_EQ(f.visits_epoch, 3u);
+  EXPECT_EQ(f.file_visits_epoch, 2u);  // same-epoch re-op is not a visit
+  EXPECT_EQ(f.first_visits_epoch, 2u);
+  EXPECT_EQ(f.recurrent_epoch, 0u);  // recurrence needs a later epoch
+  EXPECT_EQ(f.visited_files, 2u);
+  EXPECT_EQ(f.unvisited_files(), 30u);
+  EXPECT_DOUBLE_EQ(f.heat, 3.0);
+}
+
+TEST_F(AccessRecorderTest, CloseEpochRollsWindowsAndDecaysHeat) {
+  RecorderParams p = params_with(0.0);
+  p.heat_decay = 0.5;
+  AccessRecorder rec(tree, p, Rng(1));
+  rec.record(dirs[0], 0, 0);
+  rec.record(dirs[0], 1, 0);
+  rec.close_epoch();
+  const fs::FragStats& f = tree.dir(dirs[0]).frag(0);
+  EXPECT_EQ(f.visits_epoch, 0u);
+  EXPECT_EQ(f.visits_window.at(0), 2u);
+  EXPECT_EQ(f.first_visits_window.at(0), 2u);
+  EXPECT_DOUBLE_EQ(f.heat, 1.0);  // 2 * 0.5
+}
+
+TEST_F(AccessRecorderTest, ActiveSetShrinksWhenStatsAge) {
+  RecorderParams p = params_with(0.0);
+  p.heat_decay = 0.1;  // ages out fast
+  AccessRecorder rec(tree, p, Rng(1));
+  rec.record(dirs[0], 0, 0);
+  EXPECT_EQ(rec.active_dirs().size(), 1u);
+  // After enough idle epochs both heat and the windows drain to zero.
+  for (int e = 0; e < 10; ++e) rec.close_epoch();
+  EXPECT_TRUE(rec.active_dirs().empty());
+}
+
+TEST_F(AccessRecorderTest, SiblingCreditFlowsToSiblings) {
+  AccessRecorder rec(tree, params_with(1.0), Rng(2));
+  // Every first visit must credit exactly one sibling.
+  for (FileIndex i = 0; i < 10; ++i) rec.record(dirs[0], i, 0);
+  double credits = 0.0;
+  for (std::size_t d = 0; d < dirs.size(); ++d) {
+    credits += tree.dir(dirs[d]).frag(0).sibling_credit_epoch;
+    // The visited dir must never credit itself.
+    if (d == 0) {
+      EXPECT_DOUBLE_EQ(tree.dir(dirs[0]).frag(0).sibling_credit_epoch, 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(credits, 10.0);
+}
+
+TEST_F(AccessRecorderTest, SiblingCreditRespectsProbability) {
+  AccessRecorder rec(tree, params_with(0.25), Rng(3));
+  for (FileIndex i = 0; i < 32; ++i) rec.record(dirs[1], i, 0);
+  double credits = 0.0;
+  for (const DirId d : dirs) {
+    credits += tree.dir(d).frag(0).sibling_credit_epoch;
+  }
+  EXPECT_GT(credits, 1.0);
+  EXPECT_LT(credits, 17.0);  // ~8 expected at p=0.25
+}
+
+TEST_F(AccessRecorderTest, CreatesAreFirstVisits) {
+  AccessRecorder rec(tree, params_with(0.0), Rng(4));
+  const FileIndex idx = tree.create_file(dirs[2]);
+  rec.record_create(dirs[2], idx, 5);
+  const fs::FragStats& f = tree.dir(dirs[2]).frag(0);
+  EXPECT_EQ(f.first_visits_epoch, 1u);
+  EXPECT_EQ(f.visits_epoch, 1u);
+  EXPECT_TRUE(tree.dir(dirs[2]).file(idx).visited());
+}
+
+}  // namespace
+}  // namespace lunule::mds

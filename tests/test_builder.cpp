@@ -1,0 +1,62 @@
+// Tests for the synthetic namespace builders (Table 1 shapes).
+#include "fs/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace lunule::fs {
+namespace {
+
+TEST(Builder, ImagenetLikeShape) {
+  NamespaceTree tree;
+  const auto dirs = build_imagenet_like(tree, "cnn", 10, 128);
+  ASSERT_EQ(dirs.size(), 10u);
+  for (const DirId d : dirs) {
+    EXPECT_EQ(tree.dir(d).file_count(), 128u);
+    EXPECT_EQ(tree.depth_of(d), 2u);
+  }
+  // root + /cnn + 10 dirs + 1280 files.
+  EXPECT_EQ(tree.total_inodes(), 1u + 1 + 10 + 1280);
+  EXPECT_EQ(tree.path_of(dirs[0]), "/cnn/class0");
+}
+
+TEST(Builder, CorpusLikeShape) {
+  NamespaceTree tree;
+  const auto dirs = build_corpus_like(tree, "nlp", 14, 100);
+  ASSERT_EQ(dirs.size(), 14u);
+  EXPECT_EQ(tree.path_of(dirs[13]), "/nlp/topic13");
+  EXPECT_EQ(tree.total_inodes(), 1u + 1 + 14 + 14 * 100);
+}
+
+TEST(Builder, WebTreeShape) {
+  NamespaceTree tree;
+  const auto layout = build_web_tree(tree, "web", 4, 5, 20);
+  EXPECT_EQ(layout.leaf_dirs.size(), 20u);
+  EXPECT_EQ(layout.total_files, 400u);
+  for (const DirId d : layout.leaf_dirs) {
+    EXPECT_EQ(tree.depth_of(d), 3u);  // /web/sectionX/dirY
+  }
+  EXPECT_EQ(tree.total_inodes(), 1u + 1 + 4 + 20 + 400);
+}
+
+TEST(Builder, PrivateDirsEmptyOrPopulated) {
+  NamespaceTree tree;
+  const auto md = build_private_dirs(tree, "md", 5, 0);
+  ASSERT_EQ(md.size(), 5u);
+  EXPECT_EQ(tree.dir(md[0]).file_count(), 0u);
+  const auto zipf = build_private_dirs(tree, "zipf", 3, 50);
+  EXPECT_EQ(tree.dir(zipf[2]).file_count(), 50u);
+  EXPECT_EQ(tree.path_of(zipf[0]), "/zipf/client0");
+}
+
+TEST(Builder, MixtureCoexists) {
+  NamespaceTree tree;
+  build_imagenet_like(tree, "cnn", 3, 10);
+  build_corpus_like(tree, "nlp", 2, 10);
+  build_web_tree(tree, "web", 1, 2, 10);
+  build_private_dirs(tree, "zipf", 2, 10);
+  // Everything hangs off distinct mount points under "/".
+  EXPECT_EQ(tree.dir(tree.root()).children().size(), 4u);
+}
+
+}  // namespace
+}  // namespace lunule::fs

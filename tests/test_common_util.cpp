@@ -1,0 +1,119 @@
+// Tests for ring buffer, time series, table printer, and flags.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/ring_buffer.h"
+#include "common/table.h"
+#include "common/time_series.h"
+
+namespace lunule {
+namespace {
+
+TEST(RingBuffer, FillsThenEvictsOldest) {
+  RingBuffer<int, 3> rb;
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.window_sum(), 6);
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.window_sum(), 9);
+  EXPECT_EQ(rb.at(0), 4);  // newest
+  EXPECT_EQ(rb.at(2), 2);  // oldest
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<double, 4> rb;
+  rb.push(1.5);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_DOUBLE_EQ(rb.window_sum(), 0.0);
+}
+
+TEST(TimeSeries, AveragesAndMaximum) {
+  TimeSeries s("x");
+  EXPECT_DOUBLE_EQ(s.average(), 0.0);
+  EXPECT_DOUBLE_EQ(s.maximum(), 0.0);
+  s.push(1);
+  s.push(3);
+  s.push(8);
+  EXPECT_DOUBLE_EQ(s.average(), 4.0);
+  EXPECT_DOUBLE_EQ(s.maximum(), 8.0);
+  EXPECT_DOUBLE_EQ(s.tail_average(2), 5.5);
+  EXPECT_DOUBLE_EQ(s.tail_average(99), 4.0);
+}
+
+TEST(TimeSeries, ResampleAveragesBuckets) {
+  TimeSeries s("x");
+  for (int i = 0; i < 8; ++i) s.push(i);  // 0..7
+  const auto r = s.resampled(4);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 0.5);
+  EXPECT_DOUBLE_EQ(r[3], 6.5);
+}
+
+TEST(TimeSeries, ResampleMoreBucketsThanSamples) {
+  TimeSeries s("x");
+  s.push(2);
+  s.push(4);
+  const auto r = s.resampled(5);
+  EXPECT_LE(r.size(), 5u);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(SeriesBundle, FindAndLength) {
+  SeriesBundle b(10.0);
+  b.add("a").push(1);
+  b.add("b");
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NE(b.find("a"), nullptr);
+  EXPECT_EQ(b.find("zzz"), nullptr);
+  EXPECT_EQ(b.length(), 1u);
+  EXPECT_DOUBLE_EQ(b.seconds_per_sample(), 10.0);
+}
+
+TEST(TablePrinter, AlignsAndCounts) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", TablePrinter::fmt(1.5, 1)});
+  t.add_row({"longer-name", TablePrinter::fmt(std::int64_t{42})});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, PercentFormat) {
+  EXPECT_EQ(TablePrinter::pct(0.1234), "+12.3%");
+  EXPECT_EQ(TablePrinter::pct(-0.05, 0), "-5%");
+}
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog", "--a=1", "--b", "2", "--c"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("a", 0), 1);
+  EXPECT_EQ(f.get("b"), "2");
+  EXPECT_TRUE(f.get_bool("c"));
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("a", 0.0), 1.0);
+  EXPECT_TRUE(f.has("a"));
+  EXPECT_FALSE(f.has("zzz"));
+  f.check_unused();  // everything queried: must not exit
+}
+
+}  // namespace
+}  // namespace lunule

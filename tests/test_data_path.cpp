@@ -1,0 +1,36 @@
+// Tests for the aggregate OSD data-path model.
+#include "mds/data_path.h"
+
+#include <gtest/gtest.h>
+
+namespace lunule::mds {
+namespace {
+
+TEST(DataPath, CapacityBoundsServicePerTick) {
+  DataPath data(3.0);
+  data.begin_tick();
+  EXPECT_TRUE(data.try_serve());
+  EXPECT_TRUE(data.try_serve());
+  EXPECT_TRUE(data.try_serve());
+  EXPECT_FALSE(data.try_serve());
+  data.begin_tick();
+  EXPECT_TRUE(data.try_serve());
+}
+
+TEST(DataPath, CountsTotalServed) {
+  DataPath data(10.0);
+  for (int tick = 0; tick < 5; ++tick) {
+    data.begin_tick();
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(data.try_serve());
+  }
+  EXPECT_EQ(data.total_served(), 20u);
+  EXPECT_DOUBLE_EQ(data.capacity(), 10.0);
+}
+
+TEST(DataPath, NoBudgetBeforeFirstTick) {
+  DataPath data(5.0);
+  EXPECT_FALSE(data.try_serve());
+}
+
+}  // namespace
+}  // namespace lunule::mds

@@ -1,0 +1,187 @@
+// Deterministic fuzz / property tests: random operation sequences against
+// the namespace tree, migration engine and access recorder, checking the
+// structural invariants every balancer relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "fs/builder.h"
+#include "fs/namespace_tree.h"
+#include "mds/access_recorder.h"
+#include "mds/migration.h"
+
+namespace lunule {
+namespace {
+
+constexpr std::size_t kMds = 5;
+
+/// Builds a random three-level namespace.
+fs::NamespaceTree random_tree(Rng& rng, std::vector<DirId>& leaves) {
+  fs::NamespaceTree tree;
+  const auto tops = 1 + rng.next_below(4);
+  for (std::uint64_t t = 0; t < tops; ++t) {
+    const DirId top = tree.add_dir(tree.root(), "t" + std::to_string(t));
+    const auto mids = 1 + rng.next_below(5);
+    for (std::uint64_t m = 0; m < mids; ++m) {
+      const DirId mid = tree.add_dir(top, "m" + std::to_string(m));
+      tree.add_files(mid, static_cast<std::uint32_t>(rng.next_below(200)));
+      leaves.push_back(mid);
+    }
+  }
+  return tree;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, NamespaceInvariantsUnderRandomOperations) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  std::vector<DirId> leaves;
+  fs::NamespaceTree tree = random_tree(rng, leaves);
+  const std::uint64_t initial_inodes = tree.total_inodes();
+  std::uint64_t created = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const auto op = rng.next_below(5);
+    const DirId leaf = leaves[rng.next_below(leaves.size())];
+    switch (op) {
+      case 0:  // pin a subtree
+        tree.set_auth(leaf, static_cast<MdsId>(rng.next_below(kMds)));
+        break;
+      case 1:  // unpin (only if pinned; root stays pinned)
+        if (tree.dir(leaf).explicit_auth() != kNoMds) {
+          tree.clear_auth(leaf);
+        }
+        break;
+      case 2:  // create a file
+        tree.create_file(leaf);
+        ++created;
+        break;
+      case 3:  // fragment (grow only)
+        if (tree.dir(leaf).frag_bits() < 4 &&
+            tree.dir(leaf).file_count() > 8) {
+          tree.fragment_dir(
+              leaf, static_cast<std::uint8_t>(tree.dir(leaf).frag_bits() + 1));
+        }
+        break;
+      case 4:  // pin a random frag
+        tree.set_frag_auth(
+            leaf,
+            static_cast<FragId>(rng.next_below(tree.dir(leaf).frag_count())),
+            static_cast<MdsId>(rng.next_below(kMds)));
+        break;
+    }
+
+    // Invariant 1: inode accounting is conserved.
+    ASSERT_EQ(tree.total_inodes(), initial_inodes + created);
+
+    // Invariant 2: the per-MDS census partitions the namespace.
+    const auto census = tree.inodes_per_mds(kMds);
+    std::uint64_t sum = 0;
+    for (const auto c : census) sum += c;
+    ASSERT_EQ(sum, tree.total_inodes());
+
+    // Invariant 3: per-frag file counts partition each directory.
+    std::uint32_t frag_files = 0;
+    for (const auto& frag : tree.dir(leaf).frags()) {
+      frag_files += frag.file_count;
+    }
+    ASSERT_EQ(frag_files, tree.dir(leaf).file_count());
+  }
+
+  // Invariant 4: simplify_auth never changes any resolved authority.
+  std::vector<MdsId> before;
+  for (DirId d = 0; d < tree.dir_count(); ++d) before.push_back(tree.auth_of(d));
+  tree.simplify_auth();
+  for (DirId d = 0; d < tree.dir_count(); ++d) {
+    ASSERT_EQ(tree.auth_of(d), before[d]) << "dir " << d;
+  }
+  // ...and is idempotent.
+  const std::uint64_t gen = tree.auth_generation();
+  tree.simplify_auth();
+  EXPECT_EQ(tree.auth_generation(), gen);
+}
+
+TEST_P(FuzzSweep, MigrationEngineConservesInodes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  std::vector<DirId> leaves;
+  fs::NamespaceTree tree = random_tree(rng, leaves);
+  const std::uint64_t total = tree.total_inodes();
+
+  mds::MigrationParams mp;
+  mp.bandwidth_inodes_per_tick = 20.0 + rng.next_double() * 100.0;
+  mp.hot_abort_iops = 1e9;  // no load in this test: never abort
+  mds::MigrationEngine engine(tree, mp);
+
+  std::uint64_t accepted = 0;
+  for (int step = 0; step < 300; ++step) {
+    if (rng.next_bool(0.3)) {
+      const DirId leaf = leaves[rng.next_below(leaves.size())];
+      fs::SubtreeRef ref{.dir = leaf};
+      if (tree.dir(leaf).fragmented() && rng.next_bool(0.5)) {
+        ref.frag =
+            static_cast<FragId>(rng.next_below(tree.dir(leaf).frag_count()));
+      }
+      if (engine.submit(ref, static_cast<MdsId>(rng.next_below(kMds)))) {
+        ++accepted;
+      }
+    }
+    engine.tick();
+    // Conservation: no migration creates or destroys inodes.
+    ASSERT_EQ(tree.total_inodes(), total);
+    const auto census = tree.inodes_per_mds(kMds);
+    std::uint64_t sum = 0;
+    for (const auto c : census) sum += c;
+    ASSERT_EQ(sum, total);
+  }
+  // Drain the engine completely.
+  for (int t = 0; t < 5000 && engine.backlog_inodes() > 0; ++t) {
+    engine.tick();
+  }
+  EXPECT_EQ(engine.backlog_inodes(), 0u);
+  EXPECT_EQ(engine.migrations_completed() + 0u, accepted);
+}
+
+TEST_P(FuzzSweep, RecorderInvariantsUnderRandomAccesses) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  std::vector<DirId> leaves;
+  fs::NamespaceTree tree = random_tree(rng, leaves);
+  mds::AccessRecorder recorder(tree, mds::RecorderParams{}, rng.fork(1));
+
+  EpochId epoch = 0;
+  std::uint64_t recorded = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const DirId leaf = leaves[rng.next_below(leaves.size())];
+    if (tree.dir(leaf).file_count() == 0 || rng.next_bool(0.05)) {
+      const FileIndex idx = tree.create_file(leaf);
+      recorder.record_create(leaf, idx, epoch);
+    } else {
+      recorder.record(
+          leaf, static_cast<FileIndex>(rng.next_below(tree.dir(leaf).file_count())),
+          epoch);
+    }
+    ++recorded;
+    if (rng.next_bool(0.02)) {
+      recorder.close_epoch();
+      ++epoch;
+    }
+  }
+
+  std::uint64_t visits = 0;
+  for (const DirId leaf : std::set<DirId>(leaves.begin(), leaves.end())) {
+    for (const auto& frag : tree.dir(leaf).frags()) {
+      visits += frag.total_visits;
+      // Visited census never exceeds the population.
+      ASSERT_LE(frag.visited_files, frag.file_count);
+      // Logical visits never exceed ops; first visits never exceed logical.
+      ASSERT_LE(frag.file_visits_epoch, frag.visits_epoch);
+      ASSERT_LE(frag.first_visits_epoch, frag.file_visits_epoch);
+    }
+  }
+  EXPECT_EQ(visits, recorded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace lunule

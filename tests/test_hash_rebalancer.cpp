@@ -1,0 +1,108 @@
+// Tests for the generality extension: IF-model re-balancing on a
+// hash-based metadata service.
+#include "core/hash_rebalancer.h"
+
+#include <gtest/gtest.h>
+
+#include "fs/builder.h"
+
+namespace lunule::core {
+namespace {
+
+class HashRebalancerTest : public ::testing::Test {
+ protected:
+  HashRebalancerTest() {
+    dirs = fs::build_private_dirs(tree, "w", 12, 64);
+    cp.n_mds = 4;
+    cp.mds_capacity_iops = 1000.0;
+    cp.epoch_ticks = 10;
+  }
+
+  /// Marks a directory's frag as having served `iops` in the last epoch.
+  void set_observed_load(DirId d, double iops) {
+    fs::FragStats& f = tree.dir(d).frag(0);
+    f.visits_window.push(static_cast<std::uint32_t>(iops * 10.0));
+  }
+
+  fs::NamespaceTree tree;
+  mds::ClusterParams cp;
+  std::vector<DirId> dirs;
+};
+
+TEST_F(HashRebalancerTest, SetupPinsLikeDirHash) {
+  mds::MdsCluster cluster(tree, cp);
+  HashRebalancer hash(HashRebalancerParams::for_cluster(cp));
+  hash.setup(cluster);
+  // Every leaf unit ends up pinned; placement covers multiple MDSs.
+  std::set<MdsId> owners;
+  for (const DirId d : dirs) owners.insert(tree.auth_of(d));
+  EXPECT_GT(owners.size(), 1u);
+}
+
+TEST_F(HashRebalancerTest, QuietBelowIfThreshold) {
+  mds::MdsCluster cluster(tree, cp);
+  HashRebalancer hash(HashRebalancerParams::for_cluster(cp));
+  hash.setup(cluster);
+  hash.on_epoch(cluster, std::vector<Load>{500, 490, 505, 495});
+  EXPECT_EQ(cluster.migration().migrations_submitted(), 0u);
+  EXPECT_LT(hash.last_if(), 0.05);
+}
+
+TEST_F(HashRebalancerTest, RepinsHotShardsWhenSkewed) {
+  mds::MdsCluster cluster(tree, cp);
+  HashRebalancer hash(HashRebalancerParams::for_cluster(cp));
+  hash.setup(cluster);
+  // Give every dir owned by the hot MDS a moderate observed load.
+  const std::vector<Load> loads{900, 50, 50, 50};
+  for (const DirId d : dirs) {
+    if (tree.auth_of(d) == 0) set_observed_load(d, 80.0);
+  }
+  // Warm load history so forecasts exist.
+  for (int e = 0; e < 4; ++e) cluster.close_epoch();
+  hash.on_epoch(cluster, loads);
+  EXPECT_GT(hash.last_if(), 0.05);
+  EXPECT_GT(cluster.migration().migrations_submitted(), 0u);
+  for (const mds::ExportTask& t : cluster.migration().tasks()) {
+    EXPECT_EQ(t.from, 0);
+    EXPECT_NE(t.to, 0);
+  }
+}
+
+TEST_F(HashRebalancerTest, SkipsShardsTooHotToFreeze) {
+  mds::MdsCluster cluster(tree, cp);
+  HashRebalancerParams p = HashRebalancerParams::for_cluster(cp);
+  HashRebalancer hash(p);
+  hash.setup(cluster);
+  // One shard far above the freeze-abort threshold, the rest idle.
+  DirId hot = kNoDir;
+  for (const DirId d : dirs) {
+    if (tree.auth_of(d) == 0) {
+      hot = d;
+      break;
+    }
+  }
+  ASSERT_NE(hot, kNoDir);
+  set_observed_load(hot, p.hot_skip_iops * 4.0);
+  for (int e = 0; e < 4; ++e) cluster.close_epoch();
+  hash.on_epoch(cluster, std::vector<Load>{900, 50, 50, 50});
+  for (const mds::ExportTask& t : cluster.migration().tasks()) {
+    EXPECT_NE(t.subtree.dir, hot);
+  }
+}
+
+TEST_F(HashRebalancerTest, RespectsPipelineBudget) {
+  mds::MdsCluster cluster(tree, cp);
+  HashRebalancerParams p = HashRebalancerParams::for_cluster(cp);
+  p.inode_cap = 10;  // smaller than any shard (65 inodes each)
+  HashRebalancer hash(p);
+  hash.setup(cluster);
+  for (const DirId d : dirs) {
+    if (tree.auth_of(d) == 0) set_observed_load(d, 80.0);
+  }
+  for (int e = 0; e < 4; ++e) cluster.close_epoch();
+  hash.on_epoch(cluster, std::vector<Load>{900, 50, 50, 50});
+  EXPECT_EQ(cluster.migration().migrations_submitted(), 0u);
+}
+
+}  // namespace
+}  // namespace lunule::core

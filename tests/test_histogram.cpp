@@ -1,0 +1,86 @@
+// Tests for the log-bucketed latency histogram.
+#include "common/histogram.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lunule {
+namespace {
+
+TEST(Histogram, EmptyBehaviour) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, MeanAndMaxAreExact) {
+  Histogram h;
+  h.add(1.0);
+  h.add(3.0);
+  h.add(8.0);
+  EXPECT_EQ(h.total_count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 8.0);
+}
+
+TEST(Histogram, PercentilesWithinBucketResolution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  // ~8% relative resolution expected.
+  EXPECT_NEAR(h.percentile(50), 500.0, 500.0 * 0.1);
+  EXPECT_NEAR(h.percentile(90), 900.0, 900.0 * 0.1);
+  EXPECT_NEAR(h.percentile(99), 990.0, 990.0 * 0.1);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(Histogram, SingleValueDistribution) {
+  Histogram h;
+  h.add(42.0, /*count=*/1000);
+  EXPECT_EQ(h.total_count(), 1000u);
+  EXPECT_NEAR(h.percentile(1), 42.0, 42.0 * 0.1);
+  EXPECT_NEAR(h.percentile(99), 42.0, 42.0 * 0.1);
+}
+
+TEST(Histogram, MergeCombinesDistributions) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.add(10.0);
+  for (int i = 0; i < 100; ++i) b.add(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), 200u);
+  EXPECT_NEAR(a.percentile(25), 10.0, 2.0);
+  EXPECT_NEAR(a.percentile(75), 1000.0, 100.0);
+  EXPECT_DOUBLE_EQ(a.max_value(), 1000.0);
+}
+
+TEST(Histogram, HandlesSkewedTail) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    h.add(1.0 + rng.next_double() * 4.0);  // bulk in [1, 5)
+  }
+  h.add(100000.0);  // one outlier
+  EXPECT_LT(h.percentile(99), 6.0);
+  EXPECT_NEAR(h.percentile(100), 100000.0, 100000.0 * 0.1);
+}
+
+TEST(Histogram, MonotonePercentiles) {
+  Histogram h;
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    h.add(std::exp(rng.next_double() * 10.0));
+  }
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace lunule

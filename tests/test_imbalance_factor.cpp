@@ -1,0 +1,97 @@
+// Tests for the Imbalance Factor model (Eq. 1-3 of the paper).
+#include "core/imbalance_factor.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lunule::core {
+namespace {
+
+IfParams params(double capacity = 1000.0, double s = 0.2) {
+  return IfParams{.mds_capacity = capacity, .smoothness = s};
+}
+
+TEST(Urgency, LogisticMidpointAtHalfCapacity) {
+  // Eq. 2: u = 0.5 makes the exponent 0 => U = 0.5 exactly.
+  EXPECT_NEAR(urgency(500.0, params()), 0.5, 1e-12);
+}
+
+TEST(Urgency, SaturatedClusterIsUrgent) {
+  EXPECT_GT(urgency(1000.0, params()), 0.99);
+}
+
+TEST(Urgency, IdleClusterIsNotUrgent) {
+  EXPECT_LT(urgency(50.0, params()), 0.02);
+}
+
+TEST(Urgency, MonotonicInLoad) {
+  double prev = -1.0;
+  for (double l = 0.0; l <= 1200.0; l += 50.0) {
+    const double u = urgency(l, params());
+    EXPECT_GT(u, prev);
+    prev = u;
+  }
+}
+
+TEST(Urgency, SmoothnessControlsSteepness) {
+  // A smaller S makes the transition sharper around u = 0.5.
+  const double steep = urgency(600.0, params(1000.0, 0.05));
+  const double soft = urgency(600.0, params(1000.0, 0.8));
+  EXPECT_GT(steep, soft);
+}
+
+TEST(NormalizedCov, UniformLoadsAreZero) {
+  const std::vector<double> loads{400, 400, 400, 400, 400};
+  EXPECT_DOUBLE_EQ(normalized_cov(loads), 0.0);
+}
+
+TEST(NormalizedCov, OneHotIsOne) {
+  const std::vector<double> loads{900, 0, 0, 0, 0};
+  EXPECT_NEAR(normalized_cov(loads), 1.0, 1e-12);
+}
+
+TEST(ImbalanceFactor, RangeAndExtremes) {
+  // Fully saturated one-hot: IF close to 1 (worst case, Fig. 6's GreedySpill).
+  const std::vector<double> onehot{1000, 0, 0, 0, 0};
+  EXPECT_GT(imbalance_factor(onehot, params()), 0.97);
+  // Perfect balance: IF = 0 regardless of intensity.
+  const std::vector<double> balanced{800, 800, 800, 800, 800};
+  EXPECT_DOUBLE_EQ(imbalance_factor(balanced, params()), 0.0);
+  // Empty/degenerate inputs.
+  EXPECT_DOUBLE_EQ(imbalance_factor({}, params()), 0.0);
+}
+
+TEST(ImbalanceFactor, BenignImbalanceIsDiscounted) {
+  // Same dispersion shape, 10x lower absolute load: the urgency term must
+  // crush the IF value (the paper's Fig. 12b phase-1 behaviour).
+  const std::vector<double> harmful{900, 100, 100, 100, 100};
+  const std::vector<double> benign{90, 10, 10, 10, 10};
+  const double hi = imbalance_factor(harmful, params());
+  const double lo = imbalance_factor(benign, params());
+  EXPECT_NEAR(normalized_cov(harmful), normalized_cov(benign), 1e-12);
+  EXPECT_GT(hi, 20.0 * lo);
+}
+
+// Property sweep: IF stays in [0, 1] for arbitrary non-negative loads and
+// any cluster size.
+class IfRangeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IfRangeSweep, AlwaysWithinUnitInterval) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(77 + n));
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<double> loads(static_cast<std::size_t>(n));
+    for (auto& l : loads) l = rng.next_double() * 1500.0;
+    const double f = imbalance_factor(loads, params());
+    ASSERT_GE(f, 0.0);
+    ASSERT_LE(f, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, IfRangeSweep,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace lunule::core

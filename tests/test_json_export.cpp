@@ -1,0 +1,96 @@
+// Tests for JSON serialization of scenario results.
+#include "sim/json_export.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+namespace lunule::sim {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndSeparators) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("a", std::uint64_t{1});
+  w.field("b", std::string_view("x"));
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":"x","list":[1,2]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value(std::string_view("a\"b\\c\nd\te"));
+  EXPECT_EQ(os.str(), R"("a\"b\\c\nd\te")");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  const char raw[] = {'x', 0x01, 'y', 0};
+  w.value(std::string_view(raw));
+  EXPECT_EQ(os.str(), "\"x\\u0001y\"");
+}
+
+TEST(JsonWriter, NumbersAndBooleans) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(1.5);
+  w.value(std::int64_t{-7});
+  w.value(true);
+  w.value(false);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[1.5,-7,true,false]");
+}
+
+TEST(JsonExport, SerializesAScenarioResult) {
+  ScenarioConfig cfg;
+  cfg.workload = WorkloadKind::kZipf;
+  cfg.balancer = BalancerKind::kLunule;
+  cfg.n_clients = 6;
+  cfg.scale = 0.02;
+  cfg.max_ticks = 150;
+  cfg.client_rate = 50.0;
+  cfg.mds_capacity_iops = 200.0;
+  const ScenarioResult r = run_scenario(cfg);
+  const std::string json = to_json(r);
+
+  // Structural sanity: balanced braces/brackets, expected keys present.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  for (const char* k :
+       {"\"workload\":\"Zipf\"", "\"balancer\":\"Lunule\"",
+        "\"per_mds_iops\":", "\"if_series\":", "\"jct_seconds\":",
+        "\"total_served\":", "\"mean_if\":"}) {
+    EXPECT_NE(json.find(k), std::string::npos) << k;
+  }
+  // One series object per MDS.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"MDS-"); pos != std::string::npos;
+       pos = json.find("\"MDS-", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(JsonExport, DeterministicForSameScenario) {
+  ScenarioConfig cfg;
+  cfg.workload = WorkloadKind::kMd;
+  cfg.balancer = BalancerKind::kVanilla;
+  cfg.n_clients = 4;
+  cfg.max_ticks = 100;
+  cfg.client_rate = 40.0;
+  cfg.mds_capacity_iops = 200.0;
+  EXPECT_EQ(to_json(run_scenario(cfg)), to_json(run_scenario(cfg)));
+}
+
+}  // namespace
+}  // namespace lunule::sim

@@ -1,0 +1,61 @@
+// Tests for the centralized load monitor and the fld forecast.
+#include "core/load_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "fs/namespace_tree.h"
+
+namespace lunule::core {
+namespace {
+
+TEST(ForecastLoad, ShortHistoryFallsBackToCurrent) {
+  const std::vector<double> hist{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(forecast_load(hist, 20.0), 20.0);
+}
+
+TEST(ForecastLoad, ExtrapolatesLinearTrend) {
+  const std::vector<double> hist{10, 20, 30, 40};
+  EXPECT_NEAR(forecast_load(hist, 40.0), 50.0, 1e-9);
+}
+
+TEST(ForecastLoad, ClampsNegativePredictions) {
+  const std::vector<double> hist{30, 20, 10, 0};
+  EXPECT_DOUBLE_EQ(forecast_load(hist, 0.0), 0.0);
+}
+
+TEST(LoadMonitor, CollectBuildsStatsWithForecasts) {
+  fs::NamespaceTree tree;
+  mds::ClusterParams cp;
+  cp.n_mds = 3;
+  cp.mds_capacity_iops = 100.0;
+  cp.epoch_ticks = 1;
+  const DirId dir = tree.add_dir(tree.root(), "d");
+  tree.add_files(dir, 8);
+  mds::MdsCluster cluster(tree, cp);
+  // Build a rising history on MDS 0: 3, 6, 9, 12 ops per 1-second epoch.
+  for (int e = 1; e <= 4; ++e) {
+    cluster.begin_tick(e);
+    for (int i = 0; i < 3 * e; ++i) cluster.try_serve(dir, 0);
+    cluster.end_tick();
+    cluster.close_epoch();
+  }
+  LoadMonitor monitor;
+  const std::vector<Load> loads{12, 0, 0};
+  const auto stats = monitor.collect(cluster, loads);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].id, 0);
+  EXPECT_DOUBLE_EQ(stats[0].cld, 12.0);
+  EXPECT_GT(stats[0].fld, stats[0].cld);  // rising trend extrapolated
+  EXPECT_EQ(monitor.epochs_collected(), 1u);
+  EXPECT_GT(monitor.total_bytes(), 0u);
+}
+
+TEST(LoadMonitor, DecisionTrafficRecorded) {
+  LoadMonitor monitor;
+  const std::uint64_t before = monitor.total_bytes();
+  monitor.record_decisions(2, 3);
+  EXPECT_GT(monitor.total_bytes(), before);
+}
+
+}  // namespace
+}  // namespace lunule::core

@@ -1,0 +1,73 @@
+// Unit tests for the MDS server model.
+#include "mds/mds_server.h"
+
+#include <gtest/gtest.h>
+
+namespace lunule::mds {
+namespace {
+
+TEST(MdsServer, CapacityBoundsServicePerTick) {
+  MdsServer s(0, 5.0);
+  s.begin_tick(1.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(s.try_serve());
+  EXPECT_FALSE(s.try_serve());  // saturated
+  s.begin_tick(1.0);            // fresh budget
+  EXPECT_TRUE(s.try_serve());
+}
+
+TEST(MdsServer, CapacityFactorReducesBudget) {
+  MdsServer s(0, 10.0);
+  s.begin_tick(0.5);
+  int served = 0;
+  while (s.try_serve()) ++served;
+  EXPECT_EQ(served, 5);
+}
+
+TEST(MdsServer, EpochLoadIsIopsAverage) {
+  MdsServer s(1, 100.0);
+  for (int tick = 0; tick < 10; ++tick) {
+    s.begin_tick(1.0);
+    for (int i = 0; i < 30; ++i) EXPECT_TRUE(s.try_serve());
+  }
+  s.close_epoch(10.0);
+  EXPECT_DOUBLE_EQ(s.current_load(), 30.0);  // 300 ops / 10 s
+  EXPECT_EQ(s.total_served(), 300u);
+  EXPECT_EQ(s.served_in_open_epoch(), 0u);  // reset after close
+}
+
+TEST(MdsServer, HistoryIsBoundedAndOrdered) {
+  MdsServer s(2, 100.0);
+  for (int e = 0; e < 20; ++e) {
+    s.begin_tick(1.0);
+    for (int i = 0; i < e; ++i) s.try_serve();
+    s.close_epoch(1.0);
+  }
+  const auto hist = s.load_history();
+  EXPECT_LE(hist.size(), 12u);
+  // Oldest-first: the last entry is the most recent epoch (19 ops).
+  EXPECT_DOUBLE_EQ(hist.back(), 19.0);
+  EXPECT_DOUBLE_EQ(hist.front(), 8.0);
+}
+
+TEST(MdsServer, ForwardsConsumeBudgetWithoutCountingAsServed) {
+  MdsServer s(3, 3.0);
+  s.begin_tick(1.0);
+  s.charge_forward(1.0);
+  EXPECT_EQ(s.total_forwards(), 1u);
+  int served = 0;
+  while (s.try_serve()) ++served;
+  EXPECT_EQ(served, 2);  // one unit eaten by the forward
+  s.close_epoch(1.0);
+  EXPECT_DOUBLE_EQ(s.current_load(), 2.0);
+}
+
+TEST(MdsServer, ForwardNeverBlocksEvenWhenSaturated) {
+  MdsServer s(4, 1.0);
+  s.begin_tick(1.0);
+  EXPECT_TRUE(s.try_serve());
+  s.charge_forward(1.0);  // budget exhausted: forward still recorded
+  EXPECT_EQ(s.total_forwards(), 1u);
+}
+
+}  // namespace
+}  // namespace lunule::mds

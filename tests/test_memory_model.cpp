@@ -1,0 +1,96 @@
+// Tests for the per-MDS memory model and the simulation's OOM stop.
+#include "mds/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "fs/builder.h"
+#include "sim/simulation.h"
+#include "workloads/mdtest.h"
+
+namespace lunule {
+namespace {
+
+TEST(MemoryModel, CensusCountsHostedInodes) {
+  fs::NamespaceTree tree;
+  const auto dirs = fs::build_private_dirs(tree, "w", 2, 100);
+  tree.set_auth(dirs[1], 1);
+  mds::MemoryParams p;
+  p.bytes_per_inode = 1000.0;
+  p.stats_bytes_per_inode = 0.0;
+  p.limit_bytes = 1e12;
+  const auto census = mds::memory_census(tree, 2, p);
+  ASSERT_EQ(census.bytes_per_mds.size(), 2u);
+  // MDS-1 hosts dirs[1] + its 100 files = 101 inodes.
+  EXPECT_DOUBLE_EQ(census.bytes_per_mds[1], 101.0 * 1000.0);
+  EXPECT_FALSE(census.over_limit);
+  EXPECT_GT(census.bytes_per_mds[0], census.bytes_per_mds[1]);
+  EXPECT_DOUBLE_EQ(census.max_bytes, census.bytes_per_mds[0]);
+}
+
+TEST(MemoryModel, OverLimitFlagsTheHotMds) {
+  fs::NamespaceTree tree;
+  fs::build_private_dirs(tree, "w", 1, 1000);
+  mds::MemoryParams p;
+  p.bytes_per_inode = 1024.0;
+  p.limit_bytes = 512.0 * 1024.0;  // 512 KiB: fits ~510 inodes
+  const auto census = mds::memory_census(tree, 2, p);
+  EXPECT_TRUE(census.over_limit);
+  EXPECT_GT(census.max_utilization(p), 1.0);
+}
+
+TEST(MemoryModel, SimulationStopsWhenMdsRunsOutOfMemory) {
+  // An open-ended MDtest-create run against a tiny memory budget must end
+  // early — the way the paper's MD experiments ended at ~15 minutes.
+  auto tree = std::make_unique<fs::NamespaceTree>();
+  const auto dirs = fs::build_private_dirs(*tree, "md", 2, 0);
+  mds::ClusterParams cp;
+  cp.n_mds = 2;
+  cp.mds_capacity_iops = 100.0;
+  auto cluster = std::make_unique<mds::MdsCluster>(*tree, cp);
+
+  sim::Simulation::Options opts;
+  opts.max_ticks = 1000;
+  opts.stop_when_done = false;
+  opts.stop_on_memory_limit = true;
+  opts.memory.bytes_per_inode = 1024.0;
+  opts.memory.limit_bytes = 2.0 * 1024.0 * 1024.0;  // ~2048 inodes
+
+  sim::Simulation sim(std::move(tree), std::move(cluster), nullptr,
+                      std::make_unique<balancer::NullBalancer>(), opts,
+                      core::IfParams{.mds_capacity = 100.0});
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    sim.add_client(std::make_unique<workloads::Client>(
+        c, workloads::ClientParams{.max_ops_per_tick = 50.0},
+        std::make_unique<workloads::MdtestCreateProgram>(dirs[c], 0)));
+  }
+  sim.run();
+  EXPECT_TRUE(sim.stopped_on_memory());
+  EXPECT_LT(sim.end_tick(), 1000);
+  // ~2048 inodes at 100 creates/s (capacity-bound) => tens of seconds.
+  EXPECT_GT(sim.end_tick(), 10);
+}
+
+TEST(MemoryModel, NoStopWithoutTheOption) {
+  auto tree = std::make_unique<fs::NamespaceTree>();
+  const auto dirs = fs::build_private_dirs(*tree, "md", 1, 0);
+  mds::ClusterParams cp;
+  cp.n_mds = 1;
+  cp.mds_capacity_iops = 100.0;
+  auto cluster = std::make_unique<mds::MdsCluster>(*tree, cp);
+  sim::Simulation::Options opts;
+  opts.max_ticks = 50;
+  opts.stop_when_done = false;
+  opts.memory.limit_bytes = 1.0;  // would trip immediately if enabled
+  sim::Simulation sim(std::move(tree), std::move(cluster), nullptr,
+                      std::make_unique<balancer::NullBalancer>(), opts,
+                      core::IfParams{.mds_capacity = 100.0});
+  sim.add_client(std::make_unique<workloads::Client>(
+      0, workloads::ClientParams{.max_ops_per_tick = 10.0},
+      std::make_unique<workloads::MdtestCreateProgram>(dirs[0], 0)));
+  sim.run();
+  EXPECT_FALSE(sim.stopped_on_memory());
+  EXPECT_EQ(sim.end_tick(), 50);
+}
+
+}  // namespace
+}  // namespace lunule

@@ -1,0 +1,57 @@
+// Tests for the control-plane message size model (Section 3.4 overhead).
+#include "mds/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace lunule::mds {
+namespace {
+
+TEST(Messages, ImbalanceStateIsSmall) {
+  // The paper reports a 0.94 KB out-bound increase per epoch per MDS.
+  const std::size_t bytes = ImbalanceStateMsg::wire_bytes();
+  EXPECT_GT(bytes, 900u);
+  EXPECT_LT(bytes, 1100u);
+}
+
+TEST(Messages, LunulePrimaryInbound16Mds) {
+  // Paper: ~14.1 KB extra in-bound at the primary of a 16-MDS cluster.
+  const ControlPlaneTraffic t = lunule_traffic(16);
+  EXPECT_GT(t.primary_in_bytes, 13000u);
+  EXPECT_LT(t.primary_in_bytes, 16000u);
+}
+
+TEST(Messages, LunuleScalesLinearlyVanillaQuadratically) {
+  const auto l8 = lunule_traffic(8);
+  const auto l16 = lunule_traffic(16);
+  const auto v8 = vanilla_traffic(8);
+  const auto v16 = vanilla_traffic(16);
+  // Doubling the cluster roughly doubles Lunule's total traffic but at
+  // least quadruples the vanilla N-to-N heartbeat traffic (the heartbeat
+  // payload itself also grows with n, so the ratio exceeds 4).
+  EXPECT_NEAR(static_cast<double>(l16.total_bytes) /
+                  static_cast<double>(l8.total_bytes),
+              2.0, 0.5);
+  const double vanilla_ratio = static_cast<double>(v16.total_bytes) /
+                               static_cast<double>(v8.total_bytes);
+  EXPECT_GE(vanilla_ratio, 4.0);
+  EXPECT_LE(vanilla_ratio, 8.0);
+}
+
+TEST(Messages, PerMdsOutboundLunuleBelowVanilla) {
+  for (std::size_t n : {4u, 8u, 16u}) {
+    EXPECT_LT(lunule_traffic(n).per_mds_out_bytes,
+              vanilla_traffic(n).per_mds_out_bytes)
+        << "n=" << n;
+  }
+}
+
+TEST(Messages, DecisionSizeGrowsWithAssignments) {
+  MigrationDecisionMsg small;
+  small.assignments.resize(1);
+  MigrationDecisionMsg big;
+  big.assignments.resize(10);
+  EXPECT_LT(small.wire_bytes(), big.wire_bytes());
+}
+
+}  // namespace
+}  // namespace lunule::mds

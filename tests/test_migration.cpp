@@ -1,0 +1,140 @@
+// Tests for the two-phase migration engine: lag, freeze, commit, queueing.
+#include "mds/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "fs/builder.h"
+
+namespace lunule::mds {
+namespace {
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() {
+    dirs = fs::build_private_dirs(tree, "w", 6, 100);  // 101 inodes each
+  }
+
+  MigrationParams slow_params() {
+    MigrationParams p;
+    p.bandwidth_inodes_per_tick = 10.0;  // 101 inodes => ~11 ticks
+    p.max_inflight_per_exporter = 2;
+    p.freeze_fraction = 0.2;
+    return p;
+  }
+
+  fs::NamespaceTree tree;
+  std::vector<DirId> dirs;
+};
+
+TEST_F(MigrationTest, SubmitRejectsNoOpAndEmpty) {
+  MigrationEngine eng(tree, slow_params());
+  EXPECT_FALSE(eng.submit({.dir = dirs[0]}, 0));  // already owned by 0
+  EXPECT_TRUE(eng.submit({.dir = dirs[0]}, 1));
+  EXPECT_FALSE(eng.submit({.dir = dirs[0]}, 2));  // duplicate pending
+}
+
+TEST_F(MigrationTest, TransferTakesMultipleTicksThenCommits) {
+  MigrationEngine eng(tree, slow_params());
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 1));
+  for (int t = 0; t < 10; ++t) {
+    eng.tick();
+    EXPECT_EQ(tree.auth_of(dirs[0]), 0) << "committed too early, t=" << t;
+  }
+  eng.tick();  // 11 * 10 = 110 >= 101
+  EXPECT_EQ(tree.auth_of(dirs[0]), 1);
+  EXPECT_EQ(eng.total_migrated_inodes(), 101u);
+  EXPECT_EQ(eng.migrations_completed(), 1u);
+}
+
+TEST_F(MigrationTest, FreezeWindowBlocksTargetOnly) {
+  MigrationEngine eng(tree, slow_params());
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 1));
+  // Before 80% transferred: not frozen.
+  eng.tick();
+  EXPECT_FALSE(eng.is_frozen(dirs[0], 0));
+  // Run to within the last 20%.
+  for (int t = 0; t < 8; ++t) eng.tick();
+  EXPECT_TRUE(eng.is_frozen(dirs[0], 0));
+  EXPECT_FALSE(eng.is_frozen(dirs[1], 0));  // other subtrees unaffected
+}
+
+TEST_F(MigrationTest, InflightLimitQueuesExcessTasks) {
+  MigrationEngine eng(tree, slow_params());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(eng.submit({.dir = dirs[static_cast<std::size_t>(i)]},
+                           1));
+  }
+  EXPECT_EQ(eng.pending_exports(0), 5u);
+  eng.tick();
+  int active = 0;
+  for (const ExportTask& t : eng.tasks()) {
+    if (t.active) ++active;
+  }
+  EXPECT_EQ(active, 2);  // max_inflight_per_exporter
+}
+
+TEST_F(MigrationTest, BandwidthSharedAcrossActiveTasks) {
+  MigrationEngine eng(tree, slow_params());
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 1));
+  ASSERT_TRUE(eng.submit({.dir = dirs[1]}, 2));
+  // Two active tasks share 10 inodes/tick => 5 each; a single task would
+  // finish in 11 ticks, two concurrent ones need ~21.
+  for (int t = 0; t < 20; ++t) eng.tick();
+  EXPECT_EQ(eng.migrations_completed(), 0u);
+  eng.tick();
+  EXPECT_EQ(eng.migrations_completed(), 2u);
+}
+
+TEST_F(MigrationTest, DropQueuedKeepsActive) {
+  MigrationEngine eng(tree, slow_params());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(eng.submit({.dir = dirs[static_cast<std::size_t>(i)]}, 1));
+  }
+  eng.tick();  // activates two
+  eng.drop_queued(0);
+  EXPECT_EQ(eng.pending_exports(0), 2u);
+}
+
+TEST_F(MigrationTest, InvolvedReflectsBothEndpoints) {
+  MigrationEngine eng(tree, slow_params());
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 3));
+  eng.tick();
+  EXPECT_TRUE(eng.involved(0));
+  EXPECT_TRUE(eng.involved(3));
+  EXPECT_FALSE(eng.involved(2));
+}
+
+TEST_F(MigrationTest, BacklogTracksRemainingInodes) {
+  MigrationEngine eng(tree, slow_params());
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 1));
+  EXPECT_EQ(eng.backlog_inodes(), 101u);
+  eng.tick();
+  EXPECT_EQ(eng.backlog_inodes(), 91u);
+  for (int t = 0; t < 15; ++t) eng.tick();
+  EXPECT_EQ(eng.backlog_inodes(), 0u);
+}
+
+TEST_F(MigrationTest, AncestorExportBlocksDescendantSubmission) {
+  const DirId parent = tree.add_dir(tree.root(), "p");
+  const DirId child = tree.add_dir(parent, "c");
+  tree.add_files(child, 50);
+  MigrationEngine eng(tree, slow_params());
+  ASSERT_TRUE(eng.submit({.dir = parent}, 1));
+  EXPECT_FALSE(eng.submit({.dir = child}, 2));
+}
+
+TEST_F(MigrationTest, FragMigrationFreezesOnlyThatFrag) {
+  tree.fragment_dir(dirs[0], 1);  // 2 frags of 50
+  // Near-total freeze fraction: frozen from the first streamed inode.
+  MigrationEngine eng(tree, MigrationParams{.bandwidth_inodes_per_tick = 1.0,
+                                            .max_inflight_per_exporter = 1,
+                                            .freeze_fraction = 0.99,
+                                            .capacity_penalty = 0.1});
+  ASSERT_TRUE(eng.submit({.dir = dirs[0], .frag = 1}, 2));
+  for (int t = 0; t < 2; ++t) eng.tick();
+  EXPECT_TRUE(eng.is_frozen(dirs[0], 1));   // file 1 -> frag 1
+  EXPECT_FALSE(eng.is_frozen(dirs[0], 0));  // file 0 -> frag 0
+}
+
+}  // namespace
+}  // namespace lunule::mds

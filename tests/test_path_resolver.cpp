@@ -1,0 +1,86 @@
+// Tests for string-path resolution.
+#include "fs/path_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include "fs/builder.h"
+
+namespace lunule::fs {
+namespace {
+
+class PathResolverTest : public ::testing::Test {
+ protected:
+  PathResolverTest() : resolver(tree) {
+    layout = build_web_tree(tree, "web", 2, 2, 4);
+  }
+
+  NamespaceTree tree;
+  WebTreeLayout layout;
+  PathResolver resolver;
+};
+
+TEST_F(PathResolverTest, SplitHandlesSeparators) {
+  EXPECT_TRUE(split_path("/").empty());
+  EXPECT_EQ(split_path("/a/b").size(), 2u);
+  EXPECT_EQ(split_path("/a//b/")[1], "b");
+  EXPECT_EQ(split_path("//a")[0], "a");
+}
+
+TEST_F(PathResolverTest, ResolvesRoot) {
+  const auto r = resolver.resolve("/");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->dir, tree.root());
+  EXPECT_EQ(r->auth, 0);
+  EXPECT_EQ(r->boundary_crossings, 0u);
+}
+
+TEST_F(PathResolverTest, ResolvesNestedPath) {
+  const auto r = resolver.resolve("/web/section1/dir0");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(tree.path_of(r->dir), "/web/section1/dir0");
+  EXPECT_EQ(r->chain.size(), 4u);  // root, web, section1, dir0
+}
+
+TEST_F(PathResolverTest, ToleratesSlashNoise) {
+  const auto a = resolver.resolve("/web/section0/dir1");
+  const auto b = resolver.resolve("//web///section0/dir1/");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->dir, b->dir);
+}
+
+TEST_F(PathResolverTest, MissingComponentsFail) {
+  EXPECT_FALSE(resolver.resolve("/nope").has_value());
+  EXPECT_FALSE(resolver.resolve("/web/section9").has_value());
+  EXPECT_FALSE(resolver.resolve("relative/path").has_value());
+  EXPECT_FALSE(resolver.resolve("").has_value());
+}
+
+TEST_F(PathResolverTest, CountsBoundaryCrossings) {
+  const auto before = resolver.resolve("/web/section0/dir0");
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->boundary_crossings, 0u);  // everything on MDS 0
+
+  tree.set_auth(before->dir, 3);
+  const auto after = resolver.resolve("/web/section0/dir0");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->auth, 3);
+  EXPECT_EQ(after->boundary_crossings, 1u);
+
+  // Pin the middle of the chain elsewhere: two crossings (0->2->3).
+  const auto section = resolver.resolve("/web/section0");
+  tree.set_auth(section->dir, 2);
+  const auto twice = resolver.resolve("/web/section0/dir0");
+  EXPECT_EQ(twice->boundary_crossings, 2u);
+}
+
+TEST_F(PathResolverTest, ChildLookupAndListing) {
+  const auto web = resolver.resolve("/web");
+  ASSERT_TRUE(web.has_value());
+  EXPECT_TRUE(resolver.child_of(web->dir, "section0").has_value());
+  EXPECT_FALSE(resolver.child_of(web->dir, "sectionX").has_value());
+  const auto names = resolver.list(web->dir);
+  EXPECT_EQ(names, (std::vector<std::string>{"section0", "section1"}));
+}
+
+}  // namespace
+}  // namespace lunule::fs

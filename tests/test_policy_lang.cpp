@@ -1,0 +1,156 @@
+// Tests for the Mantle policy expression language.
+#include "balancer/policy_lang.h"
+
+#include <gtest/gtest.h>
+
+#include "fs/builder.h"
+#include "mds/cluster.h"
+
+namespace lunule::balancer {
+namespace {
+
+double eval(const std::string& src, const PolicyEnv& env = {}) {
+  return PolicyExpr::parse(src).eval(env);
+}
+
+TEST(PolicyLang, NumbersAndArithmetic) {
+  EXPECT_DOUBLE_EQ(eval("42"), 42.0);
+  EXPECT_DOUBLE_EQ(eval("1 + 2 * 3"), 7.0);
+  EXPECT_DOUBLE_EQ(eval("(1 + 2) * 3"), 9.0);
+  EXPECT_DOUBLE_EQ(eval("10 - 4 - 3"), 3.0);  // left associative
+  EXPECT_DOUBLE_EQ(eval("8 / 2 / 2"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("1.5e2"), 150.0);
+  EXPECT_DOUBLE_EQ(eval("-3 + 5"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("--4"), 4.0);
+}
+
+TEST(PolicyLang, DivisionByZeroYieldsZero) {
+  // Policies must not crash the balancer on an all-idle cluster.
+  EXPECT_DOUBLE_EQ(eval("5 / 0"), 0.0);
+}
+
+TEST(PolicyLang, Comparisons) {
+  EXPECT_DOUBLE_EQ(eval("1 < 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("2 < 1"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("2 <= 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("3 > 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("3 >= 4"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("2 == 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("2 != 2"), 0.0);
+}
+
+TEST(PolicyLang, BooleanLogic) {
+  EXPECT_DOUBLE_EQ(eval("1 && 1"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("1 && 0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("0 || 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("!0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("!3"), 0.0);
+  // Precedence: comparisons bind tighter than && / ||.
+  EXPECT_DOUBLE_EQ(eval("1 < 2 && 3 > 2"), 1.0);
+}
+
+TEST(PolicyLang, Functions) {
+  EXPECT_DOUBLE_EQ(eval("abs(-5)"), 5.0);
+  EXPECT_DOUBLE_EQ(eval("sqrt(16)"), 4.0);
+  EXPECT_DOUBLE_EQ(eval("sqrt(-1)"), 0.0);  // clamped, not NaN
+  EXPECT_DOUBLE_EQ(eval("min(3, 7)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("max(3, 7)"), 7.0);
+  EXPECT_DOUBLE_EQ(eval("max(min(5, 9), 2)"), 5.0);
+}
+
+TEST(PolicyLang, Variables) {
+  const PolicyEnv env{{"my", 900.0}, {"avg", 300.0}};
+  EXPECT_DOUBLE_EQ(eval("my - avg", env), 600.0);
+  EXPECT_DOUBLE_EQ(eval("my > 2 * avg", env), 1.0);
+}
+
+TEST(PolicyLang, VariablesAreReported) {
+  const auto vars = PolicyExpr::parse("my > 2 * avg && n < 16").variables();
+  EXPECT_EQ(vars, (std::vector<std::string>{"avg", "my", "n"}));
+}
+
+TEST(PolicyLang, SyntaxErrorsThrow) {
+  EXPECT_THROW(PolicyExpr::parse(""), PolicyError);
+  EXPECT_THROW(PolicyExpr::parse("1 +"), PolicyError);
+  EXPECT_THROW(PolicyExpr::parse("(1"), PolicyError);
+  EXPECT_THROW(PolicyExpr::parse("1 2"), PolicyError);
+  EXPECT_THROW(PolicyExpr::parse("foo(1)"), PolicyError);
+  EXPECT_THROW(PolicyExpr::parse("min(1)"), PolicyError);
+  EXPECT_THROW(PolicyExpr::parse("1 $ 2"), PolicyError);
+}
+
+TEST(PolicyLang, UnknownVariableThrowsAtEval) {
+  const PolicyExpr e = PolicyExpr::parse("mystery + 1");
+  EXPECT_THROW((void)e.eval({}), PolicyError);
+}
+
+TEST(PolicyLang, EnvironmentContents) {
+  const std::vector<Load> loads{100, 300, 200};
+  const PolicyEnv env = make_policy_env(loads, /*my_rank=*/1,
+                                        /*capacity=*/2500.0, /*epoch=*/7);
+  EXPECT_DOUBLE_EQ(env.at("my"), 300.0);
+  EXPECT_DOUBLE_EQ(env.at("rank"), 1.0);
+  EXPECT_DOUBLE_EQ(env.at("avg"), 200.0);
+  EXPECT_DOUBLE_EQ(env.at("min"), 100.0);
+  EXPECT_DOUBLE_EQ(env.at("max"), 300.0);
+  EXPECT_DOUBLE_EQ(env.at("total"), 600.0);
+  EXPECT_DOUBLE_EQ(env.at("n"), 3.0);
+  EXPECT_DOUBLE_EQ(env.at("capacity"), 2500.0);
+  EXPECT_DOUBLE_EQ(env.at("epoch"), 7.0);
+}
+
+class PolicyBalancerTest : public ::testing::Test {
+ protected:
+  PolicyBalancerTest() {
+    dirs = fs::build_private_dirs(tree, "w", 10, 50);
+    cp.n_mds = 4;
+    cp.mds_capacity_iops = 1000.0;
+    cp.epoch_ticks = 1;
+    // Spread heat so estimates fit the policy amounts.
+    for (const DirId d : dirs) tree.dir(d).frag(0).heat = 10.0;
+  }
+
+  fs::NamespaceTree tree;
+  mds::ClusterParams cp;
+  std::vector<DirId> dirs;
+};
+
+TEST_F(PolicyBalancerTest, GreedySpillAsAPolicyString) {
+  mds::MdsCluster cluster(tree, cp);
+  PolicyBalancerParams p;
+  p.name = "greedy-spill-lang";
+  p.when = "min < 1 && max > 1";
+  p.howmuch = "my / 2";
+  auto balancer = make_policy_balancer(p);
+  EXPECT_EQ(balancer->name(), "greedy-spill-lang");
+  // Balanced: no trigger.
+  balancer->on_epoch(cluster, std::vector<Load>{100, 100, 100, 100});
+  EXPECT_EQ(cluster.migration().migrations_submitted(), 0u);
+  // One idle MDS: spill.
+  balancer->on_epoch(cluster, std::vector<Load>{400, 100, 100, 0});
+  EXPECT_GT(cluster.migration().migrations_submitted(), 0u);
+  for (const mds::ExportTask& t : cluster.migration().tasks()) {
+    EXPECT_EQ(t.from, 0);
+    EXPECT_EQ(t.to, 3);  // least loaded
+  }
+}
+
+TEST_F(PolicyBalancerTest, NonPositiveAmountsMeanNoExport) {
+  mds::MdsCluster cluster(tree, cp);
+  PolicyBalancerParams p;
+  p.when = "1";          // always willing
+  p.howmuch = "my - my"; // ...but never shipping anything
+  auto balancer = make_policy_balancer(p);
+  balancer->on_epoch(cluster, std::vector<Load>{400, 0, 0, 0});
+  EXPECT_EQ(cluster.migration().migrations_submitted(), 0u);
+}
+
+TEST_F(PolicyBalancerTest, MalformedPolicyFailsAtConstruction) {
+  PolicyBalancerParams p;
+  p.when = "max > (";
+  p.howmuch = "0";
+  EXPECT_THROW(make_policy_balancer(p), PolicyError);
+}
+
+}  // namespace
+}  // namespace lunule::balancer

@@ -1,0 +1,96 @@
+// Tests for hot-dirfrag read replication (the CephFS
+// mds_bal_replicate_threshold mechanism, opt-in in this substrate).
+#include <gtest/gtest.h>
+
+#include "fs/builder.h"
+#include "mds/cluster.h"
+
+namespace lunule::mds {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() {
+    dirs = fs::build_private_dirs(tree, "w", 3, 64);
+    params.n_mds = 3;
+    params.mds_capacity_iops = 100.0;
+    params.epoch_ticks = 1;
+    params.replicate_threshold_iops = 50.0;
+    params.unreplicate_threshold_iops = 5.0;
+  }
+
+  /// Serves `n` reads of dirs[0]/file0 in one tick and closes the epoch.
+  void drive_epoch(MdsCluster& cluster, int n) {
+    cluster.begin_tick(0);
+    for (int i = 0; i < n; ++i) cluster.try_serve(dirs[0], 0);
+    cluster.end_tick();
+    cluster.close_epoch();
+  }
+
+  fs::NamespaceTree tree;
+  ClusterParams params;
+  std::vector<DirId> dirs;
+};
+
+TEST_F(ReplicationTest, HotFragmentGetsReplicated) {
+  MdsCluster cluster(tree, params);
+  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+  drive_epoch(cluster, 80);  // 80 IOPS > threshold 50
+  EXPECT_TRUE(tree.dir(dirs[0]).frag(0).replicated());
+  EXPECT_EQ(cluster.replicated_frags(), 1u);
+}
+
+TEST_F(ReplicationTest, ColdFragmentStaysUnreplicated) {
+  MdsCluster cluster(tree, params);
+  drive_epoch(cluster, 20);  // below threshold
+  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+}
+
+TEST_F(ReplicationTest, ReplicasSpreadReadLoad) {
+  MdsCluster cluster(tree, params);
+  drive_epoch(cluster, 80);  // establish replicas
+  // Next tick: reads of the replicated fragment can exceed one MDS's
+  // capacity because all three servers hold a replica.
+  cluster.begin_tick(1);
+  int served = 0;
+  while (cluster.try_serve(dirs[0], 0) == ServeResult::kServed) ++served;
+  EXPECT_EQ(served, 300);  // 3 x capacity 100
+  for (MdsId m = 0; m < 3; ++m) {
+    EXPECT_EQ(cluster.server(m).served_in_open_epoch(), 100u);
+  }
+}
+
+TEST_F(ReplicationTest, CoolingDropsReplicas) {
+  MdsCluster cluster(tree, params);
+  drive_epoch(cluster, 80);
+  EXPECT_TRUE(tree.dir(dirs[0]).frag(0).replicated());
+  drive_epoch(cluster, 2);  // below the unreplicate threshold
+  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+}
+
+TEST_F(ReplicationTest, MigrationDropsReplicas) {
+  MdsCluster cluster(tree, params);
+  drive_epoch(cluster, 80);
+  ASSERT_TRUE(tree.dir(dirs[0]).frag(0).replicated());
+  tree.migrate_subtree({.dir = dirs[0]}, 2);
+  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+}
+
+TEST_F(ReplicationTest, DisabledByDefault) {
+  params.replicate_threshold_iops = 0.0;
+  MdsCluster cluster(tree, params);
+  drive_epoch(cluster, 90);
+  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+}
+
+TEST_F(ReplicationTest, CreatesStillGoToTheAuthority) {
+  MdsCluster cluster(tree, params);
+  drive_epoch(cluster, 80);  // replicas established on dirs[0]
+  cluster.begin_tick(1);
+  ASSERT_EQ(cluster.try_create(dirs[0]), ServeResult::kServed);
+  // The create was served by the authority (MDS 0), not a replica holder.
+  EXPECT_EQ(cluster.server(0).served_in_open_epoch(), 1u);
+}
+
+}  // namespace
+}  // namespace lunule::mds

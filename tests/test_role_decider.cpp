@@ -1,0 +1,155 @@
+// Tests for Algorithm 1 (role and migration-amount determination).
+#include "core/migration_initiator.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lunule::core {
+namespace {
+
+std::vector<MdsLoadStat> stats_from(const std::vector<double>& clds,
+                                    const std::vector<double>& flds = {}) {
+  std::vector<MdsLoadStat> out;
+  for (std::size_t i = 0; i < clds.size(); ++i) {
+    MdsLoadStat s;
+    s.id = static_cast<MdsId>(i);
+    s.cld = clds[i];
+    s.fld = flds.empty() ? clds[i] : flds[i];
+    out.push_back(s);
+  }
+  return out;
+}
+
+RoleDeciderParams rdp(double cap = 1000.0, double threshold = 0.0025) {
+  return RoleDeciderParams{.load_threshold = threshold,
+                           .epoch_capacity_cap = cap};
+}
+
+TEST(RoleDecider, BalancedClusterProducesNoPlan) {
+  auto stats = stats_from({500, 500, 500, 500});
+  const MigrationPlan plan = decide_roles(stats, rdp());
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(RoleDecider, AllIdleProducesNoPlan) {
+  auto stats = stats_from({0, 0, 0});
+  EXPECT_TRUE(decide_roles(stats, rdp()).empty());
+}
+
+TEST(RoleDecider, SingleHotMdsExportsToAllIdlePeers) {
+  auto stats = stats_from({2000, 0, 0, 0, 0});
+  const MigrationPlan plan = decide_roles(stats, rdp());
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.exporters.size(), 1u);
+  EXPECT_EQ(plan.exporters[0], 0);
+  EXPECT_EQ(plan.importers.size(), 4u);
+  for (const MigrationAssignment& a : plan.assignments) {
+    EXPECT_EQ(a.exporter, 0);
+    EXPECT_NE(a.importer, 0);
+    EXPECT_GT(a.amount, 0.0);
+  }
+}
+
+TEST(RoleDecider, ExportDemandCappedByEpochCapacity) {
+  auto stats = stats_from({10000, 0, 0, 0, 0});
+  const MigrationPlan plan = decide_roles(stats, rdp(/*cap=*/500.0));
+  // eld = min(Cap, cld - avg) = 500; paired against importers.
+  EXPECT_LE(plan.total_amount(), 500.0 + 1e-9);
+}
+
+TEST(RoleDecider, ImporterCapacityCapped) {
+  auto stats = stats_from({3000, 0});
+  const MigrationPlan plan = decide_roles(stats, rdp(/*cap=*/400.0));
+  for (const auto& a : plan.assignments) {
+    EXPECT_LE(a.amount, 400.0 + 1e-9);
+  }
+}
+
+TEST(RoleDecider, ForecastGrowthDisqualifiesImporter) {
+  // MDS 1 is below average but its own load is forecast to grow past the
+  // gap: Algorithm 1 line 10 must not make it an importer.
+  auto stats = stats_from({2000, 500, 1200, 1200, 1100},
+                          {2000, 2500, 1200, 1200, 1100});
+  const MigrationPlan plan = decide_roles(stats, rdp());
+  EXPECT_EQ(std::count(plan.importers.begin(), plan.importers.end(), 1), 0);
+}
+
+TEST(RoleDecider, ForecastGrowthShrinksImportAmount) {
+  auto grow = stats_from({2000, 0}, {2000, 300});
+  auto flat = stats_from({2000, 0}, {2000, 0});
+  const double with_growth =
+      decide_roles(grow, rdp()).total_amount();
+  const double without_growth =
+      decide_roles(flat, rdp()).total_amount();
+  EXPECT_LT(with_growth, without_growth);
+  EXPECT_NEAR(without_growth - with_growth, 300.0, 1e-9);
+}
+
+TEST(RoleDecider, ThresholdSuppressesSmallDeviations) {
+  // 4% deviations with L requiring > 5%: nobody participates.
+  auto stats = stats_from({1040, 960, 1000, 1000});
+  const MigrationPlan plan = decide_roles(stats, rdp(1000.0, 0.0025));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(RoleDecider, PairingNeverExceedsEitherSide) {
+  auto stats = stats_from({900, 800, 100, 200});
+  const MigrationPlan plan = decide_roles(stats, rdp());
+  double exported0 = 0.0;
+  double exported1 = 0.0;
+  for (const auto& a : plan.assignments) {
+    EXPECT_EQ(a.amount,
+              a.amount);  // not NaN
+    if (a.exporter == 0) exported0 += a.amount;
+    if (a.exporter == 1) exported1 += a.amount;
+  }
+  const double avg = (900 + 800 + 100 + 200) / 4.0;
+  EXPECT_LE(exported0, 900 - avg + 1e-9);
+  EXPECT_LE(exported1, 800 - avg + 1e-9);
+}
+
+// Property sweep over random load vectors: structural invariants of
+// Algorithm 1 hold for any input.
+class RoleDeciderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoleDeciderSweep, StructuralInvariants) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 99 + 5);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> clds(static_cast<std::size_t>(n));
+    for (auto& c : clds) c = rng.next_double() * 2500.0;
+    auto stats = stats_from(clds);
+    const MigrationPlan plan = decide_roles(stats, rdp());
+
+    double avg = 0.0;
+    for (double c : clds) avg += c;
+    avg /= static_cast<double>(n);
+
+    for (const MigrationAssignment& a : plan.assignments) {
+      ASSERT_NE(a.exporter, a.importer);
+      ASSERT_GT(a.amount, 0.0);
+      ASSERT_LE(a.amount, 1000.0 + 1e-9);  // Cap
+      // Exporters are above average, importers below.
+      ASSERT_GT(clds[static_cast<std::size_t>(a.exporter)], avg);
+      ASSERT_LT(clds[static_cast<std::size_t>(a.importer)], avg);
+    }
+    // Per-exporter totals never exceed its original excess (or Cap).
+    for (const MdsId e : plan.exporters) {
+      double total = 0.0;
+      for (const auto& a : plan.assignments) {
+        if (a.exporter == e) total += a.amount;
+      }
+      const double excess = clds[static_cast<std::size_t>(e)] - avg;
+      ASSERT_LE(total, std::min(excess, 1000.0) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, RoleDeciderSweep,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace lunule::core

@@ -1,0 +1,118 @@
+// Unit and property tests for descriptive statistics (common/stats.h).
+#include "common/stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lunule {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, SampleVarianceCorrected) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  // Known dataset: population variance 4, sample variance 32/7.
+  EXPECT_NEAR(sample_variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, VarianceDegenerateCases) {
+  EXPECT_DOUBLE_EQ(sample_variance({}), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(sample_variance(one), 0.0);
+}
+
+TEST(Stats, CovZeroForUniformLoads) {
+  const std::vector<double> xs{7, 7, 7, 7, 7};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(Stats, CovZeroWhenAllIdle) {
+  const std::vector<double> xs{0, 0, 0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(Stats, CovOfOneHotVectorIsSqrtN) {
+  // The supremum used by the paper's normalization (Eq. 3): a one-hot load
+  // vector reaches CoV = sqrt(n) exactly.
+  for (std::size_t n : {2u, 5u, 16u}) {
+    std::vector<double> xs(n, 0.0);
+    xs[0] = 123.0;
+    EXPECT_NEAR(coefficient_of_variation(xs),
+                max_coefficient_of_variation(n), 1e-12)
+        << "n=" << n;
+  }
+}
+
+TEST(Stats, CovScaleInvariant) {
+  const std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b;
+  for (double x : a) b.push_back(1000.0 * x);
+  EXPECT_NEAR(coefficient_of_variation(a), coefficient_of_variation(b),
+              1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{4, 1, 3, 2};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, LinearFitExactLine) {
+  // y = 3x + 1 over x = 0..4.
+  const std::vector<double> ys{1, 4, 7, 10, 13};
+  const LinearFit fit = fit_linear(ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.at(5), 16.0, 1e-12);
+}
+
+TEST(Stats, LinearFitConstantSeries) {
+  const std::vector<double> ys{5, 5, 5};
+  const LinearFit fit = fit_linear(ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+}
+
+TEST(Stats, LinearFitShortSeries) {
+  EXPECT_DOUBLE_EQ(fit_linear({}).at(10), 0.0);
+  const std::vector<double> one{2.0};
+  EXPECT_DOUBLE_EQ(fit_linear(one).at(10), 2.0);
+}
+
+TEST(Stats, RSquaredPerfectAndNull) {
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(r_squared(ys, ys), 1.0);
+  const std::vector<double> flat{2, 2, 2};
+  EXPECT_LT(r_squared(ys, flat), 1.0);
+}
+
+// Property sweep: CoV of random non-negative vectors always lands within
+// [0, sqrt(n)] — the invariant behind the IF normalization.
+class CovRangeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CovRangeSweep, CovWithinNormalizationBound) {
+  const int n = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (auto& x : xs) x = rng.next_double() * 1000.0;
+    const double cov = coefficient_of_variation(xs);
+    ASSERT_GE(cov, 0.0);
+    ASSERT_LE(cov, max_coefficient_of_variation(xs.size()) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, CovRangeSweep,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace lunule

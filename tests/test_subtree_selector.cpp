@@ -1,0 +1,144 @@
+// Tests for the workload-aware subtree selector's three search paths.
+#include "core/subtree_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "fs/builder.h"
+
+namespace lunule::core {
+namespace {
+
+class SelectorTest : public ::testing::Test {
+ protected:
+  SelectorTest() {
+    dirs = fs::build_private_dirs(tree, "w", 8, 120);
+  }
+
+  /// Gives directory `d` a steady temporal load of `iops` (visits recur),
+  /// spread over the full 60-second / 6-epoch window so the observed
+  /// last-epoch rate equals `iops` too.
+  void set_temporal_load(DirId d, double iops) {
+    fs::FragStats& f = tree.dir(d).frag(0);
+    const auto per_epoch = static_cast<std::uint32_t>(iops * 10.0);
+    for (std::size_t e = 0; e < fs::kCuttingWindows; ++e) {
+      f.visits_window.push(per_epoch);
+      f.file_visits_window.push(per_epoch);
+      f.recurrent_window.push(per_epoch);
+    }
+  }
+
+  SelectorParams params() {
+    SelectorParams p;
+    p.window_seconds = 60.0;
+    p.inode_cap = 100000;
+    p.min_files_to_fragment = 16;
+    return p;
+  }
+
+  fs::NamespaceTree tree;
+  std::vector<DirId> dirs;
+};
+
+TEST_F(SelectorTest, NoCandidatesYieldsEmpty) {
+  const SubtreeSelector sel(params());
+  EXPECT_TRUE(sel.select(tree, 0, 100.0).empty());
+}
+
+TEST_F(SelectorTest, PathOneExactishMatchPicksSingleSubtree) {
+  set_temporal_load(dirs[0], 500.0);
+  set_temporal_load(dirs[1], 95.0);  // within 10% of the demand of 100
+  set_temporal_load(dirs[2], 20.0);
+  const SubtreeSelector sel(params());
+  const auto picks = sel.select(tree, 0, 100.0);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0].ref.dir, dirs[1]);
+  EXPECT_NEAR(picks[0].predicted_iops, 95.0, 1.0);
+}
+
+TEST_F(SelectorTest, PathTwoSplitsOversizedDirectory) {
+  // Only one candidate, far above the demand (and above the hot-skip
+  // rate): the selector must fragment it and return a subset of frags
+  // instead of the whole directory.
+  set_temporal_load(dirs[0], 800.0);
+  const SubtreeSelector sel(params());
+  const auto picks = sel.select(tree, 0, 200.0);
+  ASSERT_FALSE(picks.empty());
+  EXPECT_TRUE(tree.dir(dirs[0]).fragmented());
+  double total = 0.0;
+  for (const Selection& s : picks) {
+    EXPECT_TRUE(s.ref.is_frag());
+    total += s.predicted_iops;
+  }
+  EXPECT_LT(total, 800.0);  // strictly less than moving everything
+  EXPECT_GT(total, 90.0);   // but a meaningful share of the demand
+}
+
+TEST_F(SelectorTest, PathThreeGreedyMinimalSet) {
+  for (int i = 0; i < 6; ++i) {
+    set_temporal_load(dirs[static_cast<std::size_t>(i)], 40.0);
+  }
+  const SubtreeSelector sel(params());
+  const auto picks = sel.select(tree, 0, 120.0);
+  ASSERT_EQ(picks.size(), 3u);  // 3 x 40 == 120
+  double total = 0.0;
+  for (const Selection& s : picks) total += s.predicted_iops;
+  EXPECT_NEAR(total, 120.0, 12.0);
+}
+
+TEST_F(SelectorTest, InodeCapBoundsSelection) {
+  for (int i = 0; i < 8; ++i) {
+    set_temporal_load(dirs[static_cast<std::size_t>(i)], 30.0);
+  }
+  SelectorParams p = params();
+  p.inode_cap = 250;  // each dir is 121 inodes: at most 2 fit
+  const SubtreeSelector sel(p);
+  const auto picks = sel.select(tree, 0, 10000.0);
+  std::uint64_t inodes = 0;
+  for (const Selection& s : picks) inodes += s.inodes;
+  EXPECT_LE(inodes, 250u);
+  EXPECT_EQ(picks.size(), 2u);
+}
+
+TEST_F(SelectorTest, MaxSubtreesBoundsSelection) {
+  for (int i = 0; i < 8; ++i) {
+    set_temporal_load(dirs[static_cast<std::size_t>(i)], 10.0);
+  }
+  SelectorParams p = params();
+  p.max_subtrees = 3;
+  const SubtreeSelector sel(p);
+  EXPECT_LE(sel.select(tree, 0, 10000.0).size(), 3u);
+}
+
+TEST_F(SelectorTest, OnlySelectsFromRequestedExporter) {
+  set_temporal_load(dirs[0], 50.0);
+  set_temporal_load(dirs[1], 50.0);
+  tree.set_auth(dirs[1], 2);  // owned elsewhere
+  const SubtreeSelector sel(params());
+  for (const Selection& s : sel.select(tree, 0, 100.0)) {
+    EXPECT_NE(s.ref.dir, dirs[1]);
+  }
+}
+
+TEST_F(SelectorTest, ExhaustedSubtreesNeverSelected) {
+  // Visited-out directory with stale heat but zero migration index.
+  fs::Directory& d = tree.dir(dirs[0]);
+  d.frag(0).heat = 9999.0;
+  d.frag(0).visited_files = d.frag(0).file_count;
+  for (FileIndex i = 0; i < d.file_count(); ++i) {
+    d.file(i).last_access_epoch = 0;
+  }
+  set_temporal_load(dirs[1], 50.0);
+  const SubtreeSelector sel(params());
+  for (const Selection& s : sel.select(tree, 0, 100.0)) {
+    EXPECT_NE(s.ref.dir, dirs[0]);
+  }
+}
+
+TEST_F(SelectorTest, ZeroAmountSelectsNothing) {
+  set_temporal_load(dirs[0], 50.0);
+  const SubtreeSelector sel(params());
+  EXPECT_TRUE(sel.select(tree, 0, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace lunule::core

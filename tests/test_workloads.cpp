@@ -1,0 +1,206 @@
+// Tests for the workload programs: scan order, Table 1 metadata ratios,
+// Zipf reads, web trace replay, and MDtest creates.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fs/builder.h"
+#include "workloads/mdtest.h"
+#include "workloads/scan.h"
+#include "workloads/web_trace.h"
+#include "workloads/zipf_read.h"
+
+namespace lunule::workloads {
+namespace {
+
+TEST(MetaOpPacer, AveragesFractionalRates) {
+  MetaOpPacer pacer(3.566, true);
+  std::uint64_t total = 0;
+  constexpr int kFiles = 10000;
+  for (int i = 0; i < kFiles; ++i) total += pacer.begin_file();
+  EXPECT_NEAR(static_cast<double>(total) / kFiles, 3.566, 0.01);
+}
+
+TEST(MetaOpPacer, AtLeastOneOpPerFile) {
+  MetaOpPacer pacer(0.4, true);  // degenerate rate
+  for (int i = 0; i < 100; ++i) EXPECT_GE(pacer.begin_file(), 1u);
+}
+
+TEST(MetaOpsForRatio, ReproducesTableOneRatios) {
+  // ratio = m / (m + 1) with one data op per file.
+  for (const double ratio : {0.781, 0.928, 0.572, 0.5}) {
+    const double m = meta_ops_for_ratio(ratio);
+    EXPECT_NEAR(m / (m + 1.0), ratio, 1e-12);
+  }
+}
+
+class ScanProgramTest : public ::testing::Test {
+ protected:
+  ScanProgramTest() { dirs = fs::build_imagenet_like(tree, "cnn", 5, 8); }
+  fs::NamespaceTree tree;
+  std::vector<DirId> dirs;
+};
+
+TEST_F(ScanProgramTest, VisitsEveryFileExactlyOnceInOrder) {
+  ScanProgram scan(dirs, std::vector<std::uint32_t>(5, 8), 0.781);
+  std::map<std::pair<DirId, FileIndex>, int> seen;
+  Op op;
+  std::size_t last_dir_pos = 0;
+  while (scan.next(op)) {
+    EXPECT_EQ(op.kind, OpKind::kLookup);
+    ++seen[{op.dir, op.file}];
+    // Directories are visited in the given order (monotone position).
+    const auto pos = static_cast<std::size_t>(
+        std::find(dirs.begin(), dirs.end(), op.dir) - dirs.begin());
+    EXPECT_GE(pos, last_dir_pos);
+    last_dir_pos = pos;
+  }
+  EXPECT_EQ(seen.size(), 40u);  // 5 dirs x 8 files
+  for (const auto& [key, count] : seen) {
+    EXPECT_GE(count, 1);  // several meta ops per file, all same target
+  }
+}
+
+TEST_F(ScanProgramTest, MetaRatioMatchesTableOne) {
+  ScanProgram scan(dirs, std::vector<std::uint32_t>(5, 8), 0.781);
+  std::uint64_t meta = 0;
+  std::uint64_t data = 0;
+  Op op;
+  while (scan.next(op)) {
+    ++meta;
+    if (op.has_data) ++data;
+  }
+  EXPECT_EQ(data, 40u);  // exactly one data phase per file
+  EXPECT_NEAR(static_cast<double>(meta) / static_cast<double>(meta + data),
+              0.781, 0.03);
+}
+
+TEST_F(ScanProgramTest, FullMetaRatioHasNoDataPhases) {
+  ScanProgram scan(dirs, std::vector<std::uint32_t>(5, 8), 1.0 - 1e-9);
+  Op op;
+  while (scan.next(op)) EXPECT_FALSE(op.has_data);
+}
+
+TEST_F(ScanProgramTest, PlannedOpsApproximatesEmitted) {
+  ScanProgram scan(dirs, std::vector<std::uint32_t>(5, 8), 0.928);
+  const std::uint64_t planned = scan.planned_meta_ops();
+  std::uint64_t emitted = 0;
+  Op op;
+  while (scan.next(op)) ++emitted;
+  EXPECT_NEAR(static_cast<double>(emitted), static_cast<double>(planned),
+              static_cast<double>(planned) * 0.05 + 2.0);
+}
+
+class ZipfReadTest : public ::testing::Test {
+ protected:
+  ZipfReadTest() {
+    dirs = fs::build_private_dirs(tree, "zipf", 1, 100);
+    sampler = std::make_shared<ZipfSampler>(100, 1.0);
+  }
+  fs::NamespaceTree tree;
+  std::vector<DirId> dirs;
+  std::shared_ptr<ZipfSampler> sampler;
+};
+
+TEST_F(ZipfReadTest, StaysInOwnDirectoryAndBounds) {
+  ZipfReadProgram prog(dirs[0], 100, 500, sampler, Rng(3));
+  Op op;
+  std::uint64_t count = 0;
+  while (prog.next(op)) {
+    EXPECT_EQ(op.dir, dirs[0]);
+    EXPECT_LT(op.file, 100u);
+    EXPECT_EQ(op.kind, OpKind::kLookup);
+    ++count;
+  }
+  EXPECT_EQ(count, 500u);  // meta ratio 0.5 => exactly 1 meta op per file
+}
+
+TEST_F(ZipfReadTest, PopularityIsSkewed) {
+  ZipfReadProgram prog(dirs[0], 100, 20000, sampler, Rng(4));
+  std::map<FileIndex, int> hits;
+  Op op;
+  while (prog.next(op)) ++hits[op.file];
+  // The most popular file gets far more than the uniform share.
+  int max_hits = 0;
+  for (const auto& [f, h] : hits) max_hits = std::max(max_hits, h);
+  EXPECT_GT(max_hits, 3 * 200);
+}
+
+TEST_F(ZipfReadTest, DeterministicGivenSeed) {
+  ZipfReadProgram a(dirs[0], 100, 100, sampler, Rng(9));
+  ZipfReadProgram b(dirs[0], 100, 100, sampler, Rng(9));
+  Op oa;
+  Op ob;
+  while (a.next(oa)) {
+    ASSERT_TRUE(b.next(ob));
+    ASSERT_EQ(oa.file, ob.file);
+  }
+}
+
+class WebTraceTest : public ::testing::Test {
+ protected:
+  WebTraceTest() {
+    layout = fs::build_web_tree(tree, "web", 2, 3, 50);
+    trace = std::make_shared<WebTrace>(layout.leaf_dirs, 50, 5000, 0.9,
+                                       Rng(11));
+  }
+  fs::NamespaceTree tree;
+  fs::WebTreeLayout layout;
+  std::shared_ptr<WebTrace> trace;
+};
+
+TEST_F(WebTraceTest, RecordsTargetValidFiles) {
+  EXPECT_EQ(trace->records().size(), 5000u);
+  EXPECT_EQ(trace->universe_files(), 300u);
+  const std::set<DirId> leaves(layout.leaf_dirs.begin(),
+                               layout.leaf_dirs.end());
+  for (const TraceRecord& r : trace->records()) {
+    EXPECT_TRUE(leaves.count(r.dir));
+    EXPECT_LT(r.file, 50u);
+  }
+}
+
+TEST_F(WebTraceTest, TraceHasTemporalLocality) {
+  // Popular files recur: distinct files << total requests.
+  std::set<std::pair<DirId, FileIndex>> distinct;
+  for (const TraceRecord& r : trace->records()) {
+    distinct.insert({r.dir, r.file});
+  }
+  EXPECT_LT(distinct.size(), trace->records().size() / 2);
+}
+
+TEST_F(WebTraceTest, ReplayFollowsTraceOrderAndWraps) {
+  WebReplayProgram prog(trace, /*offset=*/4998, /*requests=*/4, 0.5);
+  Op op;
+  std::vector<TraceRecord> seen;
+  while (prog.next(op)) {
+    seen.push_back({op.dir, op.file});
+  }
+  ASSERT_EQ(seen.size(), 4u);  // meta ratio 0.5: one op per file
+  EXPECT_EQ(seen[0].dir, trace->records()[4998].dir);
+  EXPECT_EQ(seen[2].dir, trace->records()[0].dir);  // wrapped
+}
+
+TEST(MdtestProgram, EmitsExactlyRequestedCreates) {
+  MdtestCreateProgram prog(7, 25);
+  Op op;
+  int count = 0;
+  while (prog.next(op)) {
+    EXPECT_EQ(op.kind, OpKind::kCreate);
+    EXPECT_EQ(op.dir, 7u);
+    EXPECT_FALSE(op.has_data);  // 100% metadata
+    ++count;
+  }
+  EXPECT_EQ(count, 25);
+  EXPECT_EQ(prog.planned_meta_ops(), 0u);  // drained
+}
+
+TEST(MdtestProgram, OpenEndedNeverFinishes) {
+  MdtestCreateProgram prog(7, 0);
+  Op op;
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(prog.next(op));
+}
+
+}  // namespace
+}  // namespace lunule::workloads

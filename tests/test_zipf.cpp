@@ -1,0 +1,82 @@
+// Unit and property tests for the Zipf sampler (common/zipf.h).
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace lunule {
+namespace {
+
+TEST(Zipf, PmfIsMonotonicallyDecreasing) {
+  const ZipfSampler z(1000, 1.0);
+  for (std::uint64_t k = 1; k < 1000; ++k) {
+    ASSERT_GE(z.pmf(k - 1), z.pmf(k));
+  }
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler z(500, 0.8);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < 500; ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfSampler z(100, 0.0);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_NEAR(z.pmf(k), 0.01, 1e-12);
+  }
+}
+
+TEST(Zipf, SamplesStayInUniverse) {
+  const ZipfSampler z(64, 1.2);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(z.sample(rng), 64u);
+  }
+}
+
+TEST(Zipf, SamplingMatchesTopMass) {
+  const ZipfSampler z(1000, 1.0);
+  Rng rng(6);
+  constexpr int kDraws = 200000;
+  int top100 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.sample(rng) < 100) ++top100;
+  }
+  EXPECT_NEAR(static_cast<double>(top100) / kDraws, z.top_mass(100), 0.01);
+}
+
+TEST(Zipf, EightyTwentyExponentSolve) {
+  // The paper's Filebench config: 80% of requests touch 20% of 10000 files.
+  const double s = zipf_exponent_for(0.2, 0.8, 10000);
+  const ZipfSampler z(10000, s);
+  EXPECT_NEAR(z.top_mass(2000), 0.8, 0.01);
+  EXPECT_GT(s, 0.5);
+  EXPECT_LT(s, 1.5);
+}
+
+TEST(Zipf, TopMassEdgeCases) {
+  const ZipfSampler z(10, 1.0);
+  EXPECT_DOUBLE_EQ(z.top_mass(0), 0.0);
+  EXPECT_DOUBLE_EQ(z.top_mass(10), 1.0);
+  EXPECT_DOUBLE_EQ(z.top_mass(100), 1.0);  // clamped
+}
+
+// Property sweep: for any exponent, higher exponent concentrates more mass
+// on the head.
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, HeadMassGrowsWithExponent) {
+  const double s = GetParam();
+  const ZipfSampler lo(1000, s);
+  const ZipfSampler hi(1000, s + 0.25);
+  EXPECT_LT(lo.top_mass(50), hi.top_mass(50) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0, 1.5,
+                                           2.0));
+
+}  // namespace
+}  // namespace lunule
