@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lunule.dir/bench/ablation_lunule.cpp.o"
+  "CMakeFiles/ablation_lunule.dir/bench/ablation_lunule.cpp.o.d"
+  "bench/ablation_lunule"
+  "bench/ablation_lunule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lunule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

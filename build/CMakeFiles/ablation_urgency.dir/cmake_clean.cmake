@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_urgency.dir/bench/ablation_urgency.cpp.o"
+  "CMakeFiles/ablation_urgency.dir/bench/ablation_urgency.cpp.o.d"
+  "bench/ablation_urgency"
+  "bench/ablation_urgency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_urgency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_selection.dir/bench/ext_adaptive_selection.cpp.o"
+  "CMakeFiles/ext_adaptive_selection.dir/bench/ext_adaptive_selection.cpp.o.d"
+  "bench/ext_adaptive_selection"
+  "bench/ext_adaptive_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_generality.dir/bench/ext_generality.cpp.o"
+  "CMakeFiles/ext_generality.dir/bench/ext_generality.cpp.o.d"
+  "bench/ext_generality"
+  "bench/ext_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

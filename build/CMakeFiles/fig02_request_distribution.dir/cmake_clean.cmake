@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_request_distribution.dir/bench/fig02_request_distribution.cpp.o"
+  "CMakeFiles/fig02_request_distribution.dir/bench/fig02_request_distribution.cpp.o.d"
+  "bench/fig02_request_distribution"
+  "bench/fig02_request_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_request_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_per_mds_throughput.dir/bench/fig03_per_mds_throughput.cpp.o"
+  "CMakeFiles/fig03_per_mds_throughput.dir/bench/fig03_per_mds_throughput.cpp.o.d"
+  "bench/fig03_per_mds_throughput"
+  "bench/fig03_per_mds_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_per_mds_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

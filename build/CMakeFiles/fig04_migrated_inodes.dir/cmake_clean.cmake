@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_migrated_inodes.dir/bench/fig04_migrated_inodes.cpp.o"
+  "CMakeFiles/fig04_migrated_inodes.dir/bench/fig04_migrated_inodes.cpp.o.d"
+  "bench/fig04_migrated_inodes"
+  "bench/fig04_migrated_inodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_migrated_inodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

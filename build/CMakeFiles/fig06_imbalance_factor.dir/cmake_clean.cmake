@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_imbalance_factor.dir/bench/fig06_imbalance_factor.cpp.o"
+  "CMakeFiles/fig06_imbalance_factor.dir/bench/fig06_imbalance_factor.cpp.o.d"
+  "bench/fig06_imbalance_factor"
+  "bench/fig06_imbalance_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_imbalance_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

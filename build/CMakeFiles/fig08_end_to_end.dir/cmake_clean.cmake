@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_end_to_end.dir/bench/fig08_end_to_end.cpp.o"
+  "CMakeFiles/fig08_end_to_end.dir/bench/fig08_end_to_end.cpp.o.d"
+  "bench/fig08_end_to_end"
+  "bench/fig08_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

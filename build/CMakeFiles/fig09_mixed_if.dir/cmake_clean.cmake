@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mixed_if.dir/bench/fig09_mixed_if.cpp.o"
+  "CMakeFiles/fig09_mixed_if.dir/bench/fig09_mixed_if.cpp.o.d"
+  "bench/fig09_mixed_if"
+  "bench/fig09_mixed_if.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mixed_if.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mixed_throughput.dir/bench/fig10_mixed_throughput.cpp.o"
+  "CMakeFiles/fig10_mixed_throughput.dir/bench/fig10_mixed_throughput.cpp.o.d"
+  "bench/fig10_mixed_throughput"
+  "bench/fig10_mixed_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mixed_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_jct_cdf.dir/bench/fig11_jct_cdf.cpp.o"
+  "CMakeFiles/fig11_jct_cdf.dir/bench/fig11_jct_cdf.cpp.o.d"
+  "bench/fig11_jct_cdf"
+  "bench/fig11_jct_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_jct_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dynamics.dir/bench/fig12_dynamics.cpp.o"
+  "CMakeFiles/fig12_dynamics.dir/bench/fig12_dynamics.cpp.o.d"
+  "bench/fig12_dynamics"
+  "bench/fig12_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

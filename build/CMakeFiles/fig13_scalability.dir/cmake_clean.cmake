@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_scalability.dir/bench/fig13_scalability.cpp.o"
+  "CMakeFiles/fig13_scalability.dir/bench/fig13_scalability.cpp.o.d"
+  "bench/fig13_scalability"
+  "bench/fig13_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dirhash.dir/bench/fig14_dirhash.cpp.o"
+  "CMakeFiles/fig14_dirhash.dir/bench/fig14_dirhash.cpp.o.d"
+  "bench/fig14_dirhash"
+  "bench/fig14_dirhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dirhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

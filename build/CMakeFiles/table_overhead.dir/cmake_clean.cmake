@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_overhead.dir/bench/table_overhead.cpp.o"
+  "CMakeFiles/table_overhead.dir/bench/table_overhead.cpp.o.d"
+  "bench/table_overhead"
+  "bench/table_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

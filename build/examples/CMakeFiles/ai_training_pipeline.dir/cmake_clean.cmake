@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ai_training_pipeline.dir/ai_training_pipeline.cpp.o"
+  "CMakeFiles/ai_training_pipeline.dir/ai_training_pipeline.cpp.o.d"
+  "ai_training_pipeline"
+  "ai_training_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ai_training_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

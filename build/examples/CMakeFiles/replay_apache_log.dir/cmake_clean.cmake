@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_apache_log.dir/replay_apache_log.cpp.o"
+  "CMakeFiles/replay_apache_log.dir/replay_apache_log.cpp.o.d"
+  "replay_apache_log"
+  "replay_apache_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_apache_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

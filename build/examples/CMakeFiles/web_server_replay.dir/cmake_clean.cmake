@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server_replay.dir/web_server_replay.cpp.o"
+  "CMakeFiles/web_server_replay.dir/web_server_replay.cpp.o.d"
+  "web_server_replay"
+  "web_server_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

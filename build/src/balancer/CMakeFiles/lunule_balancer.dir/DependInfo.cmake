@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/balancer/candidates.cpp" "src/balancer/CMakeFiles/lunule_balancer.dir/candidates.cpp.o" "gcc" "src/balancer/CMakeFiles/lunule_balancer.dir/candidates.cpp.o.d"
+  "/root/repo/src/balancer/dir_hash.cpp" "src/balancer/CMakeFiles/lunule_balancer.dir/dir_hash.cpp.o" "gcc" "src/balancer/CMakeFiles/lunule_balancer.dir/dir_hash.cpp.o.d"
+  "/root/repo/src/balancer/mantle.cpp" "src/balancer/CMakeFiles/lunule_balancer.dir/mantle.cpp.o" "gcc" "src/balancer/CMakeFiles/lunule_balancer.dir/mantle.cpp.o.d"
+  "/root/repo/src/balancer/policy_lang.cpp" "src/balancer/CMakeFiles/lunule_balancer.dir/policy_lang.cpp.o" "gcc" "src/balancer/CMakeFiles/lunule_balancer.dir/policy_lang.cpp.o.d"
+  "/root/repo/src/balancer/vanilla.cpp" "src/balancer/CMakeFiles/lunule_balancer.dir/vanilla.cpp.o" "gcc" "src/balancer/CMakeFiles/lunule_balancer.dir/vanilla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mds/CMakeFiles/lunule_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lunule_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lunule_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

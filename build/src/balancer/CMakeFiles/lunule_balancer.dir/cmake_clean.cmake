@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunule_balancer.dir/candidates.cpp.o"
+  "CMakeFiles/lunule_balancer.dir/candidates.cpp.o.d"
+  "CMakeFiles/lunule_balancer.dir/dir_hash.cpp.o"
+  "CMakeFiles/lunule_balancer.dir/dir_hash.cpp.o.d"
+  "CMakeFiles/lunule_balancer.dir/mantle.cpp.o"
+  "CMakeFiles/lunule_balancer.dir/mantle.cpp.o.d"
+  "CMakeFiles/lunule_balancer.dir/policy_lang.cpp.o"
+  "CMakeFiles/lunule_balancer.dir/policy_lang.cpp.o.d"
+  "CMakeFiles/lunule_balancer.dir/vanilla.cpp.o"
+  "CMakeFiles/lunule_balancer.dir/vanilla.cpp.o.d"
+  "liblunule_balancer.a"
+  "liblunule_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunule_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

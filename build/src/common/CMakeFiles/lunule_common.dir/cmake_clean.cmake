@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunule_common.dir/flags.cpp.o"
+  "CMakeFiles/lunule_common.dir/flags.cpp.o.d"
+  "CMakeFiles/lunule_common.dir/histogram.cpp.o"
+  "CMakeFiles/lunule_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/lunule_common.dir/stats.cpp.o"
+  "CMakeFiles/lunule_common.dir/stats.cpp.o.d"
+  "CMakeFiles/lunule_common.dir/table.cpp.o"
+  "CMakeFiles/lunule_common.dir/table.cpp.o.d"
+  "CMakeFiles/lunule_common.dir/time_series.cpp.o"
+  "CMakeFiles/lunule_common.dir/time_series.cpp.o.d"
+  "CMakeFiles/lunule_common.dir/zipf.cpp.o"
+  "CMakeFiles/lunule_common.dir/zipf.cpp.o.d"
+  "liblunule_common.a"
+  "liblunule_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunule_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_lunule.cpp" "src/core/CMakeFiles/lunule_core.dir/adaptive_lunule.cpp.o" "gcc" "src/core/CMakeFiles/lunule_core.dir/adaptive_lunule.cpp.o.d"
+  "/root/repo/src/core/hash_rebalancer.cpp" "src/core/CMakeFiles/lunule_core.dir/hash_rebalancer.cpp.o" "gcc" "src/core/CMakeFiles/lunule_core.dir/hash_rebalancer.cpp.o.d"
+  "/root/repo/src/core/imbalance_factor.cpp" "src/core/CMakeFiles/lunule_core.dir/imbalance_factor.cpp.o" "gcc" "src/core/CMakeFiles/lunule_core.dir/imbalance_factor.cpp.o.d"
+  "/root/repo/src/core/load_monitor.cpp" "src/core/CMakeFiles/lunule_core.dir/load_monitor.cpp.o" "gcc" "src/core/CMakeFiles/lunule_core.dir/load_monitor.cpp.o.d"
+  "/root/repo/src/core/lunule_balancer.cpp" "src/core/CMakeFiles/lunule_core.dir/lunule_balancer.cpp.o" "gcc" "src/core/CMakeFiles/lunule_core.dir/lunule_balancer.cpp.o.d"
+  "/root/repo/src/core/migration_initiator.cpp" "src/core/CMakeFiles/lunule_core.dir/migration_initiator.cpp.o" "gcc" "src/core/CMakeFiles/lunule_core.dir/migration_initiator.cpp.o.d"
+  "/root/repo/src/core/pattern_analyzer.cpp" "src/core/CMakeFiles/lunule_core.dir/pattern_analyzer.cpp.o" "gcc" "src/core/CMakeFiles/lunule_core.dir/pattern_analyzer.cpp.o.d"
+  "/root/repo/src/core/subtree_selector.cpp" "src/core/CMakeFiles/lunule_core.dir/subtree_selector.cpp.o" "gcc" "src/core/CMakeFiles/lunule_core.dir/subtree_selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/balancer/CMakeFiles/lunule_balancer.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/lunule_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lunule_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lunule_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

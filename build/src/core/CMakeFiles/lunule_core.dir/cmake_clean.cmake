@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunule_core.dir/adaptive_lunule.cpp.o"
+  "CMakeFiles/lunule_core.dir/adaptive_lunule.cpp.o.d"
+  "CMakeFiles/lunule_core.dir/hash_rebalancer.cpp.o"
+  "CMakeFiles/lunule_core.dir/hash_rebalancer.cpp.o.d"
+  "CMakeFiles/lunule_core.dir/imbalance_factor.cpp.o"
+  "CMakeFiles/lunule_core.dir/imbalance_factor.cpp.o.d"
+  "CMakeFiles/lunule_core.dir/load_monitor.cpp.o"
+  "CMakeFiles/lunule_core.dir/load_monitor.cpp.o.d"
+  "CMakeFiles/lunule_core.dir/lunule_balancer.cpp.o"
+  "CMakeFiles/lunule_core.dir/lunule_balancer.cpp.o.d"
+  "CMakeFiles/lunule_core.dir/migration_initiator.cpp.o"
+  "CMakeFiles/lunule_core.dir/migration_initiator.cpp.o.d"
+  "CMakeFiles/lunule_core.dir/pattern_analyzer.cpp.o"
+  "CMakeFiles/lunule_core.dir/pattern_analyzer.cpp.o.d"
+  "CMakeFiles/lunule_core.dir/subtree_selector.cpp.o"
+  "CMakeFiles/lunule_core.dir/subtree_selector.cpp.o.d"
+  "liblunule_core.a"
+  "liblunule_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunule_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/builder.cpp" "src/fs/CMakeFiles/lunule_fs.dir/builder.cpp.o" "gcc" "src/fs/CMakeFiles/lunule_fs.dir/builder.cpp.o.d"
+  "/root/repo/src/fs/namespace_tree.cpp" "src/fs/CMakeFiles/lunule_fs.dir/namespace_tree.cpp.o" "gcc" "src/fs/CMakeFiles/lunule_fs.dir/namespace_tree.cpp.o.d"
+  "/root/repo/src/fs/path_resolver.cpp" "src/fs/CMakeFiles/lunule_fs.dir/path_resolver.cpp.o" "gcc" "src/fs/CMakeFiles/lunule_fs.dir/path_resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lunule_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunule_fs.dir/builder.cpp.o"
+  "CMakeFiles/lunule_fs.dir/builder.cpp.o.d"
+  "CMakeFiles/lunule_fs.dir/namespace_tree.cpp.o"
+  "CMakeFiles/lunule_fs.dir/namespace_tree.cpp.o.d"
+  "CMakeFiles/lunule_fs.dir/path_resolver.cpp.o"
+  "CMakeFiles/lunule_fs.dir/path_resolver.cpp.o.d"
+  "liblunule_fs.a"
+  "liblunule_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunule_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

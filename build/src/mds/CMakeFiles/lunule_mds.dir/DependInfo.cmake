@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mds/access_recorder.cpp" "src/mds/CMakeFiles/lunule_mds.dir/access_recorder.cpp.o" "gcc" "src/mds/CMakeFiles/lunule_mds.dir/access_recorder.cpp.o.d"
+  "/root/repo/src/mds/cluster.cpp" "src/mds/CMakeFiles/lunule_mds.dir/cluster.cpp.o" "gcc" "src/mds/CMakeFiles/lunule_mds.dir/cluster.cpp.o.d"
+  "/root/repo/src/mds/mds_server.cpp" "src/mds/CMakeFiles/lunule_mds.dir/mds_server.cpp.o" "gcc" "src/mds/CMakeFiles/lunule_mds.dir/mds_server.cpp.o.d"
+  "/root/repo/src/mds/messages.cpp" "src/mds/CMakeFiles/lunule_mds.dir/messages.cpp.o" "gcc" "src/mds/CMakeFiles/lunule_mds.dir/messages.cpp.o.d"
+  "/root/repo/src/mds/migration.cpp" "src/mds/CMakeFiles/lunule_mds.dir/migration.cpp.o" "gcc" "src/mds/CMakeFiles/lunule_mds.dir/migration.cpp.o.d"
+  "/root/repo/src/mds/migration_audit.cpp" "src/mds/CMakeFiles/lunule_mds.dir/migration_audit.cpp.o" "gcc" "src/mds/CMakeFiles/lunule_mds.dir/migration_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/lunule_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lunule_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

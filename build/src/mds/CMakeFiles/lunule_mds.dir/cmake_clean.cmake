@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunule_mds.dir/access_recorder.cpp.o"
+  "CMakeFiles/lunule_mds.dir/access_recorder.cpp.o.d"
+  "CMakeFiles/lunule_mds.dir/cluster.cpp.o"
+  "CMakeFiles/lunule_mds.dir/cluster.cpp.o.d"
+  "CMakeFiles/lunule_mds.dir/mds_server.cpp.o"
+  "CMakeFiles/lunule_mds.dir/mds_server.cpp.o.d"
+  "CMakeFiles/lunule_mds.dir/messages.cpp.o"
+  "CMakeFiles/lunule_mds.dir/messages.cpp.o.d"
+  "CMakeFiles/lunule_mds.dir/migration.cpp.o"
+  "CMakeFiles/lunule_mds.dir/migration.cpp.o.d"
+  "CMakeFiles/lunule_mds.dir/migration_audit.cpp.o"
+  "CMakeFiles/lunule_mds.dir/migration_audit.cpp.o.d"
+  "liblunule_mds.a"
+  "liblunule_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunule_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/json_export.cpp" "src/sim/CMakeFiles/lunule_sim.dir/json_export.cpp.o" "gcc" "src/sim/CMakeFiles/lunule_sim.dir/json_export.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/lunule_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/lunule_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/parallel_runner.cpp" "src/sim/CMakeFiles/lunule_sim.dir/parallel_runner.cpp.o" "gcc" "src/sim/CMakeFiles/lunule_sim.dir/parallel_runner.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/lunule_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/lunule_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/lunule_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/lunule_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/lunule_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/lunule_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lunule_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/balancer/CMakeFiles/lunule_balancer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lunule_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/lunule_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lunule_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lunule_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

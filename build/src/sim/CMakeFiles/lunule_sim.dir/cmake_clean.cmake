@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunule_sim.dir/json_export.cpp.o"
+  "CMakeFiles/lunule_sim.dir/json_export.cpp.o.d"
+  "CMakeFiles/lunule_sim.dir/metrics.cpp.o"
+  "CMakeFiles/lunule_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/lunule_sim.dir/parallel_runner.cpp.o"
+  "CMakeFiles/lunule_sim.dir/parallel_runner.cpp.o.d"
+  "CMakeFiles/lunule_sim.dir/report.cpp.o"
+  "CMakeFiles/lunule_sim.dir/report.cpp.o.d"
+  "CMakeFiles/lunule_sim.dir/scenario.cpp.o"
+  "CMakeFiles/lunule_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/lunule_sim.dir/simulation.cpp.o"
+  "CMakeFiles/lunule_sim.dir/simulation.cpp.o.d"
+  "liblunule_sim.a"
+  "liblunule_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunule_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

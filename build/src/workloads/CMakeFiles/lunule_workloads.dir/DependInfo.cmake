@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apache_log.cpp" "src/workloads/CMakeFiles/lunule_workloads.dir/apache_log.cpp.o" "gcc" "src/workloads/CMakeFiles/lunule_workloads.dir/apache_log.cpp.o.d"
+  "/root/repo/src/workloads/client.cpp" "src/workloads/CMakeFiles/lunule_workloads.dir/client.cpp.o" "gcc" "src/workloads/CMakeFiles/lunule_workloads.dir/client.cpp.o.d"
+  "/root/repo/src/workloads/scan.cpp" "src/workloads/CMakeFiles/lunule_workloads.dir/scan.cpp.o" "gcc" "src/workloads/CMakeFiles/lunule_workloads.dir/scan.cpp.o.d"
+  "/root/repo/src/workloads/web_trace.cpp" "src/workloads/CMakeFiles/lunule_workloads.dir/web_trace.cpp.o" "gcc" "src/workloads/CMakeFiles/lunule_workloads.dir/web_trace.cpp.o.d"
+  "/root/repo/src/workloads/zipf_read.cpp" "src/workloads/CMakeFiles/lunule_workloads.dir/zipf_read.cpp.o" "gcc" "src/workloads/CMakeFiles/lunule_workloads.dir/zipf_read.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mds/CMakeFiles/lunule_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lunule_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lunule_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunule_workloads.dir/apache_log.cpp.o"
+  "CMakeFiles/lunule_workloads.dir/apache_log.cpp.o.d"
+  "CMakeFiles/lunule_workloads.dir/client.cpp.o"
+  "CMakeFiles/lunule_workloads.dir/client.cpp.o.d"
+  "CMakeFiles/lunule_workloads.dir/scan.cpp.o"
+  "CMakeFiles/lunule_workloads.dir/scan.cpp.o.d"
+  "CMakeFiles/lunule_workloads.dir/web_trace.cpp.o"
+  "CMakeFiles/lunule_workloads.dir/web_trace.cpp.o.d"
+  "CMakeFiles/lunule_workloads.dir/zipf_read.cpp.o"
+  "CMakeFiles/lunule_workloads.dir/zipf_read.cpp.o.d"
+  "liblunule_workloads.a"
+  "liblunule_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunule_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

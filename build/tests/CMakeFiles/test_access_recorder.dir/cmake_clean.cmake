@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_recorder.dir/test_access_recorder.cpp.o"
+  "CMakeFiles/test_access_recorder.dir/test_access_recorder.cpp.o.d"
+  "test_access_recorder"
+  "test_access_recorder.pdb"
+  "test_access_recorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_lunule.dir/test_adaptive_lunule.cpp.o"
+  "CMakeFiles/test_adaptive_lunule.dir/test_adaptive_lunule.cpp.o.d"
+  "test_adaptive_lunule"
+  "test_adaptive_lunule.pdb"
+  "test_adaptive_lunule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_lunule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apache_log.dir/test_apache_log.cpp.o"
+  "CMakeFiles/test_apache_log.dir/test_apache_log.cpp.o.d"
+  "test_apache_log"
+  "test_apache_log.pdb"
+  "test_apache_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apache_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

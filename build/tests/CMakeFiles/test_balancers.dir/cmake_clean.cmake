@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balancers.dir/test_balancers.cpp.o"
+  "CMakeFiles/test_balancers.dir/test_balancers.cpp.o.d"
+  "test_balancers"
+  "test_balancers.pdb"
+  "test_balancers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balancers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

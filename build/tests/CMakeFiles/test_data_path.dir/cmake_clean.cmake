@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_path.dir/test_data_path.cpp.o"
+  "CMakeFiles/test_data_path.dir/test_data_path.cpp.o.d"
+  "test_data_path"
+  "test_data_path.pdb"
+  "test_data_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

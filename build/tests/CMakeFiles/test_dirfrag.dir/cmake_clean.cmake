@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dirfrag.dir/test_dirfrag.cpp.o"
+  "CMakeFiles/test_dirfrag.dir/test_dirfrag.cpp.o.d"
+  "test_dirfrag"
+  "test_dirfrag.pdb"
+  "test_dirfrag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dirfrag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imbalance_factor.dir/test_imbalance_factor.cpp.o"
+  "CMakeFiles/test_imbalance_factor.dir/test_imbalance_factor.cpp.o.d"
+  "test_imbalance_factor"
+  "test_imbalance_factor.pdb"
+  "test_imbalance_factor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imbalance_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

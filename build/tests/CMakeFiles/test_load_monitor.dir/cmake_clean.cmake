@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_monitor.dir/test_load_monitor.cpp.o"
+  "CMakeFiles/test_load_monitor.dir/test_load_monitor.cpp.o.d"
+  "test_load_monitor"
+  "test_load_monitor.pdb"
+  "test_load_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

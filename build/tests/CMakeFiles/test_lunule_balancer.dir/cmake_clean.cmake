@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lunule_balancer.dir/test_lunule_balancer.cpp.o"
+  "CMakeFiles/test_lunule_balancer.dir/test_lunule_balancer.cpp.o.d"
+  "test_lunule_balancer"
+  "test_lunule_balancer.pdb"
+  "test_lunule_balancer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lunule_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mds_server.dir/test_mds_server.cpp.o"
+  "CMakeFiles/test_mds_server.dir/test_mds_server.cpp.o.d"
+  "test_mds_server"
+  "test_mds_server.pdb"
+  "test_mds_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mds_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

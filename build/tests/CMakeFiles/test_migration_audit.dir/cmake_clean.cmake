@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration_audit.dir/test_migration_audit.cpp.o"
+  "CMakeFiles/test_migration_audit.dir/test_migration_audit.cpp.o.d"
+  "test_migration_audit"
+  "test_migration_audit.pdb"
+  "test_migration_audit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_namespace_tree.dir/test_namespace_tree.cpp.o"
+  "CMakeFiles/test_namespace_tree.dir/test_namespace_tree.cpp.o.d"
+  "test_namespace_tree"
+  "test_namespace_tree.pdb"
+  "test_namespace_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_namespace_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_analyzer.dir/test_pattern_analyzer.cpp.o"
+  "CMakeFiles/test_pattern_analyzer.dir/test_pattern_analyzer.cpp.o.d"
+  "test_pattern_analyzer"
+  "test_pattern_analyzer.pdb"
+  "test_pattern_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

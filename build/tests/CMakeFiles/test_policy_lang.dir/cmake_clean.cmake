@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_lang.dir/test_policy_lang.cpp.o"
+  "CMakeFiles/test_policy_lang.dir/test_policy_lang.cpp.o.d"
+  "test_policy_lang"
+  "test_policy_lang.pdb"
+  "test_policy_lang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

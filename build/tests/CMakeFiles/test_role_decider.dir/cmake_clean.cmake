@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_role_decider.dir/test_role_decider.cpp.o"
+  "CMakeFiles/test_role_decider.dir/test_role_decider.cpp.o.d"
+  "test_role_decider"
+  "test_role_decider.pdb"
+  "test_role_decider[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_role_decider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subtree_selector.dir/test_subtree_selector.cpp.o"
+  "CMakeFiles/test_subtree_selector.dir/test_subtree_selector.cpp.o.d"
+  "test_subtree_selector"
+  "test_subtree_selector.pdb"
+  "test_subtree_selector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subtree_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
