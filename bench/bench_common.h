@@ -7,13 +7,20 @@
 //   --csv        emit CSV instead of aligned tables
 //   --buckets=N  time buckets for series printing
 //   --seed=N     scenario seed
+//   --trace=F    write the flight-recorder JSON dump of the scenario runs
+//                to F (one file per run: F, F.2, F.3, ... in run order).
+//                Honored by the benches that call dump_trace (currently
+//                fig07_throughput and table_overhead); the other binaries
+//                accept the flag but write nothing.
 //
 // Each bench ends with a [SHAPE-CHECK] section asserting the paper's
 // qualitative claims; the process exit code is non-zero if any check fails,
 // so the bench suite doubles as a reproduction regression test.
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "common/flags.h"
 #include "sim/report.h"
@@ -26,6 +33,7 @@ struct BenchOptions {
   std::size_t clients = 100;
   Tick ticks = 1800;
   std::uint64_t seed = 42;
+  std::string trace_path;  // empty = no trace dump
   sim::ReportOptions report;
 
   static BenchOptions parse(int argc, char** argv, double default_scale,
@@ -43,8 +51,27 @@ struct BenchOptions {
     o.report.csv = flags.get_bool("csv", false);
     o.report.buckets =
         static_cast<std::size_t>(flags.get_int("buckets", 12));
+    o.trace_path = flags.get("trace", "");
     flags.check_unused();
     return o;
+  }
+
+  /// Writes `result`'s flight-recorder dump when --trace was given.  The
+  /// first dump goes to the given path, later ones to path.2, path.3, ...
+  /// so multi-scenario benches keep every run.  Call sites that never dump
+  /// pay nothing.
+  void dump_trace(const sim::ScenarioResult& result) {
+    if (trace_path.empty()) return;
+    ++trace_dumps_;
+    std::string path = trace_path;
+    if (trace_dumps_ > 1) path += "." + std::to_string(trace_dumps_);
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write trace to " << path << "\n";
+      return;
+    }
+    out << result.trace_json << "\n";
+    std::cout << "trace written to " << path << "\n";
   }
 
   [[nodiscard]] sim::ScenarioConfig config(sim::WorkloadKind w,
@@ -56,8 +83,12 @@ struct BenchOptions {
     cfg.scale = scale;
     cfg.max_ticks = ticks;
     cfg.seed = seed;
+    cfg.capture_trace = !trace_path.empty();
     return cfg;
   }
+
+ private:
+  int trace_dumps_ = 0;
 };
 
 inline int finish(const sim::ShapeChecker& checks) {

@@ -16,7 +16,7 @@ namespace lunule {
 namespace {
 
 int run(int argc, char** argv) {
-  const bench::BenchOptions opts =
+  bench::BenchOptions opts =
       bench::BenchOptions::parse(argc, argv, /*scale=*/0.2, /*ticks=*/1500);
   const sim::WorkloadKind workloads[] = {
       sim::WorkloadKind::kCnn, sim::WorkloadKind::kNlp,
@@ -39,6 +39,7 @@ int run(int argc, char** argv) {
     }
   }
   const std::vector<sim::ScenarioResult> all = sim::run_scenarios(configs);
+  for (const sim::ScenarioResult& r : all) opts.dump_trace(r);
 
   std::size_t cell = 0;
   for (const sim::WorkloadKind w : workloads) {

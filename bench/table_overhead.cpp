@@ -13,12 +13,13 @@
 #include "fs/dirfrag.h"
 #include "fs/file_state.h"
 #include "mds/messages.h"
+#include "sim/json_export.h"
 
 namespace lunule {
 namespace {
 
 int run(int argc, char** argv) {
-  const bench::BenchOptions opts =
+  bench::BenchOptions opts =
       bench::BenchOptions::parse(argc, argv, /*scale=*/1.0, /*ticks=*/0);
   sim::ShapeChecker checks;
 
@@ -50,6 +51,11 @@ int run(int argc, char** argv) {
     cfg.max_ticks = 600;
     auto sim = sim::make_scenario(cfg);
     sim->run();
+    if (cfg.capture_trace) {
+      sim::ScenarioResult traced;
+      traced.trace_json = sim::trace_to_json(sim->cluster().trace());
+      opts.dump_trace(traced);
+    }
     const auto* lunule =
         dynamic_cast<const core::LunuleBalancer*>(&sim->balancer());
     LUNULE_CHECK(lunule != nullptr);
@@ -61,9 +67,13 @@ int run(int argc, char** argv) {
               << TablePrinter::fmt(per_epoch / 1024.0, 2)
               << " KB/epoch of control-plane traffic across "
               << lunule->monitor().epochs_collected() << " epochs\n";
-    checks.expect(per_epoch < 16.0 * 1024.0,
-                  "measured live control-plane traffic stays in the "
-                  "paper's kilobytes-per-epoch regime");
+    // Decision messages bill each exporter only for its own assignment
+    // list, so the live total stays inside the 5-MDS analytic bound
+    // (lunule_traffic(5).total_bytes ~= 7.67 KB) rather than merely the
+    // 16-MDS regime.
+    checks.expect(per_epoch < 8.0 * 1024.0,
+                  "measured live control-plane traffic stays within the "
+                  "5-MDS analytic per-epoch bound");
   }
 
   const auto l16 = mds::lunule_traffic(16);

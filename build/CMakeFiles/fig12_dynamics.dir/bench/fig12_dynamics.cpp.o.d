@@ -195,7 +195,11 @@ CMakeFiles/fig12_dynamics.dir/bench/fig12_dynamics.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/bench/bench_common.h /root/repo/src/common/flags.h \
+ /root/repo/bench/bench_common.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/flags.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
@@ -227,9 +231,11 @@ CMakeFiles/fig12_dynamics.dir/bench/fig12_dynamics.cpp.o: \
  /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
  /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/repo/src/mds/data_path.h /root/repo/src/mds/memory_model.h \
- /root/repo/src/sim/metrics.h /root/repo/src/core/imbalance_factor.h \
- /root/repo/src/workloads/client.h /root/repo/src/workloads/workload.h \
- /root/repo/src/common/zipf.h /root/repo/src/fs/builder.h \
- /root/repo/src/workloads/zipf_read.h
+ /root/repo/src/obs/invariant_checker.h /root/repo/src/sim/metrics.h \
+ /root/repo/src/core/imbalance_factor.h /root/repo/src/workloads/client.h \
+ /root/repo/src/workloads/workload.h /root/repo/src/common/zipf.h \
+ /root/repo/src/fs/builder.h /root/repo/src/workloads/zipf_read.h

@@ -184,9 +184,14 @@ CMakeFiles/micro_core.dir/bench/micro_core.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/balancer/candidates.h /root/repo/src/common/types.h \
- /root/repo/src/fs/namespace_tree.h /root/repo/src/fs/directory.h \
- /root/repo/src/fs/dirfrag.h /root/repo/src/common/ring_buffer.h \
- /usr/include/c++/12/array /usr/include/c++/12/numeric \
+ /root/repo/src/fs/namespace_tree.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/fs/directory.h /root/repo/src/fs/dirfrag.h \
+ /root/repo/src/common/ring_buffer.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/fs/file_state.h /root/repo/src/common/rng.h \
@@ -224,12 +229,8 @@ CMakeFiles/micro_core.dir/bench/micro_core.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/mds/access_recorder.h /root/repo/src/mds/migration.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/repo/src/mds/messages.h /root/repo/src/core/pattern_analyzer.h \
  /root/repo/src/core/subtree_selector.h /root/repo/src/fs/builder.h

@@ -184,15 +184,18 @@ CMakeFiles/micro_substrate.dir/bench/micro_substrate.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/fs/builder.h /root/repo/src/fs/namespace_tree.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /root/repo/src/common/types.h /root/repo/src/fs/directory.h \
  /root/repo/src/fs/dirfrag.h /root/repo/src/common/ring_buffer.h \
- /usr/include/c++/12/array /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/bit /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/fs/file_state.h /root/repo/src/fs/path_resolver.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/mds/cluster.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/optional /root/repo/src/mds/cluster.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
@@ -223,15 +226,13 @@ CMakeFiles/micro_substrate.dir/bench/micro_substrate.cpp.o: \
  /root/repo/src/common/rng.h /root/repo/src/common/assert.h \
  /root/repo/src/mds/access_recorder.h /root/repo/src/mds/migration.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/repo/src/mds/memory_model.h /root/repo/src/sim/scenario.h \
  /root/repo/src/common/histogram.h /root/repo/src/sim/simulation.h \
  /root/repo/src/balancer/balancer.h /root/repo/src/mds/data_path.h \
- /root/repo/src/sim/metrics.h /root/repo/src/common/time_series.h \
+ /root/repo/src/obs/invariant_checker.h /root/repo/src/sim/metrics.h \
+ /root/repo/src/common/time_series.h \
  /root/repo/src/core/imbalance_factor.h /root/repo/src/workloads/client.h \
  /root/repo/src/workloads/workload.h

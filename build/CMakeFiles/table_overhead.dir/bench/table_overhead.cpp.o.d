@@ -154,8 +154,11 @@ CMakeFiles/table_overhead.dir/bench/table_overhead.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.h \
- /root/repo/src/common/flags.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/flags.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
@@ -227,12 +230,15 @@ CMakeFiles/table_overhead.dir/bench/table_overhead.cpp.o: \
  /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
  /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/repo/src/mds/data_path.h /root/repo/src/mds/memory_model.h \
- /root/repo/src/sim/metrics.h /root/repo/src/core/imbalance_factor.h \
- /root/repo/src/workloads/client.h /root/repo/src/workloads/workload.h \
+ /root/repo/src/obs/invariant_checker.h /root/repo/src/sim/metrics.h \
+ /root/repo/src/core/imbalance_factor.h /root/repo/src/workloads/client.h \
+ /root/repo/src/workloads/workload.h \
  /root/repo/src/core/lunule_balancer.h /root/repo/src/core/load_monitor.h \
  /root/repo/src/mds/messages.h /root/repo/src/core/migration_initiator.h \
  /root/repo/src/core/subtree_selector.h \
  /root/repo/src/balancer/candidates.h \
- /root/repo/src/core/pattern_analyzer.h
+ /root/repo/src/core/pattern_analyzer.h /root/repo/src/sim/json_export.h

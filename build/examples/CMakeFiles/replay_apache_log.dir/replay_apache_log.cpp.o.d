@@ -170,16 +170,26 @@ examples/CMakeFiles/replay_apache_log.dir/replay_apache_log.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/fs/builder.h \
- /root/repo/src/fs/namespace_tree.h /root/repo/src/common/types.h \
- /usr/include/c++/12/limits /root/repo/src/fs/directory.h \
- /root/repo/src/fs/dirfrag.h /root/repo/src/common/ring_buffer.h \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/fs/namespace_tree.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/common/types.h /usr/include/c++/12/limits \
+ /root/repo/src/fs/directory.h /root/repo/src/fs/dirfrag.h \
+ /root/repo/src/common/ring_buffer.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/bit /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/fs/file_state.h \
  /root/repo/src/sim/report.h /root/repo/src/common/time_series.h \
  /usr/include/c++/12/span /root/repo/src/sim/scenario.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
@@ -216,22 +226,15 @@ examples/CMakeFiles/replay_apache_log.dir/replay_apache_log.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/common/histogram.h /root/repo/src/sim/simulation.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/balancer/balancer.h /root/repo/src/mds/cluster.h \
  /root/repo/src/common/rng.h /root/repo/src/common/assert.h \
  /root/repo/src/mds/access_recorder.h /root/repo/src/mds/migration.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/mds/migration_audit.h \
- /root/repo/src/mds/mds_server.h /root/repo/src/mds/data_path.h \
- /root/repo/src/mds/memory_model.h /root/repo/src/sim/metrics.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /root/repo/src/obs/trace_ring.h \
+ /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
+ /root/repo/src/mds/data_path.h /root/repo/src/mds/memory_model.h \
+ /root/repo/src/obs/invariant_checker.h /root/repo/src/sim/metrics.h \
  /root/repo/src/core/imbalance_factor.h /root/repo/src/workloads/client.h \
  /root/repo/src/workloads/workload.h \
  /root/repo/src/workloads/apache_log.h /usr/include/c++/12/optional \

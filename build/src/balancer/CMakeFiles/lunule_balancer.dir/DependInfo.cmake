@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mds/CMakeFiles/lunule_mds.dir/DependInfo.cmake"
   "/root/repo/build/src/fs/CMakeFiles/lunule_fs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/lunule_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/lunule_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

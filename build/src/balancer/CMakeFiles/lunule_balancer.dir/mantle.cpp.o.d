@@ -221,6 +221,10 @@ src/balancer/CMakeFiles/lunule_balancer.dir/mantle.cpp.o: \
  /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
  /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -203,13 +203,6 @@ src/core/CMakeFiles/lunule_core.dir/hash_rebalancer.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/rng.h \
  /root/repo/src/common/assert.h /root/repo/src/fs/namespace_tree.h \
- /root/repo/src/fs/directory.h /root/repo/src/fs/dirfrag.h \
- /root/repo/src/common/ring_buffer.h /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
- /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -220,6 +213,17 @@ src/core/CMakeFiles/lunule_core.dir/hash_rebalancer.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/fs/directory.h /root/repo/src/fs/dirfrag.h \
+ /root/repo/src/common/ring_buffer.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
+ /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/repo/src/balancer/dir_hash.h \
  /root/repo/src/core/imbalance_factor.h \

@@ -219,6 +219,10 @@ src/core/CMakeFiles/lunule_core.dir/lunule_balancer.cpp.o: \
  /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
  /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/repo/src/core/imbalance_factor.h \
  /root/repo/src/core/load_monitor.h /root/repo/src/mds/messages.h \

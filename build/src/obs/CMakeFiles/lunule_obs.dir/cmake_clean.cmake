@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunule_obs.dir/trace_recorder.cpp.o"
+  "CMakeFiles/lunule_obs.dir/trace_recorder.cpp.o.d"
+  "CMakeFiles/lunule_obs.dir/trace_ring.cpp.o"
+  "CMakeFiles/lunule_obs.dir/trace_ring.cpp.o.d"
+  "liblunule_obs.a"
+  "liblunule_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunule_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

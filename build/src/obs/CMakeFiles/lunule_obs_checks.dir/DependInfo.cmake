@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/invariant_checker.cpp" "src/obs/CMakeFiles/lunule_obs_checks.dir/invariant_checker.cpp.o" "gcc" "src/obs/CMakeFiles/lunule_obs_checks.dir/invariant_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obs/CMakeFiles/lunule_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/lunule_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lunule_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lunule_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lunule_obs_checks.dir/invariant_checker.cpp.o"
+  "CMakeFiles/lunule_obs_checks.dir/invariant_checker.cpp.o.d"
+  "liblunule_obs_checks.a"
+  "liblunule_obs_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lunule_obs_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

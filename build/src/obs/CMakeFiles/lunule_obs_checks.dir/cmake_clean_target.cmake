@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblunule_obs_checks.a"
+)

@@ -223,9 +223,12 @@ src/sim/CMakeFiles/lunule_sim.dir/scenario.cpp.o: \
  /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
  /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/repo/src/mds/data_path.h /root/repo/src/mds/memory_model.h \
- /root/repo/src/sim/metrics.h /root/repo/src/common/time_series.h \
+ /root/repo/src/obs/invariant_checker.h /root/repo/src/sim/metrics.h \
+ /root/repo/src/common/time_series.h \
  /root/repo/src/core/imbalance_factor.h /root/repo/src/workloads/client.h \
  /root/repo/src/workloads/workload.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
@@ -260,6 +263,6 @@ src/sim/CMakeFiles/lunule_sim.dir/scenario.cpp.o: \
  /root/repo/src/core/subtree_selector.h \
  /root/repo/src/balancer/candidates.h \
  /root/repo/src/core/pattern_analyzer.h /root/repo/src/fs/builder.h \
- /root/repo/src/workloads/mdtest.h /root/repo/src/workloads/scan.h \
- /root/repo/src/workloads/web_trace.h /root/repo/src/common/zipf.h \
- /root/repo/src/workloads/zipf_read.h
+ /root/repo/src/sim/json_export.h /root/repo/src/workloads/mdtest.h \
+ /root/repo/src/workloads/scan.h /root/repo/src/workloads/web_trace.h \
+ /root/repo/src/common/zipf.h /root/repo/src/workloads/zipf_read.h

@@ -220,6 +220,10 @@ tests/CMakeFiles/test_adaptive_lunule.dir/test_adaptive_lunule.cpp.o: \
  /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
  /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/repo/src/core/imbalance_factor.h \
  /root/repo/src/core/load_monitor.h /root/repo/src/mds/messages.h \
@@ -285,10 +289,7 @@ tests/CMakeFiles/test_adaptive_lunule.dir/test_adaptive_lunule.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
@@ -314,5 +315,6 @@ tests/CMakeFiles/test_adaptive_lunule.dir/test_adaptive_lunule.cpp.o: \
  /root/repo/src/fs/builder.h /root/repo/src/sim/scenario.h \
  /root/repo/src/common/histogram.h /root/repo/src/sim/simulation.h \
  /root/repo/src/mds/data_path.h /root/repo/src/mds/memory_model.h \
- /root/repo/src/sim/metrics.h /root/repo/src/common/time_series.h \
- /root/repo/src/workloads/client.h /root/repo/src/workloads/workload.h
+ /root/repo/src/obs/invariant_checker.h /root/repo/src/sim/metrics.h \
+ /root/repo/src/common/time_series.h /root/repo/src/workloads/client.h \
+ /root/repo/src/workloads/workload.h

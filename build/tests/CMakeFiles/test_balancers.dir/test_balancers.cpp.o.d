@@ -304,6 +304,8 @@ tests/CMakeFiles/test_balancers.dir/test_balancers.cpp.o: \
  /root/repo/src/common/assert.h /root/repo/src/mds/access_recorder.h \
  /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/repo/src/balancer/mantle.h /root/repo/src/balancer/vanilla.h \
  /root/repo/src/common/stats.h /root/repo/src/fs/builder.h

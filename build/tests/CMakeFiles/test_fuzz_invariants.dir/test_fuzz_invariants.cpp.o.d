@@ -302,4 +302,6 @@ tests/CMakeFiles/test_fuzz_invariants.dir/test_fuzz_invariants.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
  /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /root/repo/src/obs/trace_ring.h

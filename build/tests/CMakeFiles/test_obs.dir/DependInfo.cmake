@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lunule_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lunule_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/balancer/CMakeFiles/lunule_balancer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lunule_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/lunule_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lunule_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lunule_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/lunule_obs_checks.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/lunule_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -222,6 +222,8 @@ tests/CMakeFiles/test_policy_lang.dir/test_policy_lang.cpp.o: \
  /root/repo/src/fs/file_state.h /root/repo/src/mds/access_recorder.h \
  /root/repo/src/mds/migration.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/obs/trace_recorder.h \
+ /root/repo/src/obs/counter_registry.h /root/repo/src/obs/trace_ring.h \
  /root/repo/src/mds/migration_audit.h /root/repo/src/mds/mds_server.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_determinism.dir/test_trace_determinism.cpp.o"
+  "CMakeFiles/test_trace_determinism.dir/test_trace_determinism.cpp.o.d"
+  "test_trace_determinism"
+  "test_trace_determinism.pdb"
+  "test_trace_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,6 +6,12 @@
 // aggregate metadata throughput of both.
 //
 //   ./quickstart [--workload=cnn|nlp|web|zipf|md] [--clients=N] [--scale=X]
+//                [--trace=FILE]
+//
+// With --trace=FILE the flight-recorder dump of each run is written as JSON
+// (FILE for the first run, FILE.2 for the second): every balancer decision,
+// subtree selection, and migration event with its inputs.
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -38,6 +44,8 @@ int main(int argc, char** argv) {
   cfg.scale = flags.get_double("scale", 0.5);
   cfg.max_ticks = flags.get_int("ticks", 1800);
   const bool verbose = flags.get_bool("verbose", false);
+  const std::string trace_path = flags.get("trace", "");
+  cfg.capture_trace = !trace_path.empty();
   flags.check_unused();
 
   std::cout << "Workload: " << sim::workload_name(cfg.workload) << ", "
@@ -66,6 +74,17 @@ int main(int argc, char** argv) {
           std::cout, r.balancer + ": IF / migrated",
           {&r.if_series, &r.migrated_inodes}, {"IF", "migrated"},
           static_cast<double>(cfg.epoch_ticks), opts);
+    }
+    if (!trace_path.empty()) {
+      std::string path = trace_path;
+      if (!results.empty()) path += "." + std::to_string(results.size() + 1);
+      std::ofstream out(path);
+      if (out) {
+        out << r.trace_json << "\n";
+        std::cout << "  trace written to " << path << "\n\n";
+      } else {
+        std::cerr << "cannot write trace to " << path << "\n";
+      }
     }
     results.push_back(std::move(r));
   }

@@ -7,8 +7,18 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-check}
 
-cmake -B "$BUILD_DIR" -G Ninja -DLUNULE_WERROR=ON
-cmake --build "$BUILD_DIR"
+# The epoch-boundary InvariantChecker audits every scenario the suite runs.
+export LUNULE_VALIDATE=1
+
+# Ninja is preferred but not everywhere; fall back to CMake's default
+# generator (usually Make) instead of failing on machines without it.
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" "${GENERATOR[@]}" -DLUNULE_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure
 
 status=0

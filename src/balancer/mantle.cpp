@@ -50,6 +50,11 @@ void MantleBalancer::on_epoch(mds::MdsCluster& cluster,
       // directories therefore stay put.
       if (est_load > remaining) continue;
       if (cluster.migration().submit(c.ref, spill.to)) {
+        cluster.trace().record(obs::Component::kBalancer,
+                               {.kind = obs::EventKind::kDecision,
+                                .a = spill.from,
+                                .b = spill.to,
+                                .v0 = est_load});
         remaining -= est_load;
       }
     }

@@ -72,6 +72,18 @@ void VanillaBalancer::on_epoch(mds::MdsCluster& cluster,
       }
       if (target == nullptr) continue;
       if (cluster.migration().submit(c.ref, target->id)) {
+        cluster.trace().record(obs::Component::kBalancer,
+                               {.kind = obs::EventKind::kDecision,
+                                .a = exporter,
+                                .b = target->id,
+                                .v0 = est_load});
+        cluster.trace().record(obs::Component::kSelector,
+                               {.kind = obs::EventKind::kHeatSelection,
+                                .a = exporter,
+                                .b = c.ref.frag,
+                                .n0 = static_cast<std::int64_t>(c.ref.dir),
+                                .n1 = static_cast<std::int64_t>(c.inodes),
+                                .v0 = est_load});
         ++queued;
         excess -= est_load;
         target->room -= est_load;

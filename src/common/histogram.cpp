@@ -9,7 +9,12 @@ namespace lunule {
 
 int Histogram::bucket_of(double value) {
   if (value < 1.0) return 0;
-  const int exponent = std::min(62, static_cast<int>(std::log2(value)));
+  // ilogb yields the exact floored binary exponent.  Truncating log2()
+  // instead is wrong at power-of-two boundaries: a correctly-rounded
+  // log2(2^k - ulp) can round *up* to exactly k, which put the value in
+  // bucket k*16 with a negative fractional offset — off by a whole
+  // power-of-two band and non-monotonic with its neighbours.
+  const int exponent = std::min(62, std::ilogb(value));
   const double lower = std::exp2(exponent);
   const double frac = (value - lower) / lower;  // [0, 1)
   const int sub = std::min(kSubBuckets - 1,
@@ -45,7 +50,10 @@ void Histogram::merge(const Histogram& other) {
 double Histogram::percentile(double p) const {
   LUNULE_CHECK(p >= 0.0 && p <= 100.0);
   if (total_ == 0) return 0.0;
-  const double target = p / 100.0 * static_cast<double>(total_);
+  // Rank of the value to report, at least 1 so p=0 returns the smallest
+  // *observed* value's bucket rather than an empty bucket 0.
+  const double target =
+      std::max(1.0, p / 100.0 * static_cast<double>(total_));
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += buckets_[static_cast<std::size_t>(b)];

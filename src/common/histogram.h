@@ -30,13 +30,15 @@ class Histogram {
   /// representative value (accurate to the bucket resolution).
   [[nodiscard]] double percentile(double p) const;
 
- private:
   static constexpr int kSubBuckets = 16;   // per power of two
   static constexpr int kBuckets = 64 * kSubBuckets;
 
+  /// Bucket index for `value` (exposed for boundary tests).
   [[nodiscard]] static int bucket_of(double value);
+  /// Representative (midpoint) value of `bucket`.
   [[nodiscard]] static double bucket_value(int bucket);
 
+ private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t total_ = 0;
   double sum_ = 0.0;

@@ -38,9 +38,12 @@ void HashRebalancer::on_epoch(mds::MdsCluster& cluster,
   if (backlog >= params_.inode_cap) return;
   std::uint64_t inode_budget = params_.inode_cap - backlog;
 
-  const MigrationPlan plan = decide_roles(stats, params_.roles);
+  const MigrationPlan plan =
+      decide_roles(stats, params_.roles, &cluster.trace());
   if (plan.empty()) return;
-  monitor_.record_decisions(plan.exporters.size(), plan.importers.size());
+  const std::vector<std::size_t> per_exporter =
+      plan.assignments_per_exporter();
+  monitor_.record_decisions(per_exporter);
 
   for (const MdsId exporter : plan.exporters) {
     std::vector<MigrationAssignment> mine;

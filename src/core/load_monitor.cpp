@@ -22,7 +22,14 @@ std::vector<MdsLoadStat> LoadMonitor::collect(const mds::MdsCluster& cluster,
     MdsLoadStat s;
     s.id = id;
     s.cld = loads[i];
-    s.fld = forecast_load(cluster.server(id).load_history(), loads[i]);
+    const std::span<const double> history = cluster.server(id).load_history();
+    s.fld = forecast_load(history, loads[i]);
+    cluster.trace().record(obs::Component::kMonitor,
+                           {.kind = obs::EventKind::kForecast,
+                            .a = id,
+                            .n0 = static_cast<std::int64_t>(history.size()),
+                            .v0 = s.cld,
+                            .v1 = s.fld});
     stats.push_back(s);
   }
   // Every non-primary MDS sends one ImbalanceState message to the primary.
@@ -34,11 +41,16 @@ std::vector<MdsLoadStat> LoadMonitor::collect(const mds::MdsCluster& cluster,
   return stats;
 }
 
-void LoadMonitor::record_decisions(std::size_t n_exporters,
-                                   std::size_t n_importers) {
-  mds::MigrationDecisionMsg msg;
-  msg.assignments.resize(std::max<std::size_t>(1, n_importers));
-  total_bytes_ += n_exporters * msg.wire_bytes();
+void LoadMonitor::record_decisions(
+    std::span<const std::size_t> assignments_per_exporter) {
+  // One MigrationDecision message per exporter; each carries only that
+  // exporter's own assignment list.  (Billing every exporter for the union
+  // of all importers overstated the Section 3.4 decision traffic.)
+  for (const std::size_t n_assignments : assignments_per_exporter) {
+    mds::MigrationDecisionMsg msg;
+    msg.assignments.resize(n_assignments);
+    total_bytes_ += msg.wire_bytes();
+  }
 }
 
 }  // namespace lunule::core

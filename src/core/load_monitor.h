@@ -33,12 +33,16 @@ struct MdsLoadStat {
 class LoadMonitor {
  public:
   /// Collects this epoch's ImbalanceState reports and computes each MDS's
-  /// `cld`/`fld` from the server load histories.
+  /// `cld`/`fld` from the server load histories.  Load samples and fld
+  /// forecasts (with their regression inputs) are recorded in the cluster's
+  /// flight recorder.
   [[nodiscard]] std::vector<MdsLoadStat> collect(
       const mds::MdsCluster& cluster, std::span<const Load> loads);
 
-  /// Records the decision messages sent back to `n_exporters` exporters.
-  void record_decisions(std::size_t n_exporters, std::size_t n_importers);
+  /// Records the decision messages sent back to the exporters.  One message
+  /// goes to each exporter carrying only that exporter's own assignments,
+  /// so the bill is per-exporter: envelope + its assignment list.
+  void record_decisions(std::span<const std::size_t> assignments_per_exporter);
 
   /// Control-plane bytes accumulated so far (reports + decisions).
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }

@@ -57,10 +57,11 @@ void LunuleBalancer::on_epoch(mds::MdsCluster& cluster,
     return;
   }
 
-  last_plan_ = decide_roles(stats, params_.roles);
+  last_plan_ = decide_roles(stats, params_.roles, &cluster.trace());
   if (last_plan_.empty()) return;
-  monitor_.record_decisions(last_plan_.exporters.size(),
-                            last_plan_.importers.size());
+  const std::vector<std::size_t> per_exporter =
+      last_plan_.assignments_per_exporter();
+  monitor_.record_decisions(per_exporter);
 
   // Group assignments per exporter so one selection pass covers all its
   // importers, then revise (drop) that exporter's stale queued tasks.
@@ -93,6 +94,16 @@ void LunuleBalancer::select_workload_aware(
   // Hand each selected subtree to the importer with the largest remaining
   // demand, decrementing by the subtree's predicted contribution.
   for (const Selection& pick : picks) {
+    cluster.trace().record(obs::Component::kSelector,
+                           {.kind = obs::EventKind::kSelection,
+                            .a = exporter,
+                            .b = pick.ref.frag,
+                            .n0 = static_cast<std::int64_t>(pick.ref.dir),
+                            .n1 = static_cast<std::int64_t>(pick.inodes),
+                            .v0 = pick.index.alpha,
+                            .v1 = pick.index.beta,
+                            .v2 = pick.index.l_t,
+                            .v3 = pick.index.l_s});
     auto it = std::max_element(assignments.begin(), assignments.end(),
                                [](const MigrationAssignment& a,
                                   const MigrationAssignment& b) {
@@ -138,6 +149,13 @@ void LunuleBalancer::select_heat_based(
     // amount (it would descend instead of exporting them whole).
     if (est_load > it->amount) continue;
     if (cluster.migration().submit(c.ref, it->importer)) {
+      cluster.trace().record(obs::Component::kSelector,
+                             {.kind = obs::EventKind::kHeatSelection,
+                              .a = exporter,
+                              .b = c.ref.frag,
+                              .n0 = static_cast<std::int64_t>(c.ref.dir),
+                              .n1 = static_cast<std::int64_t>(c.inodes),
+                              .v0 = est_load});
       it->amount -= est_load;
       inode_budget -= c.inodes;
       ++taken;

@@ -14,8 +14,22 @@ double MigrationPlan::total_amount() const {
   return acc;
 }
 
+std::vector<std::size_t> MigrationPlan::assignments_per_exporter() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(exporters.size());
+  for (const MdsId e : exporters) {
+    counts.push_back(static_cast<std::size_t>(
+        std::count_if(assignments.begin(), assignments.end(),
+                      [e](const MigrationAssignment& a) {
+                        return a.exporter == e;
+                      })));
+  }
+  return counts;
+}
+
 MigrationPlan decide_roles(std::span<MdsLoadStat> stats,
-                           const RoleDeciderParams& params) {
+                           const RoleDeciderParams& params,
+                           obs::TraceRecorder* trace) {
   LUNULE_CHECK(params.epoch_capacity_cap > 0.0);
   MigrationPlan plan;
   if (stats.size() < 2) return plan;
@@ -49,6 +63,18 @@ MigrationPlan decide_roles(std::span<MdsLoadStat> stats,
       }
     }
   }
+  if (trace) {
+    // Phase-1 snapshot, before pairing consumes the eld/ild budgets.
+    for (const MdsLoadStat& s : stats) {
+      trace->record(obs::Component::kBalancer,
+                    {.kind = obs::EventKind::kRole,
+                     .a = s.id,
+                     .v0 = s.cld,
+                     .v1 = s.fld,
+                     .v2 = s.eld,
+                     .v3 = s.ild});
+    }
+  }
 
   // Phase 2 (lines 13-18): bidirectional pairing.  Pair the most stressed
   // exporters with the roomiest importers first so large demands match
@@ -68,6 +94,13 @@ MigrationPlan decide_roles(std::span<MdsLoadStat> stats,
       const double amount = std::min(e->eld, i->ild);
       plan.assignments.push_back(MigrationAssignment{
           .exporter = e->id, .importer = i->id, .amount = amount});
+      if (trace) {
+        trace->record(obs::Component::kBalancer,
+                      {.kind = obs::EventKind::kDecision,
+                       .a = e->id,
+                       .b = i->id,
+                       .v0 = amount});
+      }
       e->eld -= amount;
       i->ild -= amount;
     }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/load_monitor.h"
+#include "obs/trace_recorder.h"
 
 namespace lunule::core {
 
@@ -48,11 +49,18 @@ struct MigrationPlan {
   [[nodiscard]] bool empty() const { return assignments.empty(); }
   /// Total load this plan intends to move.
   [[nodiscard]] double total_amount() const;
+  /// Number of export-matrix cells each exporter received, in `exporters`
+  /// order.  This is what the per-exporter MigrationDecision message
+  /// carries, so it drives the Section 3.4 decision-traffic bill.
+  [[nodiscard]] std::vector<std::size_t> assignments_per_exporter() const;
 };
 
 /// Algorithm 1: role and migration-amount determination.  `stats` entries
 /// are mutated in place (their eld/ild working fields are filled in).
+/// When `trace` is given, every participating MDS's role inputs
+/// (cld/fld/eld/ild) and every export-matrix cell are recorded.
 [[nodiscard]] MigrationPlan decide_roles(std::span<MdsLoadStat> stats,
-                                         const RoleDeciderParams& params);
+                                         const RoleDeciderParams& params,
+                                         obs::TraceRecorder* trace = nullptr);
 
 }  // namespace lunule::core

@@ -3,14 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/assert.h"
+
 namespace lunule::core {
 
 namespace {
 
 struct Scored {
   balancer::Candidate cand;
+  MigrationIndex idx;
   double pred = 0.0;
 };
+
+/// The inode budget may never go negative: every subtraction below is
+/// guarded, and this re-checks the aggregate before a selection escapes.
+void check_budget(const std::vector<Selection>& out, std::uint64_t cap) {
+  std::uint64_t total = 0;
+  for (const Selection& s : out) total += s.inodes;
+  LUNULE_CHECK_MSG(total <= cap, "selection exceeds the inode budget");
+}
 
 }  // namespace
 
@@ -35,8 +46,11 @@ std::vector<Selection> SubtreeSelector::select(
 
   std::vector<Scored> scored;
   for (balancer::Candidate& c : balancer::collect_candidates(tree, exporter)) {
-    const double p = pred_iops(c);
-    if (p > 0.0) scored.push_back(Scored{.cand = std::move(c), .pred = p});
+    const MigrationIndex idx = compute_mindex(c);
+    const double p = idx.predicted_iops(params_.window_seconds);
+    if (p > 0.0) {
+      scored.push_back(Scored{.cand = std::move(c), .idx = idx, .pred = p});
+    }
   }
   if (scored.empty()) return out;
   std::sort(scored.begin(), scored.end(),
@@ -51,7 +65,8 @@ std::vector<Selection> SubtreeSelector::select(
         current_rate(s.cand) <= params_.hot_skip_iops) {
       return {Selection{.ref = s.cand.ref,
                         .predicted_iops = s.pred,
-                        .inodes = s.cand.inodes}};
+                        .inodes = s.cand.inodes,
+                        .index = s.idx}};
     }
   }
 
@@ -94,14 +109,20 @@ std::vector<Selection> SubtreeSelector::select(
             tree, fs::SubtreeRef{.dir = d, .frag = f});
         if (fc.auth != exporter) continue;
         if (current_rate(fc) > params_.hot_skip_iops) continue;
-        const double p = pred_iops(fc);
+        const MigrationIndex fidx = compute_mindex(fc);
+        const double p = fidx.predicted_iops(params_.window_seconds);
         if (p <= 0.0 || fc.inodes > inode_budget) continue;
-        out.push_back(Selection{
-            .ref = fc.ref, .predicted_iops = p, .inodes = fc.inodes});
+        out.push_back(Selection{.ref = fc.ref,
+                                .predicted_iops = p,
+                                .inodes = fc.inodes,
+                                .index = fidx});
         remaining -= p;
         inode_budget -= fc.inodes;
       }
-      if (!out.empty()) return out;
+      if (!out.empty()) {
+        check_budget(out, inode_cap);
+        return out;
+      }
     }
   }
 
@@ -115,11 +136,14 @@ std::vector<Selection> SubtreeSelector::select(
     if (current_rate(s.cand) > params_.hot_skip_iops) continue;
     // Skip candidates that would clearly overshoot the leftover demand.
     if (s.pred > remaining * (1.0 + params_.tolerance)) continue;
-    out.push_back(Selection{
-        .ref = s.cand.ref, .predicted_iops = s.pred, .inodes = s.cand.inodes});
+    out.push_back(Selection{.ref = s.cand.ref,
+                            .predicted_iops = s.pred,
+                            .inodes = s.cand.inodes,
+                            .index = s.idx});
     remaining -= s.pred;
     inode_budget -= s.cand.inodes;
   }
+  check_budget(out, inode_cap);
   return out;
 }
 

@@ -50,11 +50,13 @@ struct SelectorParams {
   double window_seconds = 60.0;
 };
 
-/// One selected unit plus its predicted IOPS contribution.
+/// One selected unit plus its predicted IOPS contribution and the Eq. 4
+/// terms that produced it (so traces show *why* a subtree was picked).
 struct Selection {
   fs::SubtreeRef ref;
   double predicted_iops = 0.0;
   std::uint64_t inodes = 0;
+  MigrationIndex index;
 };
 
 class SubtreeSelector {
@@ -76,10 +78,6 @@ class SubtreeSelector {
   [[nodiscard]] const SelectorParams& params() const { return params_; }
 
  private:
-  [[nodiscard]] double pred_iops(const balancer::Candidate& c) const {
-    return compute_mindex(c).predicted_iops(params_.window_seconds);
-  }
-
   SelectorParams params_;
 };
 

@@ -99,9 +99,11 @@ void NamespaceTree::fragment_dir(DirId d, std::uint8_t bits) {
                                     ratio);
     }
   }
+  const std::uint8_t old_bits = dir.frag_bits_;
   dir.frags_ = std::move(next);
   dir.frag_bits_ = bits;
   bump_generation();
+  if (fragment_hook_) fragment_hook_(d, old_bits, bits);
 }
 
 void NamespaceTree::set_auth(DirId d, MdsId m) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,16 @@ class NamespaceTree {
   /// Splits `d` into 2^bits fragments, redistributing per-frag file counts.
   /// Only legal to grow the fragmentation (bits >= current frag_bits).
   void fragment_dir(DirId d, std::uint8_t bits);
+
+  /// Invoked after every effective split with (dir, old bits, new bits);
+  /// the cluster installs this to feed the flight recorder.  The hook must
+  /// not outlive its captures (it is called synchronously from
+  /// fragment_dir and never stored elsewhere).
+  using FragmentHook =
+      std::function<void(DirId, std::uint8_t old_bits, std::uint8_t new_bits)>;
+  void set_fragment_hook(FragmentHook hook) {
+    fragment_hook_ = std::move(hook);
+  }
 
   // -- Authority ------------------------------------------------------
   void set_auth(DirId d, MdsId m);
@@ -101,6 +112,7 @@ class NamespaceTree {
 
   std::vector<Directory> dirs_;
   std::uint64_t auth_gen_ = 1;
+  FragmentHook fragment_hook_;
 };
 
 }  // namespace lunule::fs

@@ -21,9 +21,24 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
       [this](const fs::SubtreeRef& ref, std::uint64_t moved) {
         audit_.on_commit(tree_, ref, moved, epoch_);
       });
+
+  trace_ = std::make_unique<obs::TraceRecorder>();
+  trace_->set_clock(/*epoch=*/0, /*tick=*/0);
+  ops_served_counter_ = &trace_->counters().counter("cluster.ops_served");
+  migration_->set_tracer(trace_.get());
+  tree_.set_fragment_hook(
+      [this](DirId d, std::uint8_t old_bits, std::uint8_t new_bits) {
+        trace_->counters().counter("cluster.dirfrag_splits").add();
+        trace_->record(obs::Component::kCluster,
+                       {.kind = obs::EventKind::kDirfragSplit,
+                        .n0 = static_cast<std::int64_t>(d),
+                        .n1 = std::int64_t{1} << new_bits,
+                        .v0 = static_cast<double>(1u << old_bits)});
+      });
 }
 
-void MdsCluster::begin_tick(Tick /*now*/) {
+void MdsCluster::begin_tick(Tick now) {
+  trace_->set_clock(epoch_, now);
   for (MdsServer& s : servers_) {
     const bool migrating = migration_->involved(s.id());
     s.begin_tick(migrating ? 1.0 - params_.migration.capacity_penalty : 1.0);
@@ -35,14 +50,33 @@ void MdsCluster::end_tick() { migration_->tick(); }
 std::vector<Load> MdsCluster::close_epoch() {
   std::vector<Load> loads;
   loads.reserve(servers_.size());
+  double aggregate = 0.0;
   for (MdsServer& s : servers_) {
     s.close_epoch(epoch_seconds());
     loads.push_back(s.current_load());
+    aggregate += s.current_load();
+    trace_->record(obs::Component::kCluster,
+                   {.kind = obs::EventKind::kLoadSample,
+                    .a = s.id(),
+                    .v0 = s.current_load()});
   }
+  // Flush the call-site op tally into the registry once per epoch: the
+  // counter stays an independent cross-check of the servers' own totals
+  // without a per-operation write into the registry on the hot path.
+  ops_served_counter_->add(ops_tallied_);
+  ops_tallied_ = 0;
+  const std::uint64_t served_total = total_served();
+  trace_->record(obs::Component::kCluster,
+                 {.kind = obs::EventKind::kEpochClose,
+                  .n0 = static_cast<std::int64_t>(served_total -
+                                                  last_epoch_served_),
+                  .v0 = aggregate});
+  last_epoch_served_ = served_total;
   recorder_->close_epoch();
   audit_.on_epoch_close(tree_, epoch_);
   if (params_.replicate_threshold_iops > 0.0) update_replicas();
   ++epoch_;
+  trace_->set_clock(epoch_, trace_->tick());
   return loads;
 }
 
@@ -106,6 +140,7 @@ ServeResult MdsCluster::try_serve(DirId d, FileIndex i) {
   if (!servers_[static_cast<std::size_t>(m)].try_serve()) {
     return ServeResult::kSaturated;
   }
+  ++ops_tallied_;
   recorder_->record(d, i, epoch_);
   return ServeResult::kServed;
 }
@@ -121,6 +156,7 @@ ServeResult MdsCluster::try_create(DirId d) {
   if (!servers_[static_cast<std::size_t>(m)].try_serve()) {
     return ServeResult::kSaturated;
   }
+  ++ops_tallied_;
   const FileIndex created = tree_.create_file(d);
   LUNULE_CHECK(created == idx);
   recorder_->record_create(d, created, epoch_);

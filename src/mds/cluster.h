@@ -19,6 +19,7 @@
 #include "mds/migration.h"
 #include "mds/migration_audit.h"
 #include "mds/mds_server.h"
+#include "obs/trace_recorder.h"
 
 namespace lunule::mds {
 
@@ -97,6 +98,11 @@ class MdsCluster {
   /// Post-migration validity auditor (the paper's "never visited after
   /// migration" diagnostic, Section 2.2).
   [[nodiscard]] const MigrationAudit& audit() const { return audit_; }
+
+  /// The cluster's flight recorder.  Balancers and tests record through it;
+  /// it is returned non-const from a const cluster (like a logger) so
+  /// read-only consumers can still bump counters.
+  [[nodiscard]] obs::TraceRecorder& trace() const { return *trace_; }
   [[nodiscard]] const ClusterParams& params() const { return params_; }
   [[nodiscard]] EpochId epoch() const { return epoch_; }
   [[nodiscard]] double epoch_seconds() const {
@@ -119,6 +125,13 @@ class MdsCluster {
   std::vector<MdsServer> servers_;
   std::unique_ptr<AccessRecorder> recorder_;
   std::unique_ptr<MigrationEngine> migration_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  /// Hot-path handle into the registry (one add per served op).
+  obs::CounterRegistry::Counter* ops_served_counter_ = nullptr;
+  /// Ops served since the last epoch flush; kept cluster-local so the hot
+  /// serve paths never touch the counter registry.
+  std::uint64_t ops_tallied_ = 0;
+  std::uint64_t last_epoch_served_ = 0;
   MigrationAudit audit_;
   EpochId epoch_ = 0;
 };

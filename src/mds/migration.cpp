@@ -33,6 +33,16 @@ bool MigrationEngine::submit(const fs::SubtreeRef& ref, MdsId to) {
   tasks_.push_back(ExportTask{
       .subtree = ref, .from = from, .to = to, .inodes = inodes});
   ++submitted_;
+  if (tracer_) {
+    tracer_->counters().counter("migration.submitted").add();
+    tracer_->record(obs::Component::kMigration,
+                    {.kind = obs::EventKind::kMigrationSubmit,
+                     .a = from,
+                     .b = to,
+                     .n0 = static_cast<std::int64_t>(ref.dir),
+                     .n1 = ref.frag,
+                     .v0 = static_cast<double>(inodes)});
+  }
   return true;
 }
 
@@ -66,8 +76,20 @@ void MigrationEngine::tick() {
   // Abort exports of subtrees under heavy load: the freeze step of the
   // two-phase protocol cannot complete while requests keep arriving.
   std::erase_if(tasks_, [this](const ExportTask& t) {
-    if (subtree_rate(t.subtree) <= params_.hot_abort_iops) return false;
+    const double rate = subtree_rate(t.subtree);
+    if (rate <= params_.hot_abort_iops) return false;
     ++aborted_;
+    if (tracer_) {
+      tracer_->counters().counter("migration.aborted").add();
+      tracer_->record(obs::Component::kMigration,
+                      {.kind = obs::EventKind::kMigrationAbort,
+                       .a = t.from,
+                       .b = t.to,
+                       .n0 = static_cast<std::int64_t>(t.subtree.dir),
+                       .n1 = t.subtree.frag,
+                       .v0 = static_cast<double>(t.inodes),
+                       .v1 = rate});
+    }
     return true;
   });
   // Activate queued tasks while their exporter has a free slot.
@@ -76,6 +98,15 @@ void MigrationEngine::tick() {
                          static_cast<std::size_t>(
                              params_.max_inflight_per_exporter)) {
       t.active = true;
+      if (tracer_) {
+        tracer_->record(obs::Component::kMigration,
+                        {.kind = obs::EventKind::kMigrationStart,
+                         .a = t.from,
+                         .b = t.to,
+                         .n0 = static_cast<std::int64_t>(t.subtree.dir),
+                         .n1 = t.subtree.frag,
+                         .v0 = static_cast<double>(t.inodes)});
+      }
     }
   }
   // Stream active tasks; an exporter's bandwidth is shared by its slots.
@@ -96,6 +127,17 @@ void MigrationEngine::tick() {
     const std::uint64_t moved = tree_.migrate_subtree(t.subtree, t.to);
     total_migrated_ += moved;
     ++completed_;
+    if (tracer_) {
+      tracer_->counters().counter("migration.completed").add();
+      tracer_->counters().counter("migration.migrated_inodes").add(moved);
+      tracer_->record(obs::Component::kMigration,
+                      {.kind = obs::EventKind::kMigrationFinish,
+                       .a = t.from,
+                       .b = t.to,
+                       .n0 = static_cast<std::int64_t>(t.subtree.dir),
+                       .n1 = t.subtree.frag,
+                       .v0 = static_cast<double>(moved)});
+    }
     tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(*it));
   }
   if (!done.empty()) tree_.simplify_auth();

@@ -27,6 +27,7 @@
 
 #include "common/types.h"
 #include "fs/namespace_tree.h"
+#include "obs/trace_recorder.h"
 
 namespace lunule::mds {
 
@@ -121,6 +122,13 @@ class MigrationEngine {
   using CommitHook =
       std::function<void(const fs::SubtreeRef&, std::uint64_t moved)>;
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  /// Attaches the owning cluster's flight recorder.  Every submit, start,
+  /// commit, and abort is recorded as a trace event, and the registry's
+  /// migration.* counters mirror the engine's own totals (the invariant
+  /// checker asserts they agree).  Null detaches (the default — engines
+  /// constructed directly in tests run untraced).
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
   [[nodiscard]] const std::deque<ExportTask>& tasks() const { return tasks_; }
   [[nodiscard]] const MigrationParams& params() const { return params_; }
 
@@ -135,6 +143,7 @@ class MigrationEngine {
   std::uint64_t submitted_ = 0;
   std::uint64_t aborted_ = 0;
   CommitHook commit_hook_;
+  obs::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace lunule::mds

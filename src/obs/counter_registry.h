@@ -1,0 +1,52 @@
+// Named monotonic counters for the observability layer.
+//
+// Counters are the exact companions to the sampled trace rings: a ring may
+// drop old events when it wraps, but a counter never loses an increment, so
+// conservation laws ("migrated-inode counter equals the engine's total")
+// stay checkable for arbitrarily long runs.  Counters only go up; there is
+// deliberately no reset or subtract — a decrement is always an accounting
+// bug, and the InvariantChecker treats it as one.
+//
+// Iteration order is the lexicographic name order (std::map), so counter
+// dumps are deterministic — a requirement for byte-identical trace exports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace lunule::obs {
+
+class CounterRegistry {
+ public:
+  class Counter {
+   public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+
+   private:
+    std::uint64_t value_ = 0;
+  };
+
+  /// Returns the counter named `name`, creating it at zero on first use.
+  /// The reference stays valid for the registry's lifetime (node-based map).
+  Counter& counter(std::string_view name) {
+    return counters_[std::string(name)];
+  }
+
+  /// Value of `name`, or 0 when it was never touched.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const {
+    const auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& all() const {
+    return counters_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+};
+
+}  // namespace lunule::obs

@@ -1,0 +1,149 @@
+#include "obs/invariant_checker.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/trace_recorder.h"
+
+namespace lunule::obs {
+
+namespace {
+
+/// Collects violations with printf-free formatting.
+class Violations {
+ public:
+  template <typename... Parts>
+  void add(Parts&&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    items_.push_back(os.str());
+  }
+
+  [[nodiscard]] std::vector<std::string> take() { return std::move(items_); }
+
+ private:
+  std::vector<std::string> items_;
+};
+
+void check_counter(Violations& v, const CounterRegistry& counters,
+                   std::string_view name, std::uint64_t expected) {
+  const std::uint64_t got = counters.value(name);
+  if (got != expected) {
+    v.add("counter ", name, " = ", got, " disagrees with engine total ",
+          expected);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> InvariantChecker::check_epoch(
+    const mds::MdsCluster& cluster, std::span<const Load> loads) {
+  Violations v;
+  const std::size_t n = cluster.size();
+  const double epoch_seconds = cluster.epoch_seconds();
+
+  // 1. Load conservation: sampled loads are the servers' last-epoch loads,
+  //    and their sum accounts exactly for the operations served since the
+  //    previous check (Σ per-MDS load == aggregate).
+  if (loads.size() != n) {
+    v.add("load vector size ", loads.size(), " != cluster size ", n);
+  } else {
+    double sum_loads = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Load server_load =
+          cluster.server(static_cast<MdsId>(i)).current_load();
+      if (loads[i] != server_load) {
+        v.add("mds.", i, " sampled load ", loads[i],
+              " != server last-epoch load ", server_load);
+      }
+      if (loads[i] < 0.0) v.add("mds.", i, " negative load ", loads[i]);
+      sum_loads += loads[i];
+    }
+    const std::uint64_t served_total = cluster.total_served();
+    const auto served_delta =
+        static_cast<double>(served_total - last_served_total_);
+    if (std::abs(sum_loads * epoch_seconds - served_delta) > 1e-6) {
+      v.add("aggregate load ", sum_loads, " IOPS x ", epoch_seconds,
+            " s != ", served_delta, " ops served this epoch");
+    }
+    last_served_total_ = served_total;
+  }
+
+  // 2. The flight recorder's monotonic counters agree with the engines.
+  const CounterRegistry& counters = cluster.trace().counters();
+  check_counter(v, counters, "cluster.ops_served", cluster.total_served());
+  const mds::MigrationEngine& migration = cluster.migration();
+  check_counter(v, counters, "migration.submitted",
+                migration.migrations_submitted());
+  check_counter(v, counters, "migration.completed",
+                migration.migrations_completed());
+  check_counter(v, counters, "migration.aborted",
+                migration.migrations_aborted());
+  // The headline Figure 4 metric: migrated inodes must equal the sum the
+  // per-commit instrumentation accumulated.
+  check_counter(v, counters, "migration.migrated_inodes",
+                migration.total_migrated_inodes());
+
+  // 3. Subtree authority is a partition of the namespace: every unit
+  //    resolves to a valid rank and every inode is billed exactly once.
+  const fs::NamespaceTree& tree = cluster.tree();
+  std::uint64_t billed_inodes = 0;
+  for (DirId d = 0; d < tree.dir_count(); ++d) {
+    const fs::Directory& dir = tree.dir(d);
+    const MdsId dir_auth = tree.auth_of(d);
+    if (dir_auth < 0 || static_cast<std::size_t>(dir_auth) >= n) {
+      v.add("dir ", d, " resolves to invalid authority ", dir_auth);
+      continue;
+    }
+    ++billed_inodes;  // the directory inode itself
+    std::uint64_t frag_files = 0;
+    for (std::size_t f = 0; f < dir.frags().size(); ++f) {
+      const fs::FragStats& frag = dir.frags()[f];
+      const MdsId a = frag.auth_pin != kNoMds ? frag.auth_pin : dir_auth;
+      if (a < 0 || static_cast<std::size_t>(a) >= n) {
+        v.add("dirfrag ", d, "/", f, " resolves to invalid authority ", a);
+      }
+      frag_files += frag.file_count;
+    }
+    if (frag_files != dir.file_count()) {
+      v.add("dir ", d, " frag file counts sum to ", frag_files,
+            " but the directory holds ", dir.file_count());
+    }
+    billed_inodes += frag_files;
+  }
+  if (billed_inodes != tree.total_inodes()) {
+    v.add("authority partition bills ", billed_inodes,
+          " inodes but the namespace holds ", tree.total_inodes());
+  }
+
+  // 4. Migration-engine task sanity.
+  const auto max_inflight =
+      static_cast<std::size_t>(migration.params().max_inflight_per_exporter);
+  std::vector<std::size_t> active_per_exporter(n, 0);
+  for (const mds::ExportTask& t : migration.tasks()) {
+    if (t.from == t.to) v.add("migration task exports to itself (", t.from, ")");
+    if (t.from < 0 || static_cast<std::size_t>(t.from) >= n ||
+        t.to < 0 || static_cast<std::size_t>(t.to) >= n) {
+      v.add("migration task endpoints out of range: ", t.from, " -> ", t.to);
+      continue;
+    }
+    if (t.inodes == 0) v.add("migration task with zero inodes queued");
+    if (t.transferred < 0.0 ||
+        t.transferred > static_cast<double>(t.inodes)) {
+      v.add("migration task progress ", t.transferred, " outside [0, ",
+            t.inodes, "]");
+    }
+    if (t.active) ++active_per_exporter[static_cast<std::size_t>(t.from)];
+  }
+  for (std::size_t m = 0; m < n; ++m) {
+    if (active_per_exporter[m] > max_inflight) {
+      v.add("mds.", m, " has ", active_per_exporter[m],
+            " active exports, limit ", max_inflight);
+    }
+  }
+
+  ++epochs_checked_;
+  return v.take();
+}
+
+}  // namespace lunule::obs

@@ -1,0 +1,56 @@
+// Epoch-boundary conservation checks over the whole stats substrate.
+//
+// The paper's headline numbers (Imbalance Factor, Section 3.4 overhead
+// table, per-MDS IOPS series) are all derived from the accounting this
+// checker audits, so a silent bookkeeping bug corrupts every figure the
+// repo reproduces.  The checker runs at epoch close — after load sampling,
+// before the balancer reacts — and verifies:
+//
+//   1. Load conservation: the sampled per-MDS loads are exactly the
+//      servers' last-epoch loads, and their sum times the epoch length
+//      equals the operations actually served since the previous check.
+//   2. Counter agreement: the flight recorder's monotonic counters
+//      (ops served, migrations submitted/completed/aborted, migrated
+//      inodes) match the engines' own totals — the trace layer and the
+//      reporting layer must never tell different stories.
+//   3. Authority partition: every directory and dirfrag resolves to a
+//      valid MDS rank, per-frag file counts tile each directory exactly,
+//      and billing every inode to its resolved authority covers the
+//      namespace exactly once.
+//   4. Migration-engine sanity: tasks have positive inode counts, distinct
+//      endpoints in range, bounded progress, and per-exporter active counts
+//      within the configured in-flight limit.
+//
+// Violations are returned as human-readable strings rather than aborted on,
+// so tests can assert that a deliberately corrupted cluster is flagged; the
+// simulation loop turns a non-empty result into a fatal LUNULE_CHECK.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mds/cluster.h"
+
+namespace lunule::obs {
+
+class InvariantChecker {
+ public:
+  /// Audits one just-closed epoch.  Returns the violated invariants
+  /// (empty = all hold).  Stateful: load conservation is checked against
+  /// the served-operation total seen at the previous call, so use one
+  /// checker instance per cluster for the whole run.
+  [[nodiscard]] std::vector<std::string> check_epoch(
+      const mds::MdsCluster& cluster, std::span<const Load> loads);
+
+  [[nodiscard]] std::uint64_t epochs_checked() const {
+    return epochs_checked_;
+  }
+
+ private:
+  std::uint64_t last_served_total_ = 0;
+  std::uint64_t epochs_checked_ = 0;
+};
+
+}  // namespace lunule::obs

@@ -1,0 +1,37 @@
+#include "obs/trace_recorder.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace lunule::obs {
+
+std::string_view component_name(Component c) {
+  switch (c) {
+    case Component::kCluster:   return "cluster";
+    case Component::kMonitor:   return "monitor";
+    case Component::kBalancer:  return "balancer";
+    case Component::kSelector:  return "selector";
+    case Component::kMigration: return "migration";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : rings_{TraceRing(ring_capacity), TraceRing(ring_capacity),
+             TraceRing(ring_capacity), TraceRing(ring_capacity),
+             TraceRing(ring_capacity)} {}
+
+bool validation_enabled() {
+  static const bool enabled = [] {
+#ifndef NDEBUG
+    return true;
+#else
+    const char* env = std::getenv("LUNULE_VALIDATE");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "") != 0;
+#endif
+  }();
+  return enabled;
+}
+
+}  // namespace lunule::obs

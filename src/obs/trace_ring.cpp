@@ -1,0 +1,50 @@
+#include "obs/trace_ring.h"
+
+#include "common/assert.h"
+
+namespace lunule::obs {
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEpochClose:      return "epoch_close";
+    case EventKind::kLoadSample:      return "load_sample";
+    case EventKind::kForecast:        return "forecast";
+    case EventKind::kRole:            return "role";
+    case EventKind::kDecision:        return "decision";
+    case EventKind::kSelection:       return "selection";
+    case EventKind::kHeatSelection:   return "heat_selection";
+    case EventKind::kMigrationSubmit: return "migration_submit";
+    case EventKind::kMigrationStart:  return "migration_start";
+    case EventKind::kMigrationFinish: return "migration_finish";
+    case EventKind::kMigrationAbort:  return "migration_abort";
+    case EventKind::kDirfragSplit:    return "dirfrag_split";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity) {
+  LUNULE_CHECK(capacity > 0);
+  events_.resize(capacity);
+}
+
+void TraceRing::push(const TraceEvent& event) {
+  events_[head_] = event;
+  head_ = (head_ + 1) % events_.size();
+  if (size_ < events_.size()) ++size_;
+  ++pushed_;
+}
+
+const TraceEvent& TraceRing::at(std::size_t i) const {
+  LUNULE_CHECK(i < size_);
+  // Oldest event sits `size_` slots behind the write head.
+  const std::size_t start = (head_ + events_.size() - size_) % events_.size();
+  return events_[(start + i) % events_.size()];
+}
+
+void TraceRing::clear() {
+  head_ = 0;
+  size_ = 0;
+  pushed_ = 0;
+}
+
+}  // namespace lunule::obs

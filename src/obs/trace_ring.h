@@ -1,0 +1,95 @@
+// The flight recorder's event substrate: structured trace events and a
+// bounded per-component ring that holds the most recent ones.
+//
+// Every balancing-relevant action in the stack (epoch close, forecast,
+// role/export decision, subtree selection, migration lifecycle, dirfrag
+// split) is recorded as one fixed-size TraceEvent.  Events carry simulated
+// time only (epoch + tick) — never wall-clock, pointers, or iteration-order
+// artifacts — so a trace dump of a seeded scenario is byte-identical across
+// runs; determinism is the repo's core property and the recorder must not
+// be the thing that breaks it.
+//
+// TraceRing is a single-writer bounded ring: push is a store + two integer
+// bumps (no locks, no allocation after construction).  Each component owns
+// its own ring, so concurrent simulations (parallel_runner) never share a
+// writer.  When the ring wraps, the oldest events are overwritten and the
+// `dropped` counter records how many — a truncated trace says so instead of
+// silently looking complete.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lunule::obs {
+
+/// What happened.  Field semantics per kind are documented in
+/// docs/OBSERVABILITY.md; the common convention is `a`/`b` for MDS ranks
+/// (exporter/importer), `n0`/`n1` for namespace ids and inode counts, and
+/// `v0..v3` for the kind's numeric payload.
+enum class EventKind : std::uint8_t {
+  kEpochClose,       // a=-1, n0=ops served this epoch, v0=aggregate IOPS
+  kLoadSample,       // a=mds, v0=cld (last-epoch IOPS)
+  kForecast,         // a=mds, n0=history length, v0=cld, v1=fld
+  kRole,             // a=mds, v0=cld, v1=fld, v2=eld, v3=ild
+  kDecision,         // a=exporter, b=importer, v0=amount IOPS
+  kSelection,        // a=exporter, b=frag, n0=dir, n1=inodes,
+                     //   v0=alpha, v1=beta, v2=l_t, v3=l_s (Eq. 4 terms)
+  kHeatSelection,    // a=exporter, b=frag, n0=dir, n1=inodes, v0=est IOPS
+  kMigrationSubmit,  // a=from, b=to, n0=dir, n1=frag, v0=inodes
+  kMigrationStart,   // a=from, b=to, n0=dir, n1=frag, v0=inodes
+  kMigrationFinish,  // a=from, b=to, n0=dir, n1=frag, v0=inodes moved
+  kMigrationAbort,   // a=from, b=to, n0=dir, n1=frag, v0=inodes, v1=rate
+  kDirfragSplit,     // n0=dir, n1=new frag count, v0=old frag count
+};
+
+[[nodiscard]] std::string_view event_kind_name(EventKind kind);
+
+/// One structured flight-recorder event.  Plain data, fixed size, no owned
+/// memory: safe to copy into a preallocated ring on the hot path.
+struct TraceEvent {
+  EventKind kind{};
+  EpochId epoch = -1;  // stamped by the recorder's clock
+  Tick tick = -1;      // stamped by the recorder's clock
+  std::int32_t a = kNoMds;
+  std::int32_t b = kNoMds;
+  std::int64_t n0 = 0;
+  std::int64_t n1 = 0;
+  double v0 = 0.0;
+  double v1 = 0.0;
+  double v2 = 0.0;
+  double v3 = 0.0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 2048);
+
+  /// Appends an event, overwriting the oldest once the ring is full.
+  void push(const TraceEvent& event);
+
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return events_.size(); }
+  /// Total events ever pushed, including overwritten ones.
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+  /// Events lost to ring wrap-around (pushed - retained).
+  [[nodiscard]] std::uint64_t dropped() const {
+    return pushed_ - static_cast<std::uint64_t>(size_);
+  }
+
+  /// i-th retained event, oldest first (0 <= i < size()).
+  [[nodiscard]] const TraceEvent& at(std::size_t i) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace lunule::obs

@@ -166,4 +166,64 @@ std::string to_json(const ScenarioResult& result) {
   return os.str();
 }
 
+namespace {
+
+void write_event(JsonWriter& w, const obs::TraceEvent& e) {
+  w.begin_object();
+  w.field("kind", obs::event_kind_name(e.kind));
+  w.field("epoch", static_cast<std::int64_t>(e.epoch));
+  w.field("tick", static_cast<std::int64_t>(e.tick));
+  w.field("a", static_cast<std::int64_t>(e.a));
+  w.field("b", static_cast<std::int64_t>(e.b));
+  w.field("n0", e.n0);
+  w.field("n1", e.n1);
+  w.field("v0", e.v0);
+  w.field("v1", e.v1);
+  w.field("v2", e.v2);
+  w.field("v3", e.v3);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const obs::TraceRecorder& trace) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("enabled", trace.enabled());
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, counter] : trace.counters().all()) {
+    w.field(std::string_view(name), counter.value());
+  }
+  w.end_object();
+
+  w.key("components");
+  w.begin_object();
+  for (std::size_t c = 0; c < obs::kComponentCount; ++c) {
+    const auto component = static_cast<obs::Component>(c);
+    const obs::TraceRing& ring = trace.ring(component);
+    w.key(obs::component_name(component));
+    w.begin_object();
+    w.field("pushed", ring.pushed());
+    w.field("dropped", ring.dropped());
+    w.key("events");
+    w.begin_array();
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      write_event(w, ring.at(i));
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+std::string trace_to_json(const obs::TraceRecorder& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
 }  // namespace lunule::sim

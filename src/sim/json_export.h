@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/trace_recorder.h"
 #include "sim/scenario.h"
 
 namespace lunule::sim {
@@ -60,5 +61,14 @@ void write_result(std::ostream& os, const ScenarioResult& result);
 
 /// Convenience wrapper returning the document as a string.
 [[nodiscard]] std::string to_json(const ScenarioResult& result);
+
+/// Serializes a flight recorder: the monotonic counters (in name order)
+/// and each component's ring (events oldest-first, with drop accounting).
+/// Events carry only simulated time, so the document is byte-identical
+/// across runs of the same seeded scenario.
+void write_trace(std::ostream& os, const obs::TraceRecorder& trace);
+
+/// Convenience wrapper returning the trace document as a string.
+[[nodiscard]] std::string trace_to_json(const obs::TraceRecorder& trace);
 
 }  // namespace lunule::sim

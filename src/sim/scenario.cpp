@@ -10,6 +10,7 @@
 #include "core/hash_rebalancer.h"
 #include "core/lunule_balancer.h"
 #include "fs/builder.h"
+#include "sim/json_export.h"
 #include "workloads/mdtest.h"
 #include "workloads/scan.h"
 #include "workloads/web_trace.h"
@@ -251,6 +252,9 @@ std::unique_ptr<Simulation> make_scenario_with_balancer(
   auto sim = std::make_unique<Simulation>(
       std::move(tree), std::move(cluster), std::move(data),
       std::move(balancer), opts, if_params);
+  // Event recording is opt-in; counters (the invariant checker's ground
+  // truth) stay on regardless.
+  sim->cluster().trace().set_enabled(cfg.capture_trace);
   fs::NamespaceTree& t = sim->tree();
 
   switch (cfg.workload) {
@@ -382,6 +386,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   r.end_tick = sim->end_tick();
   r.mean_if = sim->metrics().mean_if(/*skip=*/3);
   r.peak_aggregate_iops = sim->metrics().peak_aggregate_iops();
+  if (cfg.capture_trace) {
+    r.trace_json = trace_to_json(sim->cluster().trace());
+  }
   return r;
 }
 

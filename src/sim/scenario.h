@@ -72,6 +72,12 @@ struct ScenarioConfig {
   /// default, matching the paper's evaluation).
   double replicate_threshold_iops = 0.0;
 
+  /// Record flight-recorder events and export them as `trace_json`.
+  /// Off by default: monotonic counters (and hence the invariant checks)
+  /// always run, but event recording and the JSON dump are only paid when
+  /// a trace was asked for (--trace, or tests that inspect the dump).
+  bool capture_trace = false;
+
   std::uint64_t seed = 42;
 };
 
@@ -126,6 +132,9 @@ struct ScenarioResult {
   Tick end_tick = 0;
   double mean_if = 0.0;
   double peak_aggregate_iops = 0.0;
+  /// Full flight-recorder dump (JSON, deterministic for a fixed seed);
+  /// benches write it to disk under --trace.
+  std::string trace_json;
 };
 
 /// Runs a scenario to completion and extracts the reporting summary.

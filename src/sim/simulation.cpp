@@ -69,6 +69,21 @@ void Simulation::run() {
 
     if ((now_ + 1) % options_.epoch_ticks == 0) {
       const std::vector<Load> loads = cluster_->close_epoch();
+      // Conservation audit of the just-closed epoch — before the balancer
+      // reacts, so a violation is attributed to the epoch that produced it.
+      // Free in production runs: release builds only check under
+      // LUNULE_VALIDATE=1.
+      if (obs::validation_enabled()) {
+        const std::vector<std::string> violations =
+            invariants_.check_epoch(*cluster_, loads);
+        for (const std::string& violation : violations) {
+          std::fprintf(stderr, "invariant violation (epoch %lld): %s\n",
+                       static_cast<long long>(cluster_->epoch() - 1),
+                       violation.c_str());
+        }
+        LUNULE_CHECK_MSG(violations.empty(),
+                         "epoch invariants violated (see stderr)");
+      }
       metrics_.on_epoch(*cluster_, loads);
       balancer_->on_epoch(*cluster_, loads);
       if (options_.stop_on_memory_limit &&
@@ -87,6 +102,14 @@ void Simulation::run() {
     }
   }
   end_tick_ = now_;
+  // A run that gets here survived every epoch audit; say so when auditing
+  // was requested, so "validation on and silent" is distinguishable from
+  // "validation never ran".
+  if (obs::validation_enabled() && invariants_.epochs_checked() > 0) {
+    std::fprintf(stderr, "invariants: %llu epochs checked, 0 violations\n",
+                 static_cast<unsigned long long>(
+                     invariants_.epochs_checked()));
+  }
 }
 
 }  // namespace lunule::sim

@@ -22,6 +22,7 @@
 #include "mds/cluster.h"
 #include "mds/data_path.h"
 #include "mds/memory_model.h"
+#include "obs/invariant_checker.h"
 #include "sim/metrics.h"
 #include "workloads/client.h"
 
@@ -84,6 +85,7 @@ class Simulation {
   MetricsCollector metrics_;
   std::vector<std::unique_ptr<workloads::Client>> clients_;
   std::multimap<Tick, std::function<void(Simulation&)>> events_;
+  obs::InvariantChecker invariants_;
   Tick now_ = 0;
   Tick end_tick_ = 0;
   bool stopped_on_memory_ = false;

@@ -68,6 +68,54 @@ TEST(Histogram, HandlesSkewedTail) {
   EXPECT_NEAR(h.percentile(100), 100000.0, 100000.0 * 0.1);
 }
 
+// Regression: bucket_of used a truncated log2(), and a correctly-rounded
+// log2(2^k - ulp) rounds *up* to exactly k — the largest value below a
+// power of two landed one whole band too high.  ilogb() gives the exact
+// floored exponent, so the three neighbours 2^k - ulp, 2^k, 2^k + ulp
+// straddle the boundary correctly.
+TEST(Histogram, BucketBoundariesAtPowersOfTwo) {
+  for (const int k : {1, 4, 10, 20, 40}) {
+    const double pow2 = std::exp2(k);
+    const double below = std::nextafter(pow2, 0.0);
+    const double above = std::nextafter(pow2, 2.0 * pow2);
+    // The last sub-bucket of band k-1...
+    EXPECT_EQ(Histogram::bucket_of(below),
+              (k - 1) * Histogram::kSubBuckets + Histogram::kSubBuckets - 1)
+        << "k=" << k;
+    // ...then the first sub-bucket of band k.
+    EXPECT_EQ(Histogram::bucket_of(pow2), k * Histogram::kSubBuckets)
+        << "k=" << k;
+    EXPECT_EQ(Histogram::bucket_of(above), k * Histogram::kSubBuckets)
+        << "k=" << k;
+  }
+  // Concrete spot check from the bug report: nextafter(1024, 0) is in
+  // bucket 159, not 160.
+  EXPECT_EQ(Histogram::bucket_of(std::nextafter(1024.0, 0.0)), 159);
+  EXPECT_EQ(Histogram::bucket_of(1024.0), 160);
+}
+
+TEST(Histogram, BucketOfIsMonotone) {
+  int prev = 0;
+  for (double v = 0.5; v < 1e6; v *= 1.013) {
+    const int b = Histogram::bucket_of(v);
+    EXPECT_GE(b, prev) << "v=" << v;
+    prev = b;
+  }
+}
+
+// Regression: percentile(0) used to report empty bucket 0's midpoint
+// (~1.03) regardless of the data; it must report the smallest observed
+// value's bucket.
+TEST(Histogram, PercentileZeroReturnsSmallestObserved) {
+  Histogram h;
+  h.add(500.0);
+  h.add(900.0);
+  EXPECT_NEAR(h.percentile(0), 500.0, 500.0 * 0.1);
+  EXPECT_GT(h.percentile(0), 400.0);
+  // p=100 still reports the exact maximum.
+  EXPECT_DOUBLE_EQ(h.percentile(100), 900.0);
+}
+
 TEST(Histogram, MonotonePercentiles) {
   Histogram h;
   Rng rng(8);

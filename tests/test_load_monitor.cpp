@@ -1,9 +1,12 @@
 // Tests for the centralized load monitor and the fld forecast.
 #include "core/load_monitor.h"
 
+#include <array>
+
 #include <gtest/gtest.h>
 
 #include "fs/namespace_tree.h"
+#include "mds/messages.h"
 
 namespace lunule::core {
 namespace {
@@ -50,11 +53,63 @@ TEST(LoadMonitor, CollectBuildsStatsWithForecasts) {
   EXPECT_GT(monitor.total_bytes(), 0u);
 }
 
+// Exact end-to-end check of the extrapolation index: MdsServer::load_history
+// is oldest-first and *includes* the just-closed epoch, so a history of
+// 3, 6, 9, 12 IOPS occupies x = 0..3 and the next epoch is x = 4 — exactly
+// 15 IOPS on the fitted line.  (Guards forecast_load's fit.at(history.size())
+// against the off-by-one where the forecast would re-predict the current
+// epoch and return 12.)
+TEST(LoadMonitor, ForecastPredictsOneEpochAhead) {
+  fs::NamespaceTree tree;
+  mds::ClusterParams cp;
+  cp.n_mds = 2;
+  cp.mds_capacity_iops = 100.0;
+  cp.epoch_ticks = 1;
+  const DirId dir = tree.add_dir(tree.root(), "d");
+  tree.add_files(dir, 8);
+  mds::MdsCluster cluster(tree, cp);
+  for (int e = 1; e <= 4; ++e) {
+    cluster.begin_tick(e);
+    for (int i = 0; i < 3 * e; ++i) {
+      ASSERT_EQ(cluster.try_serve(dir, 0), mds::ServeResult::kServed);
+    }
+    cluster.end_tick();
+    cluster.close_epoch();
+  }
+  ASSERT_EQ(cluster.server(0).load_history().size(), 4u);
+  EXPECT_DOUBLE_EQ(cluster.server(0).current_load(), 12.0);
+
+  LoadMonitor monitor;
+  const std::vector<Load> loads = cluster.current_loads();
+  const auto stats = monitor.collect(cluster, loads);
+  EXPECT_NEAR(stats[0].fld, 15.0, 1e-9);
+}
+
 TEST(LoadMonitor, DecisionTrafficRecorded) {
   LoadMonitor monitor;
   const std::uint64_t before = monitor.total_bytes();
-  monitor.record_decisions(2, 3);
+  const std::array<std::size_t, 2> per_exporter{2, 3};
+  monitor.record_decisions(per_exporter);
   EXPECT_GT(monitor.total_bytes(), before);
+}
+
+// Each exporter's MigrationDecision message carries only its own assignment
+// list — the bill is exact, not n_exporters x the union of all importers.
+TEST(LoadMonitor, DecisionTrafficBilledPerExporter) {
+  LoadMonitor monitor;
+  const std::array<std::size_t, 3> per_exporter{2, 1, 0};
+  monitor.record_decisions(per_exporter);
+  const std::size_t per_msg_fixed =
+      mds::kMsgEnvelopeBytes + sizeof(MdsId);
+  const std::uint64_t expected =
+      3 * per_msg_fixed + (2 + 1 + 0) * sizeof(mds::ExportAssignment);
+  EXPECT_EQ(monitor.total_bytes(), expected);
+
+  // Regression: the old accounting billed every exporter for all importers'
+  // assignments (here 3 exporters x 3 assignments each).
+  const std::uint64_t overcounted =
+      3 * (per_msg_fixed + 3 * sizeof(mds::ExportAssignment));
+  EXPECT_LT(monitor.total_bytes(), overcounted);
 }
 
 }  // namespace

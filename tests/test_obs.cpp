@@ -1,0 +1,214 @@
+// Tests for the flight-recorder substrate (ring, counters, recorder) and
+// the epoch-boundary InvariantChecker, including deliberately corrupted
+// cluster state.
+#include "obs/invariant_checker.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fs/namespace_tree.h"
+#include "mds/cluster.h"
+#include "obs/counter_registry.h"
+#include "obs/trace_recorder.h"
+#include "obs/trace_ring.h"
+
+namespace lunule::obs {
+namespace {
+
+TraceEvent event_with(std::int64_t n0) {
+  TraceEvent e;
+  e.kind = EventKind::kDecision;
+  e.n0 = n0;
+  return e;
+}
+
+TEST(TraceRing, RetainsEventsInOrder) {
+  TraceRing ring(8);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (std::int64_t i = 0; i < 3; ++i) ring.push(event_with(i));
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.pushed(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ring.at(i).n0, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(TraceRing, WrapsOverwritingOldestAndCountsDrops) {
+  TraceRing ring(4);
+  for (std::int64_t i = 0; i < 6; ++i) ring.push(event_with(i));
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  // Oldest-first view after the wrap: events 2, 3, 4, 5.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.at(i).n0, static_cast<std::int64_t>(i + 2));
+  }
+}
+
+TEST(TraceRing, ClearResetsRetainedEvents) {
+  TraceRing ring(4);
+  for (std::int64_t i = 0; i < 6; ++i) ring.push(event_with(i));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(CounterRegistry, AbsentCounterReadsZero) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.value("never.touched"), 0u);
+  EXPECT_TRUE(reg.all().empty());
+}
+
+TEST(CounterRegistry, CountersAccumulateAndKeepStableRefs) {
+  CounterRegistry reg;
+  CounterRegistry::Counter& c = reg.counter("x.ops");
+  c.add();
+  c.add(4);
+  // Creating other counters must not invalidate the cached reference
+  // (hot paths hold a Counter* across the run).
+  reg.counter("a.first");
+  reg.counter("z.last");
+  c.add(5);
+  EXPECT_EQ(reg.value("x.ops"), 10u);
+}
+
+TEST(CounterRegistry, IterationIsLexicographic) {
+  CounterRegistry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.counter("c").add(3);
+  std::vector<std::string> names;
+  for (const auto& [name, counter] : reg.all()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TraceRecorder, StampsEventsWithSimulatedClock) {
+  TraceRecorder rec;
+  rec.set_clock(3, 42);
+  rec.record(Component::kBalancer, event_with(7));
+  const TraceRing& ring = rec.ring(Component::kBalancer);
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.at(0).epoch, 3);
+  EXPECT_EQ(ring.at(0).tick, 42);
+  EXPECT_EQ(ring.at(0).n0, 7);
+  // Other components' rings are untouched.
+  EXPECT_EQ(rec.ring(Component::kMigration).size(), 0u);
+}
+
+TEST(TraceRecorder, DisabledRecordingIsANoOp) {
+  TraceRecorder rec;
+  rec.set_enabled(false);
+  rec.record(Component::kCluster, event_with(1));
+  EXPECT_EQ(rec.ring(Component::kCluster).size(), 0u);
+  EXPECT_EQ(rec.ring(Component::kCluster).pushed(), 0u);
+  // Counters are deliberately NOT gated: they are the invariant checker's
+  // ground truth.
+  rec.counters().counter("still.counts").add();
+  EXPECT_EQ(rec.counters().value("still.counts"), 1u);
+  rec.set_enabled(true);
+  rec.record(Component::kCluster, event_with(2));
+  EXPECT_EQ(rec.ring(Component::kCluster).size(), 1u);
+}
+
+class InvariantCheckerTest : public ::testing::Test {
+ protected:
+  InvariantCheckerTest() {
+    dir_ = tree_.add_dir(tree_.root(), "d");
+    tree_.add_files(dir_, 16);
+    params_.n_mds = 3;
+    params_.mds_capacity_iops = 100.0;
+    params_.epoch_ticks = 1;
+    cluster_ = std::make_unique<mds::MdsCluster>(tree_, params_);
+  }
+
+  // Serves a few ops and closes the epoch so sampled loads are coherent.
+  void run_epoch(int ops) {
+    cluster_->begin_tick(++tick_);
+    for (int i = 0; i < ops; ++i) cluster_->try_serve(dir_, 0);
+    cluster_->end_tick();
+    cluster_->close_epoch();
+  }
+
+  fs::NamespaceTree tree_;
+  mds::ClusterParams params_;
+  DirId dir_ = kNoDir;
+  std::unique_ptr<mds::MdsCluster> cluster_;
+  Tick tick_ = 0;
+};
+
+TEST_F(InvariantCheckerTest, HealthyClusterPasses) {
+  InvariantChecker checker;
+  for (int e = 0; e < 3; ++e) {
+    run_epoch(5);
+    const auto violations =
+        checker.check_epoch(*cluster_, cluster_->current_loads());
+    EXPECT_TRUE(violations.empty())
+        << "epoch " << e << ": " << violations.front();
+  }
+  EXPECT_EQ(checker.epochs_checked(), 3u);
+}
+
+TEST_F(InvariantCheckerTest, FlagsTamperedCounter) {
+  InvariantChecker checker;
+  run_epoch(5);
+  // Corrupt the books: claim 5 migrated inodes the engine never moved.
+  cluster_->trace().counters().counter("migration.migrated_inodes").add(5);
+  const auto violations =
+      checker.check_epoch(*cluster_, cluster_->current_loads());
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const std::string& v : violations) {
+    found = found || v.find("migration.migrated_inodes") != std::string::npos;
+  }
+  EXPECT_TRUE(found) << violations.front();
+}
+
+TEST_F(InvariantCheckerTest, FlagsInvalidFragAuthority) {
+  InvariantChecker checker;
+  run_epoch(5);
+  // Pin a dirfrag to a rank that does not exist.
+  tree_.dir(dir_).frags()[0].auth_pin = 99;
+  const auto violations =
+      checker.check_epoch(*cluster_, cluster_->current_loads());
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const std::string& v : violations) {
+    found = found || v.find("invalid authority") != std::string::npos;
+  }
+  EXPECT_TRUE(found) << violations.front();
+}
+
+TEST_F(InvariantCheckerTest, FlagsMismatchedLoadSample) {
+  InvariantChecker checker;
+  run_epoch(5);
+  std::vector<Load> loads = cluster_->current_loads();
+  loads[0] += 1.0;  // report a load the server never saw
+  const auto violations = checker.check_epoch(*cluster_, loads);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST_F(InvariantCheckerTest, FlagsWrongLoadVectorSize) {
+  InvariantChecker checker;
+  run_epoch(5);
+  const std::vector<Load> loads(2, 0.0);  // cluster has 3 ranks
+  const auto violations = checker.check_epoch(*cluster_, loads);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST_F(InvariantCheckerTest, FragFileCountDriftIsFlagged) {
+  InvariantChecker checker;
+  run_epoch(5);
+  // Lose a file from the frag-level books only; the directory still
+  // reports the true total, so the partition no longer tiles.
+  ASSERT_GE(tree_.dir(dir_).frags()[0].file_count, 1u);
+  tree_.dir(dir_).frags()[0].file_count -= 1;
+  const auto violations =
+      checker.check_epoch(*cluster_, cluster_->current_loads());
+  EXPECT_FALSE(violations.empty());
+}
+
+}  // namespace
+}  // namespace lunule::obs

@@ -1,0 +1,52 @@
+// The flight recorder must never break the repo's core determinism
+// property: two runs of the same seeded scenario produce byte-identical
+// trace dumps.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace lunule::sim {
+namespace {
+
+ScenarioConfig small_config(BalancerKind balancer, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.workload = WorkloadKind::kZipf;
+  cfg.balancer = balancer;
+  cfg.n_clients = 20;
+  cfg.scale = 0.05;
+  cfg.max_ticks = 200;
+  cfg.seed = seed;
+  cfg.capture_trace = true;
+  return cfg;
+}
+
+TEST(TraceDeterminism, LunuleTraceIsByteIdenticalAcrossRuns) {
+  const ScenarioConfig cfg = small_config(BalancerKind::kLunule, 42);
+  const ScenarioResult a = run_scenario(cfg);
+  const ScenarioResult b = run_scenario(cfg);
+  ASSERT_FALSE(a.trace_json.empty());
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  // The dump actually contains flight-recorder content, not just shell.
+  EXPECT_NE(a.trace_json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"events\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("cluster.ops_served"), std::string::npos);
+}
+
+TEST(TraceDeterminism, VanillaTraceIsByteIdenticalAcrossRuns) {
+  const ScenarioConfig cfg = small_config(BalancerKind::kVanilla, 42);
+  const ScenarioResult a = run_scenario(cfg);
+  const ScenarioResult b = run_scenario(cfg);
+  ASSERT_FALSE(a.trace_json.empty());
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+TEST(TraceDeterminism, DifferentSeedsProduceDifferentTraces) {
+  const ScenarioResult a = run_scenario(small_config(BalancerKind::kLunule, 1));
+  const ScenarioResult b = run_scenario(small_config(BalancerKind::kLunule, 2));
+  EXPECT_NE(a.trace_json, b.trace_json);
+}
+
+}  // namespace
+}  // namespace lunule::sim
