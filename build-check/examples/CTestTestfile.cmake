@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-check/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-check/examples/quickstart" "--scale=0.05" "--clients=20" "--ticks=300")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ai_training_pipeline "/root/repo/build-check/examples/ai_training_pipeline" "--scale=0.03" "--clients=20" "--ticks=400")
+set_tests_properties(example_ai_training_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_web_server_replay "/root/repo/build-check/examples/web_server_replay" "--scale=0.05" "--clients=20" "--ticks=300")
+set_tests_properties(example_web_server_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cluster_operations "/root/repo/build-check/examples/cluster_operations" "--ticks=300")
+set_tests_properties(example_cluster_operations PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_balancer "/root/repo/build-check/examples/custom_balancer" "--scale=0.03" "--ticks=600")
+set_tests_properties(example_custom_balancer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_replay_apache_log "/root/repo/build-check/examples/replay_apache_log" "--clients=20" "--ticks=300")
+set_tests_properties(example_replay_apache_log PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
