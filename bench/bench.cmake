@@ -37,3 +37,4 @@ target_link_libraries(micro_substrate PRIVATE benchmark::benchmark)
 lunule_bench(latency_profile)
 lunule_bench(ext_adaptive_selection)
 lunule_bench(ext_replication)
+lunule_bench(ext_fault_recovery)

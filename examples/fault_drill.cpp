@@ -1,0 +1,71 @@
+// Fault-drill example: a scripted failure exercise against a Lunule
+// cluster, the way an operator would rehearse an MDS outage.
+//
+// A 4-MDS cluster serves a steady Zipf workload while a FaultPlan injects,
+// in order: a slow node (half capacity for a minute), a crash of rank 1
+// (its subtrees fail over to the survivors; it rejoins 90 seconds later,
+// empty-handed), and one forced abort of every in-flight migration.  The
+// report shows the per-MDS load dip and the recovery metrics.
+//
+//   ./fault_drill [--ticks=N] [--seed=N]
+#include <iostream>
+
+#include "common/flags.h"
+#include "sim/report.h"
+#include "sim/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace lunule;
+  Flags flags(argc, argv);
+  const Tick ticks = flags.get_int("ticks", 600);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  flags.check_unused();
+
+  sim::ScenarioConfig cfg;
+  cfg.workload = sim::WorkloadKind::kZipf;
+  cfg.balancer = sim::BalancerKind::kLunule;
+  cfg.n_mds = 4;
+  cfg.n_clients = 40;
+  cfg.scale = 0.5;  // enough work to keep clients active through the drill
+  cfg.max_ticks = ticks;
+  cfg.stop_when_done = false;  // hold the window open for the whole drill
+  cfg.seed = seed;
+
+  // The drill schedule, scaled to the window so shorter --ticks still run
+  // every phase.
+  const Tick slow_at = ticks / 6;
+  const Tick crash_at = ticks / 3;
+  const Tick crash_down = ticks / 4;
+  cfg.faults.slow(/*m=*/3, slow_at, /*for_ticks=*/60, /*factor=*/0.5)
+      .crash(/*m=*/1, crash_at, crash_down)
+      .abort_migrations(crash_at + crash_down / 2);
+
+  std::cout << "Fault drill: slow MDS-3 at t=" << slow_at
+            << "s, crash MDS-1 at t=" << crash_at << "s (back at t="
+            << crash_at + crash_down
+            << "s), forced migration abort in between\n\n";
+
+  const sim::ScenarioResult r = sim::run_scenario(cfg);
+
+  sim::ReportOptions ropts;
+  ropts.buckets = 12;
+  sim::print_series_bundle(std::cout, "per-MDS IOPS through the drill",
+                           r.per_mds_iops, ropts);
+  sim::print_series_columns(std::cout, "imbalance factor (alive ranks)",
+                            {&r.if_series}, {"IF"},
+                            static_cast<double>(cfg.epoch_ticks), ropts);
+
+  std::cout << "\nfaults injected:      " << r.faults_injected
+            << " (skipped: " << r.faults_skipped << ")\n"
+            << "subtrees taken over:  " << r.takeover_subtrees << "\n"
+            << "migrations aborted:   " << r.fault_migration_aborts
+            << " by faults\n"
+            << "re-convergence:       "
+            << (r.reconverge_seconds < 0.0
+                    ? std::string("not within the window")
+                    : std::to_string(static_cast<long long>(
+                          r.reconverge_seconds)) + " s after the crash")
+            << "\n"
+            << "ops served:           " << r.total_served << "\n";
+  return 0;
+}

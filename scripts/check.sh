@@ -5,6 +5,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# build-check/ (like every build*/ directory) is gitignored; nothing this
+# script produces may ever be committed — CI's hygiene job enforces that.
 BUILD_DIR=${BUILD_DIR:-build-check}
 
 # The epoch-boundary InvariantChecker audits every scenario the suite runs.

@@ -25,6 +25,9 @@ void MantleBalancer::on_epoch(mds::MdsCluster& cluster,
 
   for (const SpillTarget& spill : howmuch_(ctx)) {
     if (spill.amount <= 0.0) continue;
+    // A Mantle lambda sees only the load vector; drop any spill whose
+    // endpoint is a crashed rank before it reaches the migration engine.
+    if (!cluster.is_up(spill.from) || !cluster.is_up(spill.to)) continue;
     // Mantle keeps CephFS's heat-based candidate selection: rank the
     // exporter's subtrees by heat and queue them until the heat-share
     // estimate covers the requested amount.

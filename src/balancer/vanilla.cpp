@@ -11,7 +11,18 @@ namespace lunule::balancer {
 
 void VanillaBalancer::on_epoch(mds::MdsCluster& cluster,
                                std::span<const Load> loads) {
-  const double avg = mean(loads);
+  // The average (the rebalance target) spans alive ranks only: a crashed
+  // MDS reports zero load and would otherwise both drag the average down
+  // and look like the roomiest importer.
+  double sum = 0.0;
+  std::size_t alive = 0;
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    if (!cluster.is_up(static_cast<MdsId>(j))) continue;
+    sum += loads[j];
+    ++alive;
+  }
+  if (alive == 0) return;
+  const double avg = sum / static_cast<double>(alive);
   if (avg <= params_.idle_epsilon) return;
 
   // Importers: everything below average, ordered lightest-first, each with
@@ -23,6 +34,7 @@ void VanillaBalancer::on_epoch(mds::MdsCluster& cluster,
   };
   std::vector<Importer> importers;
   for (std::size_t j = 0; j < loads.size(); ++j) {
+    if (!cluster.is_up(static_cast<MdsId>(j))) continue;
     if (loads[j] < avg) {
       importers.push_back(
           {static_cast<MdsId>(j), avg - loads[j]});

@@ -30,7 +30,11 @@ void HashRebalancer::setup(mds::MdsCluster& cluster) {
 void HashRebalancer::on_epoch(mds::MdsCluster& cluster,
                               std::span<const Load> loads) {
   std::vector<MdsLoadStat> stats = monitor_.collect(cluster, loads);
-  last_if_ = imbalance_factor(loads, params_.if_params);
+  // IF over alive ranks only, mirroring the filtered monitor output.
+  std::vector<double> alive_loads;
+  alive_loads.reserve(stats.size());
+  for (const MdsLoadStat& s : stats) alive_loads.push_back(s.cld);
+  last_if_ = imbalance_factor(alive_loads, params_.if_params);
   if (last_if_ <= params_.if_threshold) return;
 
   // Lag awareness: keep the migration pipeline within one epoch's worth.

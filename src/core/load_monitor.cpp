@@ -19,6 +19,10 @@ std::vector<MdsLoadStat> LoadMonitor::collect(const mds::MdsCluster& cluster,
   stats.reserve(loads.size());
   for (std::size_t i = 0; i < loads.size(); ++i) {
     const auto id = static_cast<MdsId>(i);
+    // A down rank sends no ImbalanceState message; omitting it here keeps
+    // every downstream consumer (IF, decide_roles, the selector) scoped to
+    // the alive cluster without each one re-checking liveness.
+    if (!cluster.is_up(id)) continue;
     MdsLoadStat s;
     s.id = id;
     s.cld = loads[i];

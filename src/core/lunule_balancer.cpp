@@ -41,7 +41,12 @@ void LunuleBalancer::tune(
 void LunuleBalancer::on_epoch(mds::MdsCluster& cluster,
                               std::span<const Load> loads) {
   std::vector<MdsLoadStat> stats = monitor_.collect(cluster, loads);
-  last_if_ = imbalance_factor(loads, params_.if_params);
+  // IF over the alive ranks only (the monitor already filtered): counting a
+  // crashed rank's zero load would inflate the imbalance it reports.
+  std::vector<double> alive_loads;
+  alive_loads.reserve(stats.size());
+  for (const MdsLoadStat& s : stats) alive_loads.push_back(s.cld);
+  last_if_ = imbalance_factor(alive_loads, params_.if_params);
   last_plan_ = MigrationPlan{};
   if (last_if_ <= params_.if_threshold) return;
 

@@ -1,0 +1,75 @@
+// Applies a FaultPlan to a live MdsCluster at tick boundaries.
+//
+// The injector expands the plan into primitive actions (down / up / degrade
+// / abort) sorted by tick — a crash with a recovery window becomes a down
+// action plus an up action `duration` ticks later — and replays them as the
+// simulation asks for each tick.  Everything is deterministic: ties apply in
+// plan order, survivor choice at fail-over is the cluster's deterministic
+// least-taken rule, and no randomness or wall clock is involved.
+//
+// One safety rule: a crash that would down the *last* alive MDS is skipped
+// (and counted), because a cluster with no metadata servers cannot make
+// progress and the simulation would spin pointlessly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "faults/fault_plan.h"
+#include "mds/cluster.h"
+
+namespace lunule::faults {
+
+class FaultInjector {
+ public:
+  /// The plan must already be validated; construction sorts its expansion.
+  FaultInjector(mds::MdsCluster& cluster, const FaultPlan& plan);
+
+  /// Applies every action scheduled at or before `now`.  Call once per tick
+  /// *before* the cluster opens the tick, so budgets and authority reflect
+  /// the fault from the first affected tick onward.
+  void on_tick(Tick now);
+
+  /// True once every action has been applied (cheap early-out for the hot
+  /// simulation loop).
+  [[nodiscard]] bool done() const { return next_ >= actions_.size(); }
+
+  // -- Reporting ----------------------------------------------------------
+  [[nodiscard]] std::size_t faults_applied() const { return applied_; }
+  /// Crashes skipped because they would have downed the last alive MDS.
+  [[nodiscard]] std::size_t faults_skipped() const { return skipped_; }
+  [[nodiscard]] std::size_t takeover_subtrees() const {
+    return takeover_subtrees_;
+  }
+  [[nodiscard]] std::uint64_t takeover_inodes() const {
+    return takeover_inodes_;
+  }
+  /// Migrations aborted by crashes plus forced aborts.
+  [[nodiscard]] std::size_t migration_aborts() const {
+    return migration_aborts_;
+  }
+
+ private:
+  enum class Action : std::uint8_t { kDown, kUp, kDegrade, kAbort };
+  struct Step {
+    Tick at = 0;
+    std::size_t seq = 0;  // stable tie-break: expansion order
+    Action action = Action::kDown;
+    MdsId mds = kNoMds;
+    double factor = 1.0;
+  };
+
+  void apply(const Step& s);
+
+  mds::MdsCluster& cluster_;
+  std::vector<Step> actions_;
+  std::size_t next_ = 0;
+  std::size_t applied_ = 0;
+  std::size_t skipped_ = 0;
+  std::size_t takeover_subtrees_ = 0;
+  std::uint64_t takeover_inodes_ = 0;
+  std::size_t migration_aborts_ = 0;
+};
+
+}  // namespace lunule::faults

@@ -1,0 +1,47 @@
+#include "faults/fault_plan.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace lunule::faults {
+
+Tick FaultPlan::first_crash_tick() const {
+  Tick first = -1;
+  for (const FaultEvent& e : events) {
+    if (e.kind != FaultKind::kCrash && e.kind != FaultKind::kPermanentLoss) {
+      continue;
+    }
+    if (first < 0 || e.at_tick < first) first = e.at_tick;
+  }
+  return first;
+}
+
+void FaultPlan::validate(std::size_t n_mds, Tick max_ticks) const {
+  for (const FaultEvent& e : events) {
+    const bool rank_optional =
+        e.kind == FaultKind::kAbortMigrations && e.mds == kNoMds;
+    if (!rank_optional &&
+        (e.mds < 0 || static_cast<std::size_t>(e.mds) >= n_mds)) {
+      throw std::invalid_argument("FaultPlan: rank " + std::to_string(e.mds) +
+                                  " outside cluster of " +
+                                  std::to_string(n_mds));
+    }
+    if (e.at_tick < 0 || e.at_tick >= max_ticks) {
+      throw std::invalid_argument("FaultPlan: tick " +
+                                  std::to_string(e.at_tick) +
+                                  " outside scenario horizon " +
+                                  std::to_string(max_ticks));
+    }
+    if (e.duration < 0) {
+      throw std::invalid_argument("FaultPlan: negative duration");
+    }
+    if (e.kind == FaultKind::kSlowNode &&
+        (e.factor <= 0.0 || e.factor > 1.0)) {
+      throw std::invalid_argument("FaultPlan: slow-node factor " +
+                                  std::to_string(e.factor) +
+                                  " outside (0, 1]");
+    }
+  }
+}
+
+}  // namespace lunule::faults

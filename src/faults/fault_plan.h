@@ -1,0 +1,93 @@
+// Declarative fault schedules for deterministic failure drills.
+//
+// A FaultPlan is pure data: a list of fault events, each pinned to a
+// simulated tick.  It is carried inside ScenarioConfig, so the same seed and
+// the same plan always produce the same trace — fault injection never
+// consults a clock or an RNG of its own.  Supported events:
+//   * crash(m, at, down_for) — MDS `m` fails at tick `at`; its subtrees fail
+//     over to the survivors and its in-flight migrations abort.  After
+//     `down_for` ticks it rejoins (empty-handed, like a CephFS standby
+//     taking over the rank after journal replay).
+//   * lose(m, at)            — as crash, but the rank never comes back.
+//   * slow(m, at, f, factor) — `m` serves at `factor` of its capacity for
+//     `f` ticks (thermal throttling, a noisy neighbour).
+//   * abort_migrations(at)   — every active transfer is forced to roll back
+//     and retry with bounded exponential backoff.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lunule::faults {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,            // down at `at_tick`, back up after `duration` ticks
+  kPermanentLoss,    // down at `at_tick`, forever
+  kSlowNode,         // capacity x `factor` for `duration` ticks
+  kAbortMigrations,  // force-abort active transfers (all, or one exporter's)
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// Target rank; kNoMds on kAbortMigrations means "every exporter".
+  MdsId mds = kNoMds;
+  Tick at_tick = 0;
+  /// Crash: down window; slow node: degraded window.  Ignored otherwise.
+  Tick duration = 0;
+  /// Slow node: capacity multiplier in (0, 1).  Ignored otherwise.
+  double factor = 1.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// An ordered fault schedule (builder-style).  Events may be appended in any
+/// order; the injector sorts by tick and applies ties in insertion order.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& crash(MdsId m, Tick at, Tick down_for) {
+    events.push_back({.kind = FaultKind::kCrash,
+                      .mds = m,
+                      .at_tick = at,
+                      .duration = down_for});
+    return *this;
+  }
+  FaultPlan& lose(MdsId m, Tick at) {
+    events.push_back(
+        {.kind = FaultKind::kPermanentLoss, .mds = m, .at_tick = at});
+    return *this;
+  }
+  FaultPlan& slow(MdsId m, Tick at, Tick for_ticks, double factor) {
+    events.push_back({.kind = FaultKind::kSlowNode,
+                      .mds = m,
+                      .at_tick = at,
+                      .duration = for_ticks,
+                      .factor = factor});
+    return *this;
+  }
+  FaultPlan& abort_migrations(Tick at, MdsId exporter = kNoMds) {
+    events.push_back({.kind = FaultKind::kAbortMigrations,
+                      .mds = exporter,
+                      .at_tick = at});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Tick of the earliest crash or permanent loss, or -1 when the plan has
+  /// none (recovery metrics key off this).
+  [[nodiscard]] Tick first_crash_tick() const;
+
+  /// Rejects malformed plans with std::invalid_argument: an out-of-range
+  /// rank, a negative tick or a tick past the scenario horizon, a negative
+  /// duration, or a slow-node factor outside (0, 1].  Scenario construction
+  /// calls this before any state is built, so a bad plan surfaces as a
+  /// catchable error rather than a mid-run abort.
+  void validate(std::size_t n_mds, Tick max_ticks) const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace lunule::faults

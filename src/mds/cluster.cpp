@@ -17,6 +17,9 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
   MigrationParams mig = params_.migration;
   mig.epoch_seconds = epoch_seconds();
   migration_ = std::make_unique<MigrationEngine>(tree_, mig);
+  migration_->set_liveness_probe([this](MdsId m) {
+    return static_cast<std::size_t>(m) < servers_.size() && is_up(m);
+  });
   migration_->set_commit_hook(
       [this](const fs::SubtreeRef& ref, std::uint64_t moved) {
         audit_.on_commit(tree_, ref, moved, epoch_);
@@ -82,10 +85,12 @@ std::vector<Load> MdsCluster::close_epoch() {
 
 void MdsCluster::update_replicas() {
   const double epoch_secs = epoch_seconds();
-  // All peers hold a replica of a hot fragment (bitmask of every rank);
-  // the authority's bit is redundant but harmless.
-  const std::uint32_t all_mask =
-      servers_.size() >= 32 ? ~0u : (1u << servers_.size()) - 1;
+  // All *alive* peers hold a replica of a hot fragment (a down rank cannot
+  // cache anything); the authority's bit is redundant but harmless.
+  std::uint32_t all_mask = 0;
+  for (std::size_t r = 0; r < servers_.size() && r < 32; ++r) {
+    if (servers_[r].up()) all_mask |= 1u << r;
+  }
   for (const DirId d : recorder_->active_dirs()) {
     for (fs::FragStats& frag : tree_.dir(d).frags()) {
       const double rate =
@@ -128,6 +133,7 @@ ServeResult MdsCluster::try_serve(DirId d, FileIndex i) {
         servers_[static_cast<std::size_t>(m)].served_in_open_epoch();
     for (std::size_t r = 0; r < servers_.size(); ++r) {
       if (!frag.replicated_on(static_cast<MdsId>(r))) continue;
+      if (!servers_[r].up()) continue;
       const std::uint64_t served = servers_[r].served_in_open_epoch();
       if (served < best_served) {
         best = static_cast<MdsId>(r);
@@ -183,6 +189,119 @@ MdsId MdsCluster::add_server() {
   const auto id = static_cast<MdsId>(servers_.size());
   servers_.emplace_back(id, params_.mds_capacity_iops);
   return id;
+}
+
+std::size_t MdsCluster::alive_count() const {
+  std::size_t n = 0;
+  for (const MdsServer& s : servers_) {
+    if (s.up()) ++n;
+  }
+  return n;
+}
+
+MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  LUNULE_CHECK(is_up(m));
+  LUNULE_CHECK(alive_count() >= 2);  // the last rank cannot crash
+  servers_[static_cast<std::size_t>(m)].set_up(false);
+
+  FailoverStats stats;
+  // Abort transfers first: an in-flight export whose endpoint died never
+  // commits (the protocol is all-or-nothing), so authority stays with the
+  // recorded owner and fails over with everything else below.
+  stats.aborted_migrations = migration_->abort_involving(m);
+
+  // Deterministic survivor choice: each orphaned unit goes to the alive
+  // rank with the smallest takeover tally so far, ties to the lowest rank.
+  std::vector<std::uint64_t> taken(servers_.size(), 0);
+  auto pick_survivor = [&]() -> MdsId {
+    MdsId best = kNoMds;
+    for (std::size_t r = 0; r < servers_.size(); ++r) {
+      if (!servers_[r].up()) continue;
+      if (best == kNoMds || taken[r] < taken[static_cast<std::size_t>(best)]) {
+        best = static_cast<MdsId>(r);
+      }
+    }
+    LUNULE_CHECK(best != kNoMds);
+    return best;
+  };
+
+  for (DirId d = 0; d < tree_.dir_count(); ++d) {
+    if (tree_.dir(d).explicit_auth() == m) {
+      const MdsId to = pick_survivor();
+      const std::uint64_t moved =
+          tree_.exclusive_inodes(fs::SubtreeRef{.dir = d});
+      tree_.set_auth(d, to);
+      taken[static_cast<std::size_t>(to)] += moved;
+      ++stats.subtrees;
+      stats.inodes += moved;
+      trace_->record(obs::Component::kFaults,
+                     {.kind = obs::EventKind::kTakeover,
+                      .a = to,
+                      .b = m,
+                      .n0 = static_cast<std::int64_t>(d),
+                      .n1 = kWholeDir,
+                      .v0 = static_cast<double>(moved)});
+    }
+    fs::Directory& dir = tree_.dir(d);
+    for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+      if (dir.frag(f).auth_pin != m) continue;
+      const MdsId to = pick_survivor();
+      const std::uint64_t moved =
+          tree_.exclusive_inodes(fs::SubtreeRef{.dir = d, .frag = f});
+      tree_.set_frag_auth(d, f, to);
+      taken[static_cast<std::size_t>(to)] += moved;
+      ++stats.subtrees;
+      stats.inodes += moved;
+      trace_->record(obs::Component::kFaults,
+                     {.kind = obs::EventKind::kTakeover,
+                      .a = to,
+                      .b = m,
+                      .n0 = static_cast<std::int64_t>(d),
+                      .n1 = f,
+                      .v0 = static_cast<double>(moved)});
+    }
+  }
+  tree_.simplify_auth();
+
+  // Drop the crashed rank's replica bits: its cached copies are gone.
+  const std::uint32_t dead_bit = 1u << static_cast<std::uint32_t>(m);
+  for (DirId d = 0; d < tree_.dir_count(); ++d) {
+    for (fs::FragStats& frag : tree_.dir(d).frags()) {
+      frag.replica_mask &= ~dead_bit;
+    }
+  }
+
+  trace_->counters().counter("faults.crashes").add();
+  trace_->counters()
+      .counter("faults.takeover_subtrees")
+      .add(stats.subtrees);
+  trace_->record(obs::Component::kFaults,
+                 {.kind = obs::EventKind::kMdsCrash,
+                  .a = m,
+                  .n0 = static_cast<std::int64_t>(stats.subtrees),
+                  .n1 = static_cast<std::int64_t>(stats.aborted_migrations),
+                  .v0 = static_cast<double>(stats.inodes)});
+  return stats;
+}
+
+void MdsCluster::set_up(MdsId m) {
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  MdsServer& s = servers_[static_cast<std::size_t>(m)];
+  if (s.up()) return;
+  s.set_up(true);
+  s.reset_history();
+  trace_->counters().counter("faults.recoveries").add();
+  trace_->record(obs::Component::kFaults,
+                 {.kind = obs::EventKind::kMdsRecover, .a = m});
+}
+
+void MdsCluster::set_degrade(MdsId m, double factor) {
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  servers_[static_cast<std::size_t>(m)].set_degrade_factor(factor);
+  trace_->counters().counter("faults.degradations").add();
+  trace_->record(obs::Component::kFaults,
+                 {.kind = obs::EventKind::kMdsDegrade, .a = m, .v0 = factor});
 }
 
 std::uint64_t MdsCluster::total_served() const {

@@ -80,6 +80,35 @@ class MdsCluster {
   // -- Topology -------------------------------------------------------------
   /// Adds one MDS at runtime (cluster-expansion experiments, Fig. 12a).
   MdsId add_server();
+
+  // -- Faults ---------------------------------------------------------------
+  /// What a fail-over moved, for reporting and trace events.
+  struct FailoverStats {
+    std::size_t subtrees = 0;          // dirs + frags reassigned
+    std::uint64_t inodes = 0;          // exclusive inodes failed over
+    std::size_t aborted_migrations = 0;
+  };
+
+  /// Crashes MDS `m`: its budget drops to zero, every subtree and dirfrag it
+  /// owned fails over to the surviving ranks, its replicas are dropped, and
+  /// every in-flight migration touching it aborts.  Survivor choice is
+  /// deterministic: each orphaned unit goes to the alive rank with the
+  /// smallest running takeover-inode tally (ties to the lowest rank), so the
+  /// hand-off spreads rather than dog-piling one peer.  Requires at least
+  /// one other rank to be up.
+  FailoverStats set_down(MdsId m);
+  /// Revives MDS `m` with a cleared load history (it rejoins after journal
+  /// replay with no usable load record); it owns nothing until a balancer
+  /// migrates load back.
+  void set_up(MdsId m);
+  /// Applies a persistent capacity factor in (0, 1] to `m` (1.0 restores).
+  void set_degrade(MdsId m, double factor);
+  [[nodiscard]] bool is_up(MdsId m) const {
+    return servers_[static_cast<std::size_t>(m)].up();
+  }
+  [[nodiscard]] std::size_t alive_count() const;
+
+
   [[nodiscard]] std::size_t size() const { return servers_.size(); }
   [[nodiscard]] const MdsServer& server(MdsId m) const {
     return servers_[static_cast<std::size_t>(m)];

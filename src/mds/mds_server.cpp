@@ -10,9 +10,19 @@ MdsServer::MdsServer(MdsId id, double capacity_iops)
   history_.reserve(kHistoryEpochs);
 }
 
+void MdsServer::set_degrade_factor(double f) {
+  LUNULE_CHECK(f > 0.0 && f <= 1.0);
+  degrade_ = f;
+}
+
+void MdsServer::reset_history() {
+  history_.clear();
+  load_ = 0.0;
+}
+
 void MdsServer::begin_tick(double capacity_factor) {
   LUNULE_CHECK(capacity_factor > 0.0 && capacity_factor <= 1.0);
-  budget_ = capacity_ * capacity_factor;
+  budget_ = up_ ? capacity_ * degrade_ * capacity_factor : 0.0;
 }
 
 bool MdsServer::try_serve(double cost) {

@@ -24,9 +24,24 @@ class MdsServer {
   /// Theoretical maximum IOPS (the paper's C).
   [[nodiscard]] double capacity() const { return capacity_; }
 
+  // -- Liveness and degradation (fault injection) -------------------------
+  /// An up server serves normally; a down one has a zero budget every tick
+  /// until revived.  Authority hand-off is the cluster's job (fail_over).
+  [[nodiscard]] bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+  /// Persistent capacity multiplier in (0, 1] modelling a slow node
+  /// (thermal throttling, a noisy neighbour, a failing disk under the
+  /// journal).  Composes with the per-tick migration penalty.
+  [[nodiscard]] double degrade_factor() const { return degrade_; }
+  void set_degrade_factor(double f);
+  /// Clears the load history (a recovered MDS replays its journal and
+  /// rejoins with no usable load record).
+  void reset_history();
+
   // -- Tick-level service ------------------------------------------------
   /// Opens a tick with the given effective-capacity factor in (0, 1]
-  /// (reduced while the server participates in a migration).
+  /// (reduced while the server participates in a migration).  A down
+  /// server opens with a zero budget regardless of the factor.
   void begin_tick(double capacity_factor);
 
   /// Attempts to consume `cost` service units this tick.  Returns false if
@@ -63,6 +78,8 @@ class MdsServer {
 
   MdsId id_;
   double capacity_;
+  bool up_ = true;
+  double degrade_ = 1.0;
   double budget_ = 0.0;
   std::uint64_t served_epoch_ = 0;
   std::uint64_t total_served_ = 0;

@@ -20,6 +20,9 @@ MigrationEngine::MigrationEngine(fs::NamespaceTree& tree,
 bool MigrationEngine::submit(const fs::SubtreeRef& ref, MdsId to) {
   const MdsId from = tree_.auth_of_subtree(ref);
   if (from == to) return false;
+  // Refuse endpoints the cluster reports as down: a balancer holding a
+  // stale view of the MDS set must not queue exports into a crashed rank.
+  if (liveness_ && (!liveness_(to) || !liveness_(from))) return false;
   const std::uint64_t inodes = tree_.exclusive_inodes(ref);
   if (inodes == 0) return false;
   for (const ExportTask& t : tasks_) {
@@ -72,29 +75,76 @@ double MigrationEngine::subtree_rate(const fs::SubtreeRef& ref) const {
   return visits / params_.epoch_seconds;
 }
 
+void MigrationEngine::record_abort(const ExportTask& t, double rate) {
+  ++aborted_;
+  if (tracer_) {
+    tracer_->counters().counter("migration.aborted").add();
+    tracer_->record(obs::Component::kMigration,
+                    {.kind = obs::EventKind::kMigrationAbort,
+                     .a = t.from,
+                     .b = t.to,
+                     .n0 = static_cast<std::int64_t>(t.subtree.dir),
+                     .n1 = t.subtree.frag,
+                     .v0 = static_cast<double>(t.inodes),
+                     .v1 = rate});
+  }
+}
+
+std::size_t MigrationEngine::abort_involving(MdsId m) {
+  std::size_t dropped = 0;
+  std::erase_if(tasks_, [this, m, &dropped](const ExportTask& t) {
+    if (t.from != m && t.to != m) return false;
+    record_abort(t, 0.0);
+    ++dropped;
+    return true;
+  });
+  return dropped;
+}
+
+std::size_t MigrationEngine::force_abort_active(MdsId exporter) {
+  std::size_t hit = 0;
+  std::erase_if(tasks_, [this, exporter, &hit](ExportTask& t) {
+    if (!t.active) return false;
+    if (exporter != kNoMds && t.from != exporter) return false;
+    record_abort(t, 0.0);
+    ++hit;
+    if (t.retries >= params_.max_retries) return true;  // give up
+    // Roll back and requeue with exponential backoff: the two-phase
+    // protocol discarded the partial stream, so progress restarts at zero.
+    t.active = false;
+    t.transferred = 0.0;
+    ++t.retries;
+    t.not_before = now_ + (params_.retry_backoff_ticks << (t.retries - 1));
+    if (tracer_) {
+      tracer_->record(obs::Component::kMigration,
+                      {.kind = obs::EventKind::kMigrationRequeue,
+                       .a = t.from,
+                       .b = t.to,
+                       .n0 = static_cast<std::int64_t>(t.subtree.dir),
+                       .n1 = t.retries,
+                       .v0 = static_cast<double>(t.inodes),
+                       .v1 = static_cast<double>(t.not_before)});
+    }
+    return false;
+  });
+  return hit;
+}
+
 void MigrationEngine::tick() {
+  ++now_;
   // Abort exports of subtrees under heavy load: the freeze step of the
   // two-phase protocol cannot complete while requests keep arriving.
   std::erase_if(tasks_, [this](const ExportTask& t) {
     const double rate = subtree_rate(t.subtree);
     if (rate <= params_.hot_abort_iops) return false;
-    ++aborted_;
-    if (tracer_) {
-      tracer_->counters().counter("migration.aborted").add();
-      tracer_->record(obs::Component::kMigration,
-                      {.kind = obs::EventKind::kMigrationAbort,
-                       .a = t.from,
-                       .b = t.to,
-                       .n0 = static_cast<std::int64_t>(t.subtree.dir),
-                       .n1 = t.subtree.frag,
-                       .v0 = static_cast<double>(t.inodes),
-                       .v1 = rate});
-    }
+    record_abort(t, rate);
     return true;
   });
-  // Activate queued tasks while their exporter has a free slot.
+  // Activate queued tasks while their exporter has a free slot (requeued
+  // tasks additionally wait out their backoff window).
   for (ExportTask& t : tasks_) {
-    if (!t.active && active_count(t.from) <
+    if (!t.active && now_ >= t.not_before &&
+        active_count(t.from) <
                          static_cast<std::size_t>(
                              params_.max_inflight_per_exporter)) {
       t.active = true;

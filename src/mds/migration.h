@@ -52,6 +52,12 @@ struct MigrationParams {
   /// Epoch length used to convert the last closed epoch's visit counts
   /// into an IOPS rate (overridden by MdsCluster from its own config).
   double epoch_seconds = 10.0;
+  /// Forced aborts (fault injection) requeue the task up to this many
+  /// times before dropping it for good.
+  int max_retries = 3;
+  /// Ticks a requeued task waits before it may restart; doubles with each
+  /// further retry (bounded exponential backoff).
+  Tick retry_backoff_ticks = 5;
 };
 
 struct ExportTask {
@@ -61,6 +67,10 @@ struct ExportTask {
   std::uint64_t inodes = 0;       // snapshot at submission
   double transferred = 0.0;
   bool active = false;
+  /// Forced-abort count so far (bounded by MigrationParams::max_retries).
+  int retries = 0;
+  /// A requeued task may not restart before this engine tick (backoff).
+  Tick not_before = 0;
 
   [[nodiscard]] bool frozen(double freeze_fraction) const {
     return active &&
@@ -93,6 +103,28 @@ class MigrationEngine {
 
   /// Drops tasks from `m` that have not started streaming yet.
   void drop_queued(MdsId m);
+
+  /// Crash handling: aborts and drops every task whose exporter or importer
+  /// is `m`.  An exporter's in-flight transfers roll back (authority never
+  /// moved — the commit is atomic), an importer's are cancelled; either way
+  /// the balancer re-plans from the failed-over authority map at the next
+  /// epoch.  Returns the number of tasks dropped.
+  std::size_t abort_involving(MdsId m);
+
+  /// Fault injection: force-aborts active tasks (all of them, or only those
+  /// exported by `exporter` when given).  Progress is discarded — the
+  /// two-phase protocol rolls back — and the task requeues with bounded
+  /// exponential backoff until MigrationParams::max_retries is exhausted,
+  /// after which it is dropped.  Returns the number of tasks hit.
+  std::size_t force_abort_active(MdsId exporter = kNoMds);
+
+  /// Liveness probe installed by the owning cluster: submissions whose
+  /// endpoints are down are refused, so balancers chasing a stale target
+  /// fail closed.  Null (the default) accepts every rank.
+  using LivenessProbe = std::function<bool(MdsId)>;
+  void set_liveness_probe(LivenessProbe probe) {
+    liveness_ = std::move(probe);
+  }
 
   /// Inodes still to stream across all queued + active tasks (a measure of
   /// the migration backlog; lag-aware balancers consult this before
@@ -135,14 +167,18 @@ class MigrationEngine {
  private:
   [[nodiscard]] std::size_t active_count(MdsId exporter) const;
 
+  void record_abort(const ExportTask& t, double rate);
+
   fs::NamespaceTree& tree_;
   MigrationParams params_;
   std::deque<ExportTask> tasks_;
+  Tick now_ = 0;  // engine-local clock: ticks seen so far
   std::uint64_t total_migrated_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t submitted_ = 0;
   std::uint64_t aborted_ = 0;
   CommitHook commit_hook_;
+  LivenessProbe liveness_;
   obs::TraceRecorder* tracer_ = nullptr;
 };
 

@@ -95,6 +95,11 @@ std::vector<std::string> InvariantChecker::check_epoch(
       v.add("dir ", d, " resolves to invalid authority ", dir_auth);
       continue;
     }
+    // Fail-over completeness: nothing may still resolve to a crashed rank
+    // once the epoch closes (set_down reassigns synchronously).
+    if (!cluster.is_up(dir_auth)) {
+      v.add("dir ", d, " resolves to down authority ", dir_auth);
+    }
     ++billed_inodes;  // the directory inode itself
     std::uint64_t frag_files = 0;
     for (std::size_t f = 0; f < dir.frags().size(); ++f) {
@@ -102,6 +107,8 @@ std::vector<std::string> InvariantChecker::check_epoch(
       const MdsId a = frag.auth_pin != kNoMds ? frag.auth_pin : dir_auth;
       if (a < 0 || static_cast<std::size_t>(a) >= n) {
         v.add("dirfrag ", d, "/", f, " resolves to invalid authority ", a);
+      } else if (!cluster.is_up(a)) {
+        v.add("dirfrag ", d, "/", f, " resolves to down authority ", a);
       }
       frag_files += frag.file_count;
     }
@@ -128,6 +135,11 @@ std::vector<std::string> InvariantChecker::check_epoch(
       continue;
     }
     if (t.inodes == 0) v.add("migration task with zero inodes queued");
+    // Crash handling drops every task touching a downed rank; one
+    // surviving here means abort_involving missed it.
+    if (!cluster.is_up(t.from) || !cluster.is_up(t.to)) {
+      v.add("migration task with down endpoint: ", t.from, " -> ", t.to);
+    }
     if (t.transferred < 0.0 ||
         t.transferred > static_cast<double>(t.inodes)) {
       v.add("migration task progress ", t.transferred, " outside [0, ",

@@ -12,6 +12,7 @@ std::string_view component_name(Component c) {
     case Component::kBalancer:  return "balancer";
     case Component::kSelector:  return "selector";
     case Component::kMigration: return "migration";
+    case Component::kFaults:    return "faults";
   }
   return "?";
 }
@@ -19,7 +20,7 @@ std::string_view component_name(Component c) {
 TraceRecorder::TraceRecorder(std::size_t ring_capacity)
     : rings_{TraceRing(ring_capacity), TraceRing(ring_capacity),
              TraceRing(ring_capacity), TraceRing(ring_capacity),
-             TraceRing(ring_capacity)} {}
+             TraceRing(ring_capacity), TraceRing(ring_capacity)} {}
 
 bool validation_enabled() {
   static const bool enabled = [] {

@@ -33,8 +33,9 @@ enum class Component : std::uint8_t {
   kBalancer,   // role decisions and export assignments
   kSelector,   // subtree selection with mIndex terms
   kMigration,  // migration submit/start/finish/abort
+  kFaults,     // injected crashes/recoveries/degradations + takeovers
 };
-inline constexpr std::size_t kComponentCount = 5;
+inline constexpr std::size_t kComponentCount = 6;
 
 [[nodiscard]] std::string_view component_name(Component c);
 

@@ -17,7 +17,12 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kMigrationStart:  return "migration_start";
     case EventKind::kMigrationFinish: return "migration_finish";
     case EventKind::kMigrationAbort:  return "migration_abort";
+    case EventKind::kMigrationRequeue: return "migration_requeue";
     case EventKind::kDirfragSplit:    return "dirfrag_split";
+    case EventKind::kMdsCrash:        return "mds_crash";
+    case EventKind::kMdsRecover:      return "mds_recover";
+    case EventKind::kMdsDegrade:      return "mds_degrade";
+    case EventKind::kTakeover:        return "takeover";
   }
   return "?";
 }

@@ -42,7 +42,15 @@ enum class EventKind : std::uint8_t {
   kMigrationStart,   // a=from, b=to, n0=dir, n1=frag, v0=inodes
   kMigrationFinish,  // a=from, b=to, n0=dir, n1=frag, v0=inodes moved
   kMigrationAbort,   // a=from, b=to, n0=dir, n1=frag, v0=inodes, v1=rate
+  kMigrationRequeue, // a=from, b=to, n0=dir, n1=retry #, v0=inodes,
+                     //   v1=earliest restart tick (forced abort + backoff)
   kDirfragSplit,     // n0=dir, n1=new frag count, v0=old frag count
+  kMdsCrash,         // a=mds, n0=subtrees taken over, n1=aborted
+                     //   migrations, v0=inodes failed over
+  kMdsRecover,       // a=mds
+  kMdsDegrade,       // a=mds, v0=new capacity factor (1.0 = restored)
+  kTakeover,         // a=survivor, b=failed mds, n0=dir, n1=frag,
+                     //   v0=inodes adopted
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind kind);

@@ -125,6 +125,13 @@ void write_result(std::ostream& os, const ScenarioResult& r) {
   w.field("valid_migration_fraction", r.valid_migration_fraction);
   w.field("migrations_audited", r.migrations_audited);
   w.field("wasted_migration_inodes", r.wasted_migration_inodes);
+  w.field("faults_injected", static_cast<std::uint64_t>(r.faults_injected));
+  w.field("faults_skipped", static_cast<std::uint64_t>(r.faults_skipped));
+  w.field("takeover_subtrees",
+          static_cast<std::uint64_t>(r.takeover_subtrees));
+  w.field("fault_migration_aborts", r.fault_migration_aborts);
+  w.field("first_crash_tick", static_cast<std::int64_t>(r.first_crash_tick));
+  w.field("reconverge_seconds", r.reconverge_seconds);
   w.key("op_latency");
   w.begin_object();
   w.field("mean", r.op_latency.mean());

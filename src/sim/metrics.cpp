@@ -22,7 +22,15 @@ void MetricsCollector::on_epoch(const mds::MdsCluster& cluster,
   for (std::size_t i = 0; i < loads.size(); ++i) {
     per_mds_.at(i).push(loads[i]);
   }
-  if_series_.push(core::imbalance_factor(loads, if_params_));
+  // The reported IF spans alive ranks only; a crashed rank's zero load is a
+  // fault symptom, not an imbalance the balancer could act on.  (The
+  // per-MDS series above keeps the zeros — figures should show the dip.)
+  std::vector<double> alive;
+  alive.reserve(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (cluster.is_up(static_cast<MdsId>(i))) alive.push_back(loads[i]);
+  }
+  if_series_.push(core::imbalance_factor(alive, if_params_));
   aggregate_.push(sum(loads));
   migrated_.push(
       static_cast<double>(cluster.migration().total_migrated_inodes()));

@@ -1,6 +1,7 @@
 #include "sim/parallel_runner.h"
 
 #include <atomic>
+#include <exception>
 #include <thread>
 
 #include "common/assert.h"
@@ -18,12 +19,21 @@ std::vector<ScenarioResult> run_scenarios(
   workers = std::min(workers, configs.size());
 
   // Work-stealing by atomic counter: each worker claims the next index.
+  // An exception escaping a worker thread would call std::terminate, so
+  // each scenario's exception is captured per index, every worker drains
+  // its remaining claims, and the first failure (by config order, so the
+  // choice does not depend on thread scheduling) rethrows after the join.
   std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(configs.size());
   auto work = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= configs.size()) return;
-      results[i] = run_scenario(configs[i]);
+      try {
+        results[i] = run_scenario(configs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
     }
   };
 
@@ -31,6 +41,9 @@ std::vector<ScenarioResult> run_scenarios(
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
   for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
   return results;
 }
 

@@ -230,6 +230,9 @@ std::unique_ptr<Simulation> make_scenario_with_balancer(
     std::unique_ptr<balancer::Balancer> balancer) {
   LUNULE_CHECK(cfg.n_clients >= 1);
   LUNULE_CHECK(balancer != nullptr);
+  // Throws std::invalid_argument on a malformed plan, before any state is
+  // built — callers (the parallel runner in particular) can catch it.
+  cfg.faults.validate(cfg.n_mds, cfg.max_ticks);
   Rng rng(cfg.seed);
 
   auto tree = std::make_unique<fs::NamespaceTree>();
@@ -255,6 +258,7 @@ std::unique_ptr<Simulation> make_scenario_with_balancer(
   // Event recording is opt-in; counters (the invariant checker's ground
   // truth) stay on regardless.
   sim->cluster().trace().set_enabled(cfg.capture_trace);
+  if (!cfg.faults.empty()) sim->set_fault_plan(cfg.faults);
   fs::NamespaceTree& t = sim->tree();
 
   switch (cfg.workload) {
@@ -386,6 +390,27 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   r.end_tick = sim->end_tick();
   r.mean_if = sim->metrics().mean_if(/*skip=*/3);
   r.peak_aggregate_iops = sim->metrics().peak_aggregate_iops();
+  if (const faults::FaultInjector* inj = sim->fault_injector()) {
+    r.faults_injected = inj->faults_applied();
+    r.faults_skipped = inj->faults_skipped();
+    r.takeover_subtrees = inj->takeover_subtrees();
+    r.fault_migration_aborts = inj->migration_aborts();
+    r.first_crash_tick = cfg.faults.first_crash_tick();
+    if (r.first_crash_tick >= 0) {
+      // Re-convergence: the first epoch closing after the crash whose
+      // observed IF is back under the Lunule trigger threshold.
+      const double threshold = core::LunuleParams{}.if_threshold;
+      const auto vals = r.if_series.values();
+      const auto crash_epoch = static_cast<std::size_t>(
+          r.first_crash_tick / cfg.epoch_ticks);
+      for (std::size_t e = crash_epoch; e < vals.size(); ++e) {
+        if (vals[e] > threshold) continue;
+        r.reconverge_seconds = static_cast<double>(
+            static_cast<Tick>(e + 1) * cfg.epoch_ticks - r.first_crash_tick);
+        break;
+      }
+    }
+  }
   if (cfg.capture_trace) {
     r.trace_json = trace_to_json(sim->cluster().trace());
   }

@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "common/histogram.h"
+#include "faults/fault_plan.h"
 #include "sim/simulation.h"
 
 namespace lunule::sim {
@@ -71,6 +72,12 @@ struct ScenarioConfig {
   /// Hot-dirfrag read replication threshold (IOPS); 0 disables it (the
   /// default, matching the paper's evaluation).
   double replicate_threshold_iops = 0.0;
+
+  /// Fault schedule applied during the run (empty = fault-free).  Pure
+  /// data, so the same seed + the same plan reproduce the same trace;
+  /// validated against n_mds / max_ticks at scenario construction
+  /// (std::invalid_argument on a malformed plan).
+  faults::FaultPlan faults;
 
   /// Record flight-recorder events and export them as `trace_json`.
   /// Off by default: monotonic counters (and hence the invariant checks)
@@ -132,6 +139,18 @@ struct ScenarioResult {
   Tick end_tick = 0;
   double mean_if = 0.0;
   double peak_aggregate_iops = 0.0;
+  // -- Fault / recovery reporting (zero / -1 on fault-free runs) ----------
+  std::size_t faults_injected = 0;
+  /// Crashes refused because they would have downed the last alive MDS.
+  std::size_t faults_skipped = 0;
+  std::size_t takeover_subtrees = 0;
+  std::uint64_t fault_migration_aborts = 0;
+  /// Tick of the plan's earliest crash / permanent loss (-1 = none).
+  Tick first_crash_tick = -1;
+  /// Seconds from the first crash until the observed IF first returns
+  /// below the Lunule trigger threshold (-1 = no crash, or never
+  /// re-converged within the run).
+  double reconverge_seconds = -1.0;
   /// Full flight-recorder dump (JSON, deterministic for a fixed seed);
   /// benches write it to disk under --trace.
   std::string trace_json;

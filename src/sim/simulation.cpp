@@ -31,6 +31,13 @@ void Simulation::schedule(Tick t, std::function<void(Simulation&)> fn) {
   events_.emplace(t, std::move(fn));
 }
 
+void Simulation::set_fault_plan(const faults::FaultPlan& plan) {
+  LUNULE_CHECK(now_ == 0);
+  injector_ =
+      plan.empty() ? nullptr
+                   : std::make_unique<faults::FaultInjector>(*cluster_, plan);
+}
+
 std::size_t Simulation::clients_done() const {
   return static_cast<std::size_t>(std::count_if(
       clients_.begin(), clients_.end(),
@@ -54,6 +61,10 @@ void Simulation::run() {
       it->second(*this);
     }
     events_.erase(range.first, range.second);
+
+    // Inject faults before the tick opens so budgets and authority reflect
+    // the failure from its first affected tick.
+    if (injector_ && !injector_->done()) injector_->on_tick(now_);
 
     cluster_->begin_tick(now_);
     if (data_) data_->begin_tick();
@@ -96,6 +107,7 @@ void Simulation::run() {
     }
 
     if (options_.stop_when_done && events_.empty() &&
+        (!injector_ || injector_->done()) &&
         clients_done() == clients_.size()) {
       ++now_;
       break;

@@ -18,6 +18,8 @@
 
 #include "balancer/balancer.h"
 #include "common/types.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "fs/namespace_tree.h"
 #include "mds/cluster.h"
 #include "mds/data_path.h"
@@ -54,6 +56,14 @@ class Simulation {
   /// Schedules `fn` to fire at the beginning of tick `t`.
   void schedule(Tick t, std::function<void(Simulation&)> fn);
 
+  /// Installs a fault schedule.  Must be called before run(); the plan is
+  /// applied at tick boundaries, before the cluster opens each tick.
+  void set_fault_plan(const faults::FaultPlan& plan);
+  /// The injector driving the installed plan (null without one).
+  [[nodiscard]] const faults::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+
   /// Runs until max_ticks or, with stop_when_done, job completion.
   void run();
 
@@ -85,6 +95,7 @@ class Simulation {
   MetricsCollector metrics_;
   std::vector<std::unique_ptr<workloads::Client>> clients_;
   std::multimap<Tick, std::function<void(Simulation&)>> events_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   obs::InvariantChecker invariants_;
   Tick now_ = 0;
   Tick end_tick_ = 0;

@@ -1,0 +1,352 @@
+// Tests for the fault-injection subsystem: plan validation, crash
+// fail-over, migration aborts with retry/backoff, slow nodes, and the
+// determinism of faulty runs end to end.
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fs/builder.h"
+#include "mds/cluster.h"
+#include "sim/scenario.h"
+
+namespace lunule {
+namespace {
+
+// -- FaultPlan ------------------------------------------------------------
+
+TEST(FaultPlan, ValidatesCleanPlans) {
+  faults::FaultPlan plan;
+  plan.crash(1, 50, 100).slow(2, 10, 30, 0.5).abort_migrations(70);
+  EXPECT_NO_THROW(plan.validate(/*n_mds=*/3, /*max_ticks=*/200));
+}
+
+TEST(FaultPlan, RejectsOutOfRangeRank) {
+  faults::FaultPlan plan;
+  plan.crash(7, 50, 100);
+  EXPECT_THROW(plan.validate(3, 200), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsTickPastHorizon) {
+  faults::FaultPlan plan;
+  plan.crash(1, 500, 10);
+  EXPECT_THROW(plan.validate(3, 200), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsBadSlowFactor) {
+  faults::FaultPlan bad_zero;
+  bad_zero.slow(1, 10, 30, 0.0);
+  EXPECT_THROW(bad_zero.validate(3, 200), std::invalid_argument);
+  faults::FaultPlan bad_big;
+  bad_big.slow(1, 10, 30, 1.5);
+  EXPECT_THROW(bad_big.validate(3, 200), std::invalid_argument);
+}
+
+TEST(FaultPlan, AllExporterAbortNeedsNoRank) {
+  faults::FaultPlan plan;
+  plan.abort_migrations(10);
+  EXPECT_NO_THROW(plan.validate(3, 200));
+}
+
+TEST(FaultPlan, FirstCrashTickIgnoresNonCrashEvents) {
+  faults::FaultPlan plan;
+  plan.slow(0, 5, 10, 0.5).abort_migrations(8);
+  EXPECT_EQ(plan.first_crash_tick(), -1);
+  plan.lose(1, 90).crash(2, 40, 10);
+  EXPECT_EQ(plan.first_crash_tick(), 40);
+}
+
+// -- Cluster fail-over ----------------------------------------------------
+
+class FaultClusterTest : public ::testing::Test {
+ protected:
+  FaultClusterTest() {
+    dirs = fs::build_private_dirs(tree, "w", 6, 100);
+    params.n_mds = 3;
+    params.mds_capacity_iops = 50.0;
+    params.epoch_ticks = 2;
+  }
+
+  fs::NamespaceTree tree;
+  mds::ClusterParams params;
+  std::vector<DirId> dirs;
+};
+
+TEST_F(FaultClusterTest, CrashFailsOverEverySubtree) {
+  mds::MdsCluster cluster(tree, params);
+  tree.set_auth(dirs[0], 1);
+  tree.set_auth(dirs[1], 1);
+  tree.set_auth(dirs[2], 2);
+  const std::uint64_t owned =
+      tree.exclusive_inodes({.dir = dirs[0]}) +
+      tree.exclusive_inodes({.dir = dirs[1]});
+
+  const auto stats = cluster.set_down(1);
+  EXPECT_EQ(stats.subtrees, 2u);
+  EXPECT_EQ(stats.inodes, owned);
+  EXPECT_FALSE(cluster.is_up(1));
+  EXPECT_EQ(cluster.alive_count(), 2u);
+  for (DirId d = 0; d < tree.dir_count(); ++d) {
+    EXPECT_NE(tree.auth_of(d), 1) << "dir " << d;
+  }
+  // Conservation: the census over alive ranks still covers everything.
+  const auto census = tree.inodes_per_mds(params.n_mds);
+  std::uint64_t sum = 0;
+  for (const auto c : census) sum += c;
+  EXPECT_EQ(sum, tree.total_inodes());
+  EXPECT_EQ(census[1], 0u);
+}
+
+TEST_F(FaultClusterTest, FailoverSpreadsAcrossSurvivors) {
+  mds::MdsCluster cluster(tree, params);
+  // Four equal-sized subtrees on rank 2: the least-taken rule must not
+  // dump all of them on one survivor.
+  for (int i = 0; i < 4; ++i) tree.set_auth(dirs[static_cast<std::size_t>(i)], 2);
+  cluster.set_down(2);
+  const auto census = tree.inodes_per_mds(params.n_mds);
+  EXPECT_GT(census[0], 0u);
+  EXPECT_GT(census[1], 0u);
+  EXPECT_EQ(census[2], 0u);
+}
+
+TEST_F(FaultClusterTest, DownServerHasZeroBudget) {
+  mds::MdsCluster cluster(tree, params);
+  cluster.set_down(2);
+  cluster.begin_tick(0);
+  EXPECT_FALSE(cluster.server(2).try_serve());
+  EXPECT_TRUE(cluster.server(0).try_serve());
+}
+
+TEST_F(FaultClusterTest, RecoveryRestoresServiceWithClearedHistory) {
+  mds::MdsCluster cluster(tree, params);
+  cluster.begin_tick(0);
+  while (cluster.server(2).try_serve()) {
+  }
+  cluster.close_epoch();
+  ASSERT_FALSE(cluster.server(2).load_history().empty());
+
+  cluster.set_down(2);
+  cluster.set_up(2);
+  EXPECT_TRUE(cluster.is_up(2));
+  EXPECT_TRUE(cluster.server(2).load_history().empty());
+  cluster.begin_tick(1);
+  EXPECT_TRUE(cluster.server(2).try_serve());
+}
+
+TEST_F(FaultClusterTest, CrashAbortsInvolvedMigrations) {
+  params.migration.bandwidth_inodes_per_tick = 1.0;  // keep them in flight
+  mds::MdsCluster cluster(tree, params);
+  ASSERT_TRUE(cluster.migration().submit({.dir = dirs[0]}, 1));
+  ASSERT_TRUE(cluster.migration().submit({.dir = dirs[1]}, 2));
+  cluster.begin_tick(0);
+  cluster.end_tick();  // activate both
+
+  const auto stats = cluster.set_down(1);
+  EXPECT_EQ(stats.aborted_migrations, 1u);
+  EXPECT_EQ(cluster.migration().migrations_aborted(), 1u);
+  EXPECT_EQ(cluster.trace().counters().value("migration.aborted"), 1u);
+  for (const mds::ExportTask& t : cluster.migration().tasks()) {
+    EXPECT_NE(t.from, 1);
+    EXPECT_NE(t.to, 1);
+  }
+}
+
+TEST_F(FaultClusterTest, SubmitRefusesDownEndpoints) {
+  mds::MdsCluster cluster(tree, params);
+  cluster.set_down(1);
+  EXPECT_FALSE(cluster.migration().submit({.dir = dirs[0]}, 1));
+  EXPECT_TRUE(cluster.migration().submit({.dir = dirs[0]}, 2));
+}
+
+TEST_F(FaultClusterTest, DegradeShrinksBudget) {
+  mds::MdsCluster cluster(tree, params);
+  cluster.set_degrade(1, 0.2);
+  cluster.begin_tick(0);
+  int served = 0;
+  while (cluster.server(1).try_serve()) ++served;
+  EXPECT_EQ(served, 10);  // 50 IOPS x 0.2
+  cluster.set_degrade(1, 1.0);
+  cluster.begin_tick(1);
+  served = 0;
+  while (cluster.server(1).try_serve()) ++served;
+  EXPECT_EQ(served, 50);
+}
+
+// -- Forced aborts with retry/backoff -------------------------------------
+
+TEST(MigrationFaults, ForcedAbortRequeuesWithBackoff) {
+  fs::NamespaceTree tree;
+  const std::vector<DirId> dirs = fs::build_private_dirs(tree, "w", 2, 50);
+  mds::MigrationParams mp;
+  mp.bandwidth_inodes_per_tick = 1.0;
+  mp.hot_abort_iops = 1e9;
+  mp.retry_backoff_ticks = 4;
+  mds::MigrationEngine engine(tree, mp);
+  ASSERT_TRUE(engine.submit({.dir = dirs[0]}, 1));
+  engine.tick();  // now_=1, activates and streams a little
+  ASSERT_TRUE(engine.tasks().front().active);
+
+  EXPECT_EQ(engine.force_abort_active(), 1u);
+  const mds::ExportTask& t = engine.tasks().front();
+  EXPECT_FALSE(t.active);
+  EXPECT_EQ(t.retries, 1);
+  EXPECT_DOUBLE_EQ(t.transferred, 0.0);
+  EXPECT_EQ(t.not_before, 1 + 4);
+  EXPECT_EQ(engine.migrations_aborted(), 1u);
+
+  // The task must not restart before its backoff window elapses.
+  for (Tick tick = 2; tick <= 4; ++tick) {
+    engine.tick();
+    EXPECT_FALSE(engine.tasks().front().active) << "tick " << tick;
+  }
+  engine.tick();  // now_=5 >= not_before
+  EXPECT_TRUE(engine.tasks().front().active);
+}
+
+TEST(MigrationFaults, RetriesAreBoundedThenDropped) {
+  fs::NamespaceTree tree;
+  const std::vector<DirId> dirs = fs::build_private_dirs(tree, "w", 2, 50);
+  mds::MigrationParams mp;
+  mp.bandwidth_inodes_per_tick = 1.0;
+  mp.hot_abort_iops = 1e9;
+  mp.max_retries = 2;
+  mp.retry_backoff_ticks = 1;
+  mds::MigrationEngine engine(tree, mp);
+  ASSERT_TRUE(engine.submit({.dir = dirs[0]}, 1));
+
+  int forced = 0;
+  for (int round = 0; round < 20 && !engine.tasks().empty(); ++round) {
+    engine.tick();
+    if (!engine.tasks().empty() && engine.tasks().front().active) {
+      engine.force_abort_active();
+      ++forced;
+    }
+  }
+  EXPECT_TRUE(engine.tasks().empty());
+  EXPECT_EQ(forced, mp.max_retries + 1);  // initial try + max_retries
+  EXPECT_EQ(engine.migrations_aborted(), static_cast<std::uint64_t>(forced));
+  EXPECT_EQ(engine.migrations_completed(), 0u);
+}
+
+TEST(MigrationFaults, ExporterFilteredAbortLeavesOthersAlone) {
+  fs::NamespaceTree tree;
+  const std::vector<DirId> dirs = fs::build_private_dirs(tree, "w", 3, 50);
+  tree.set_auth(dirs[1], 1);
+  mds::MigrationParams mp;
+  mp.bandwidth_inodes_per_tick = 1.0;
+  mp.hot_abort_iops = 1e9;
+  mds::MigrationEngine engine(tree, mp);
+  ASSERT_TRUE(engine.submit({.dir = dirs[0]}, 2));  // exporter 0
+  ASSERT_TRUE(engine.submit({.dir = dirs[1]}, 2));  // exporter 1
+  engine.tick();
+
+  EXPECT_EQ(engine.force_abort_active(/*exporter=*/0), 1u);
+  bool survivor_active = false;
+  for (const mds::ExportTask& t : engine.tasks()) {
+    if (t.from == 1) survivor_active = t.active;
+  }
+  EXPECT_TRUE(survivor_active);
+}
+
+// -- Injector -------------------------------------------------------------
+
+TEST(FaultInjector, SkipsCrashOfLastAliveMds) {
+  fs::NamespaceTree tree;
+  fs::build_private_dirs(tree, "w", 4, 20);
+  mds::ClusterParams params;
+  params.n_mds = 2;
+  mds::MdsCluster cluster(tree, params);
+
+  faults::FaultPlan plan;
+  plan.lose(0, 1).lose(1, 2);
+  faults::FaultInjector injector(cluster, plan);
+  injector.on_tick(1);
+  injector.on_tick(2);
+  EXPECT_TRUE(injector.done());
+  EXPECT_EQ(injector.faults_applied(), 1u);
+  EXPECT_EQ(injector.faults_skipped(), 1u);
+  EXPECT_EQ(cluster.alive_count(), 1u);
+  EXPECT_TRUE(cluster.is_up(1));
+}
+
+TEST(FaultInjector, AppliesActionsInPlanOrderWithinOneTick) {
+  fs::NamespaceTree tree;
+  fs::build_private_dirs(tree, "w", 4, 20);
+  mds::ClusterParams params;
+  params.n_mds = 3;
+  mds::MdsCluster cluster(tree, params);
+
+  faults::FaultPlan plan;
+  plan.slow(0, 5, 10, 0.5).crash(1, 5, 3);
+  faults::FaultInjector injector(cluster, plan);
+  injector.on_tick(5);
+  EXPECT_EQ(injector.faults_applied(), 2u);
+  EXPECT_FALSE(cluster.is_up(1));
+  EXPECT_DOUBLE_EQ(cluster.server(0).degrade_factor(), 0.5);
+  injector.on_tick(8);  // recovery action from the crash expansion
+  EXPECT_TRUE(cluster.is_up(1));
+  EXPECT_FALSE(injector.done());  // slow-node restore still pending
+  injector.on_tick(15);
+  EXPECT_DOUBLE_EQ(cluster.server(0).degrade_factor(), 1.0);
+  EXPECT_TRUE(injector.done());
+}
+
+// -- End-to-end scenarios -------------------------------------------------
+
+sim::ScenarioConfig faulty_config(std::uint64_t seed) {
+  sim::ScenarioConfig cfg;
+  cfg.workload = sim::WorkloadKind::kZipf;
+  cfg.balancer = sim::BalancerKind::kLunule;
+  cfg.n_clients = 12;
+  cfg.scale = 0.2;
+  cfg.max_ticks = 300;
+  cfg.seed = seed;
+  cfg.capture_trace = true;
+  // Crash rank 0: it holds the root subtree, so a takeover is guaranteed.
+  cfg.faults.crash(0, 60, 80).slow(2, 150, 40, 0.5).abort_migrations(100);
+  return cfg;
+}
+
+TEST(FaultScenario, SameSeedSamePlanIsByteIdentical) {
+  const sim::ScenarioConfig cfg = faulty_config(42);
+  const sim::ScenarioResult a = sim::run_scenario(cfg);
+  const sim::ScenarioResult b = sim::run_scenario(cfg);
+  ASSERT_FALSE(a.trace_json.empty());
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_NE(a.trace_json.find("\"mds_crash\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"takeover\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"mds_recover\""), std::string::npos);
+}
+
+TEST(FaultScenario, ReportsRecoveryMetrics) {
+  const sim::ScenarioResult r = sim::run_scenario(faulty_config(7));
+  EXPECT_GE(r.faults_injected, 4u);  // crash+recover, slow+restore, abort
+  EXPECT_EQ(r.first_crash_tick, 60);
+  EXPECT_EQ(r.faults_skipped, 0u);
+  EXPECT_GT(r.takeover_subtrees, 0u);
+  EXPECT_GT(r.total_served, 0u);
+  // Every fault event got a home in the trace's faults component.
+  EXPECT_NE(r.trace_json.find("\"faults\""), std::string::npos);
+}
+
+TEST(FaultScenario, FaultFreeRunsReportNeutralValues) {
+  sim::ScenarioConfig cfg = faulty_config(3);
+  cfg.faults = faults::FaultPlan{};
+  const sim::ScenarioResult r = sim::run_scenario(cfg);
+  EXPECT_EQ(r.faults_injected, 0u);
+  EXPECT_EQ(r.first_crash_tick, -1);
+  EXPECT_DOUBLE_EQ(r.reconverge_seconds, -1.0);
+}
+
+TEST(FaultScenario, MalformedPlanThrowsBeforeRunning) {
+  sim::ScenarioConfig cfg = faulty_config(3);
+  cfg.faults = faults::FaultPlan{};
+  cfg.faults.crash(99, 60, 80);  // rank outside the cluster
+  EXPECT_THROW(sim::run_scenario(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lunule

@@ -10,6 +10,7 @@
 #include "fs/namespace_tree.h"
 #include "mds/access_recorder.h"
 #include "mds/migration.h"
+#include "sim/scenario.h"
 
 namespace lunule {
 namespace {
@@ -179,6 +180,58 @@ TEST_P(FuzzSweep, RecorderInvariantsUnderRandomAccesses) {
     }
   }
   EXPECT_EQ(visits, recorded);
+}
+
+TEST_P(FuzzSweep, FaultyScenariosHoldEpochInvariants) {
+  // End-to-end: random crash / slow-node / forced-abort schedules over a
+  // small scenario.  The simulation's own epoch audit (always on in Debug,
+  // LUNULE_VALIDATE=1 in Release) aborts on any violation, so the assertion
+  // here is simply that the run completes and stays conserved across
+  // fail-over and recovery.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 52361 + 11);
+
+  sim::ScenarioConfig cfg;
+  cfg.workload = sim::WorkloadKind::kZipf;
+  cfg.balancer =
+      rng.next_bool(0.5) ? sim::BalancerKind::kLunule
+                         : sim::BalancerKind::kVanilla;
+  cfg.n_clients = 8;
+  cfg.scale = 0.05;
+  cfg.max_ticks = 220;
+  cfg.n_mds = 4;
+  cfg.seed = seed;
+
+  const auto random_rank = [&] {
+    return static_cast<MdsId>(rng.next_below(cfg.n_mds));
+  };
+  const auto random_tick = [&] {
+    return static_cast<Tick>(20 + rng.next_below(150));
+  };
+  const auto n_faults = 1 + rng.next_below(4);
+  for (std::uint64_t f = 0; f < n_faults; ++f) {
+    switch (rng.next_below(4)) {
+      case 0:
+        cfg.faults.crash(random_rank(), random_tick(),
+                         static_cast<Tick>(10 + rng.next_below(60)));
+        break;
+      case 1:
+        cfg.faults.lose(random_rank(), random_tick());
+        break;
+      case 2:
+        cfg.faults.slow(random_rank(), random_tick(),
+                        static_cast<Tick>(10 + rng.next_below(60)),
+                        0.2 + 0.7 * rng.next_double());
+        break;
+      case 3:
+        cfg.faults.abort_migrations(random_tick());
+        break;
+    }
+  }
+
+  const sim::ScenarioResult r = sim::run_scenario(cfg);
+  EXPECT_GT(r.total_served, 0u);
+  EXPECT_GE(r.faults_injected + r.faults_skipped, n_faults);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(1, 9));

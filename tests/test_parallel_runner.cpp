@@ -2,6 +2,9 @@
 // equivalence with sequential execution.
 #include "sim/parallel_runner.h"
 
+#include <stdexcept>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace lunule::sim {
@@ -60,6 +63,36 @@ TEST(ParallelRunner, MoreThreadsThanWorkIsFine) {
   const auto results = run_scenarios(configs, 16);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_GT(results[0].total_served, 0u);
+}
+
+TEST(ParallelRunner, WorkerExceptionPropagatesInsteadOfTerminating) {
+  // A scenario whose fault plan names a rank outside the cluster throws
+  // std::invalid_argument from construction.  Before the runner captured
+  // worker exceptions, this crossed the thread boundary and called
+  // std::terminate, killing the whole process.
+  std::vector<ScenarioConfig> configs{
+      tiny(WorkloadKind::kZipf, BalancerKind::kVanilla, 1),
+      tiny(WorkloadKind::kZipf, BalancerKind::kVanilla, 2),
+  };
+  configs[1].faults.crash(/*m=*/99, /*at=*/10, /*down_for=*/5);
+  EXPECT_THROW(run_scenarios(configs, 2), std::invalid_argument);
+}
+
+TEST(ParallelRunner, FirstFailureByConfigOrderWins) {
+  std::vector<ScenarioConfig> configs;
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    configs.push_back(tiny(WorkloadKind::kZipf, BalancerKind::kVanilla, s));
+  }
+  configs[1].faults.crash(50, 10, 5);   // invalid rank
+  configs[3].faults.slow(0, 10, 5, 7.0);  // invalid factor
+  try {
+    run_scenarios(configs, 4);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The earliest failing config's message, regardless of which worker
+    // hit its exception first.
+    EXPECT_NE(std::string(e.what()).find("rank"), std::string::npos);
+  }
 }
 
 }  // namespace
