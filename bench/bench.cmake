@@ -38,3 +38,4 @@ lunule_bench(latency_profile)
 lunule_bench(ext_adaptive_selection)
 lunule_bench(ext_replication)
 lunule_bench(ext_fault_recovery)
+lunule_bench(table_journal_overhead)

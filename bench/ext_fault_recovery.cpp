@@ -7,9 +7,18 @@
 // Zipf workload and compares how quickly each policy drives the observed IF
 // back under Lunule's trigger threshold:
 //
-//   Lunule   — IF-triggered, workload-aware selection: re-converges fastest;
-//   Vanilla  — relative trigger + heat selection: slower, may over-migrate;
-//   Dir-Hash — static placement, nothing re-balances after the take-over.
+//   Lunule         — IF-triggered, workload-aware selection: re-converges
+//                    fastest, but the take-over is amnesiac (the survivors
+//                    inherit subtrees with no load record);
+//   Lunule+journal — same policy with the metadata journal on: take-over is
+//                    replay-based (costs modeled replay time, loses the
+//                    un-flushed tail) but the primary adopter inherits the
+//                    crashed rank's decayed load history, so the forecast
+//                    does not restart from zero;
+//   Vanilla        — relative trigger + heat selection: slower, may
+//                    over-migrate;
+//   Dir-Hash       — static placement, nothing re-balances after the
+//                    take-over.
 //
 // The re-convergence time (seconds from the crash until IF first drops
 // below the threshold; "never" if it does not within the run) is the
@@ -37,30 +46,51 @@ int run(int argc, char** argv) {
   sim::ShapeChecker checks;
 
   TablePrinter table({"Balancer", "reconverge", "takeovers",
-                      "aborted migrations", "mean IF", "served ops"});
+                      "aborted migrations", "replay", "lost entries",
+                      "mean IF", "served ops"});
   double lunule_rec = -1.0;
+  double journal_rec = -1.0;
+  double journal_replay = 0.0;
   double vanilla_rec = -1.0;
   double hash_rec = -1.0;
 
-  for (const sim::BalancerKind b :
-       {sim::BalancerKind::kLunule, sim::BalancerKind::kVanilla,
-        sim::BalancerKind::kDirHash}) {
-    sim::ScenarioConfig cfg = opts.config(sim::WorkloadKind::kZipf, b);
+  struct Row {
+    sim::BalancerKind balancer;
+    bool journaled;
+    const char* label;
+  };
+  const Row rows[] = {
+      {sim::BalancerKind::kLunule, false, "Lunule"},
+      {sim::BalancerKind::kLunule, true, "Lunule+journal"},
+      {sim::BalancerKind::kVanilla, false, "Vanilla"},
+      {sim::BalancerKind::kDirHash, false, "Dir-Hash"},
+  };
+  for (const Row& row : rows) {
+    sim::ScenarioConfig cfg = opts.config(sim::WorkloadKind::kZipf,
+                                          row.balancer);
     // Crash rank 1 while the client wave is hot; it rejoins (empty-handed,
     // like a standby taking over the rank) two simulated minutes later.
     cfg.faults.crash(/*m=*/1, kCrashTick, kDownTicks);
+    cfg.journal.enabled = row.journaled;
     const sim::ScenarioResult r = sim::run_scenario(cfg);
     opts.dump_trace(r);
-    table.add_row({std::string(sim::balancer_name(b)),
+    table.add_row({row.label,
                    fmt_reconverge(r.reconverge_seconds),
                    TablePrinter::fmt(r.takeover_subtrees),
                    TablePrinter::fmt(r.fault_migration_aborts),
+                   TablePrinter::fmt(r.replay_seconds, 2) + " s",
+                   TablePrinter::fmt(r.lost_entries),
                    TablePrinter::fmt(r.mean_if, 3),
                    TablePrinter::fmt(r.total_served)});
-    switch (b) {
-      case sim::BalancerKind::kLunule:  lunule_rec = r.reconverge_seconds; break;
-      case sim::BalancerKind::kVanilla: vanilla_rec = r.reconverge_seconds; break;
-      default:                          hash_rec = r.reconverge_seconds; break;
+    if (row.journaled) {
+      journal_rec = r.reconverge_seconds;
+      journal_replay = r.replay_seconds;
+    } else {
+      switch (row.balancer) {
+        case sim::BalancerKind::kLunule:  lunule_rec = r.reconverge_seconds; break;
+        case sim::BalancerKind::kVanilla: vanilla_rec = r.reconverge_seconds; break;
+        default:                          hash_rec = r.reconverge_seconds; break;
+      }
     }
   }
 
@@ -83,6 +113,11 @@ int run(int argc, char** argv) {
   checks.expect(as_time(lunule_rec) <= as_time(hash_rec),
                 "...and no slower than static hash placement (which cannot "
                 "re-balance at all)");
+  checks.expect(journal_replay > 0.0,
+                "the journaled take-over pays a nonzero replay time");
+  checks.expect(as_time(journal_rec) <= as_time(lunule_rec),
+                "...and the replayed load history re-converges no slower "
+                "than the amnesiac take-over");
   return bench::finish(checks);
 }
 

@@ -1,11 +1,13 @@
 // Fault-drill example: a scripted failure exercise against a Lunule
 // cluster, the way an operator would rehearse an MDS outage.
 //
-// A 4-MDS cluster serves a steady Zipf workload while a FaultPlan injects,
-// in order: a slow node (half capacity for a minute), a crash of rank 1
-// (its subtrees fail over to the survivors; it rejoins 90 seconds later,
-// empty-handed), and one forced abort of every in-flight migration.  The
-// report shows the per-MDS load dip and the recovery metrics.
+// A 4-MDS cluster serves a steady Zipf workload with the metadata journal
+// on, while a FaultPlan injects, in order: a slow node (half capacity for a
+// minute), a journal stall on rank 1 (flushes blocked, the un-flushed
+// backlog grows), a crash of the same rank mid-stall (the take-over replays
+// the durable journal prefix; the stalled backlog is lost), and one forced
+// abort of every in-flight migration.  The report shows the per-MDS load
+// dip and the recovery + replay metrics.
 //
 //   ./fault_drill [--ticks=N] [--seed=N]
 #include <iostream>
@@ -30,17 +32,23 @@ int main(int argc, char** argv) {
   cfg.max_ticks = ticks;
   cfg.stop_when_done = false;  // hold the window open for the whole drill
   cfg.seed = seed;
+  // Journal on: take-overs replay the durable journal instead of adopting
+  // the crashed rank's subtrees amnesically.
+  cfg.journal.enabled = true;
 
   // The drill schedule, scaled to the window so shorter --ticks still run
   // every phase.
   const Tick slow_at = ticks / 6;
   const Tick crash_at = ticks / 3;
   const Tick crash_down = ticks / 4;
+  const Tick stall_at = crash_at > 30 ? crash_at - 30 : 1;
   cfg.faults.slow(/*m=*/3, slow_at, /*for_ticks=*/60, /*factor=*/0.5)
+      .journal_stall(/*m=*/1, stall_at, /*for_ticks=*/crash_at - stall_at + 10)
       .crash(/*m=*/1, crash_at, crash_down)
       .abort_migrations(crash_at + crash_down / 2);
 
   std::cout << "Fault drill: slow MDS-3 at t=" << slow_at
+            << "s, stall MDS-1's journal at t=" << stall_at
             << "s, crash MDS-1 at t=" << crash_at << "s (back at t="
             << crash_at + crash_down
             << "s), forced migration abort in between\n\n";
@@ -66,6 +74,13 @@ int main(int argc, char** argv) {
                     : std::to_string(static_cast<long long>(
                           r.reconverge_seconds)) + " s after the crash")
             << "\n"
+            << "journal appends:      " << r.journal_entries_appended << " ("
+            << r.journal_bytes_written / (1024 * 1024) << " MB, "
+            << r.journal_segments_trimmed << " segments trimmed)\n"
+            << "replay at take-over:  " << r.replayed_entries
+            << " entries in " << r.replay_seconds << " s, "
+            << r.lost_entries << " un-flushed entries lost, "
+            << r.journaled_takeover_subtrees << " subtrees reconstructed\n"
             << "ops served:           " << r.total_served << "\n";
   return 0;
 }

@@ -26,6 +26,10 @@ std::vector<MdsLoadStat> LoadMonitor::collect(const mds::MdsCluster& cluster,
     MdsLoadStat s;
     s.id = id;
     s.cld = loads[i];
+    // The history span is whatever the server holds — including, after a
+    // journaled fail-over, the crashed rank's replayed (decayed) samples
+    // merged into the primary adopter's record — so replay feeds the
+    // regression without the monitor knowing a crash happened.
     const std::span<const double> history = cluster.server(id).load_history();
     s.fld = forecast_load(history, loads[i]);
     cluster.trace().record(obs::Component::kMonitor,

@@ -43,6 +43,13 @@ FaultInjector::FaultInjector(mds::MdsCluster& cluster, const FaultPlan& plan)
                             .action = Action::kAbort,
                             .mds = e.mds});
         break;
+      case FaultKind::kJournalStall:
+        actions_.push_back({.at = e.at_tick,
+                            .seq = seq++,
+                            .action = Action::kStallJournal,
+                            .mds = e.mds,
+                            .duration = e.duration});
+        break;
     }
   }
   std::sort(actions_.begin(), actions_.end(),
@@ -80,6 +87,10 @@ void FaultInjector::apply(const Step& s) {
       takeover_subtrees_ += stats.subtrees;
       takeover_inodes_ += stats.inodes;
       migration_aborts_ += stats.aborted_migrations;
+      replay_seconds_ += stats.replay_seconds;
+      replayed_entries_ += stats.replayed_entries;
+      lost_entries_ += stats.lost_entries;
+      journaled_takeover_subtrees_ += stats.journaled_subtrees;
       ++applied_;
       return;
     }
@@ -93,6 +104,15 @@ void FaultInjector::apply(const Step& s) {
       return;
     case Action::kAbort:
       migration_aborts_ += cluster_.migration().force_abort_active(s.mds);
+      ++applied_;
+      return;
+    case Action::kStallJournal:
+      if (!cluster_.journaling()) {
+        // There is no journal to stall: the fault cannot land.
+        ++skipped_;
+        return;
+      }
+      cluster_.stall_journal(s.mds, s.at + s.duration);
       ++applied_;
       return;
   }

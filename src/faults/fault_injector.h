@@ -49,15 +49,34 @@ class FaultInjector {
   [[nodiscard]] std::size_t migration_aborts() const {
     return migration_aborts_;
   }
+  // Journal-replay totals across every applied crash (all zero when the
+  // cluster journals nothing).
+  [[nodiscard]] double replay_seconds() const { return replay_seconds_; }
+  [[nodiscard]] std::uint64_t replayed_entries() const {
+    return replayed_entries_;
+  }
+  /// Entries past the last durable flush at crash time, lost for good.
+  [[nodiscard]] std::uint64_t lost_entries() const { return lost_entries_; }
+  /// Subtrees the replays reconstructed from durable journal state.
+  [[nodiscard]] std::size_t journaled_takeover_subtrees() const {
+    return journaled_takeover_subtrees_;
+  }
 
  private:
-  enum class Action : std::uint8_t { kDown, kUp, kDegrade, kAbort };
+  enum class Action : std::uint8_t {
+    kDown,
+    kUp,
+    kDegrade,
+    kAbort,
+    kStallJournal,
+  };
   struct Step {
     Tick at = 0;
     std::size_t seq = 0;  // stable tie-break: expansion order
     Action action = Action::kDown;
     MdsId mds = kNoMds;
     double factor = 1.0;
+    Tick duration = 0;  // journal stall window
   };
 
   void apply(const Step& s);
@@ -70,6 +89,10 @@ class FaultInjector {
   std::size_t takeover_subtrees_ = 0;
   std::uint64_t takeover_inodes_ = 0;
   std::size_t migration_aborts_ = 0;
+  double replay_seconds_ = 0.0;
+  std::uint64_t replayed_entries_ = 0;
+  std::uint64_t lost_entries_ = 0;
+  std::size_t journaled_takeover_subtrees_ = 0;
 };
 
 }  // namespace lunule::faults

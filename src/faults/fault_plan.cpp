@@ -35,6 +35,10 @@ void FaultPlan::validate(std::size_t n_mds, Tick max_ticks) const {
     if (e.duration < 0) {
       throw std::invalid_argument("FaultPlan: negative duration");
     }
+    if (e.kind == FaultKind::kJournalStall && e.duration == 0) {
+      throw std::invalid_argument(
+          "FaultPlan: journal stall needs a positive duration");
+    }
     if (e.kind == FaultKind::kSlowNode &&
         (e.factor <= 0.0 || e.factor > 1.0)) {
       throw std::invalid_argument("FaultPlan: slow-node factor " +

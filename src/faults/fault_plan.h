@@ -13,6 +13,11 @@
 //     `f` ticks (thermal throttling, a noisy neighbour).
 //   * abort_migrations(at)   — every active transfer is forced to roll back
 //     and retry with bounded exponential backoff.
+//   * journal_stall(m, at, f) — `m`'s metadata journal stops flushing for
+//     `f` ticks (the backing device stalled).  Appends keep accumulating;
+//     once the backlog hits the journal's cap, creates are refused, and a
+//     crash during the stall loses the whole backlog.  A no-op (skipped)
+//     when the scenario runs without a journal.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +32,7 @@ enum class FaultKind : std::uint8_t {
   kPermanentLoss,    // down at `at_tick`, forever
   kSlowNode,         // capacity x `factor` for `duration` ticks
   kAbortMigrations,  // force-abort active transfers (all, or one exporter's)
+  kJournalStall,     // journal flushes blocked for `duration` ticks
 };
 
 struct FaultEvent {
@@ -71,6 +77,13 @@ struct FaultPlan {
     events.push_back({.kind = FaultKind::kAbortMigrations,
                       .mds = exporter,
                       .at_tick = at});
+    return *this;
+  }
+  FaultPlan& journal_stall(MdsId m, Tick at, Tick for_ticks) {
+    events.push_back({.kind = FaultKind::kJournalStall,
+                      .mds = m,
+                      .at_tick = at,
+                      .duration = for_ticks});
     return *this;
   }
 

@@ -1,0 +1,151 @@
+// The per-rank, append-only metadata journal (CephFS MDLog analogue).
+//
+// Each MDS rank owns one MdsJournal: a sequence of fixed-size segments of
+// typed entries with monotonic sequence numbers.  Appends land in memory
+// first; a *flush* makes everything up to the current sequence durable
+// (CephFS's group commit to the journal objects).  On a crash, only the
+// durable prefix survives — entries past the last flush are genuinely lost,
+// which is exactly the recovery behavior the fault benches measure.
+//
+// Segment lifecycle: a new segment opens every `segment_entries` appends.
+// Segments whose entries all precede the newest *durable* ESubtreeMap are
+// fully covered by that checkpoint and are trimmed (CephFS's LogSegment
+// expiry); the journal length that a take-over must replay is therefore
+// bounded by the checkpoint cadence, not the run length.
+//
+// Cost model: journaling consumes a slice of the owning rank's IOPS budget
+// (`append_cost_ops` per entry, `flush_cost_ops` per group commit), charged
+// by the cluster as journal debt against the next tick's budget — so
+// journaling overhead is visible in throughput benches.  A stalled journal
+// (the `journal_stall` fault) stops flushing; once the un-flushed backlog
+// exceeds `max_unflushed_entries`, mutating operations are refused
+// (journal-full backpressure), and a crash during the stall loses the whole
+// backlog.
+//
+// Lifetime statistics (appends, bytes, flushes, trims) are monotonic and
+// survive reset() — the invariant checker audits them against the cluster's
+// journal counters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "journal/journal_entry.h"
+
+namespace lunule::journal {
+
+struct JournalParams {
+  /// Master switch.  Off by default: every existing scenario, bench and
+  /// trace is byte-identical to the journal-free behavior.
+  bool enabled = false;
+  /// Entries per fixed-size segment.
+  std::uint32_t segment_entries = 512;
+  /// Ticks between group commits (1 = flush every tick, like CephFS's
+  /// continuously-flushing MDLog).
+  Tick flush_interval_ticks = 1;
+  /// Un-flushed backlog (entries) beyond which mutating operations are
+  /// refused until a flush drains it (journal-full backpressure).
+  std::uint64_t max_unflushed_entries = 20000;
+  /// IOPS-budget slice consumed per appended entry / per flush; charged as
+  /// journal debt against the owning rank's next tick.
+  double append_cost_ops = 0.04;
+  double flush_cost_ops = 1.0;
+  /// Replay-time model: a take-over replays the durable journal at this
+  /// rate, plus a fixed base (rank rebind + journal open).
+  double replay_entries_per_second = 2000.0;
+  double replay_base_seconds = 1.0;
+  /// Capacity fraction a rank loses while it replays an adopted journal.
+  double replay_capacity_penalty = 0.3;
+  /// Per-epoch decay applied to a checkpointed load history across the
+  /// replay gap (the forecast signal goes stale while the journal sat
+  /// unplayed).
+  double history_decay_per_epoch = 0.7;
+};
+
+/// One fixed-size run of entries (`MdsJournal` trims whole segments).
+struct JournalSegment {
+  std::vector<JournalEntry> entries;
+};
+
+class MdsJournal {
+ public:
+  MdsJournal(MdsId rank, JournalParams params);
+
+  [[nodiscard]] MdsId rank() const { return rank_; }
+  [[nodiscard]] const JournalParams& params() const { return params_; }
+
+  /// Stamps `e` with the next sequence number and appends it, opening a new
+  /// segment when the tail segment is full.  Returns the assigned seq.
+  std::uint64_t append(JournalEntry e);
+
+  /// True when the un-flushed backlog is at the cap: mutating operations
+  /// must stall until a flush succeeds.
+  [[nodiscard]] bool full() const {
+    return unflushed() >= params_.max_unflushed_entries;
+  }
+
+  /// Group commit: everything appended so far becomes durable.  Returns
+  /// false (and does nothing) when nothing is pending or the journal is
+  /// inside a stall window at `now`.
+  bool flush(Tick now);
+
+  /// Cadenced flush driven by the cluster's tick loop: flushes when
+  /// `flush_interval_ticks` have elapsed since the last successful flush.
+  bool maybe_flush(Tick now);
+
+  /// Fault injection: no flush can complete before tick `until` (the
+  /// backing device stalled).  Appends continue and the backlog grows.
+  void stall_until(Tick until) { stall_until_ = until; }
+  [[nodiscard]] bool stalled(Tick now) const { return now < stall_until_; }
+
+  /// Drops leading segments wholly covered by the newest durable
+  /// ESubtreeMap.  Returns the number of segments trimmed.
+  std::size_t trim();
+
+  /// A revived rank restarts with an empty journal (the old incarnation's
+  /// content was consumed by the take-over replay).  Sequence numbers keep
+  /// counting and lifetime statistics are preserved.
+  void reset();
+
+  // -- Content ------------------------------------------------------------
+  [[nodiscard]] const std::deque<JournalSegment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+  [[nodiscard]] std::uint64_t durable_seq() const { return durable_seq_; }
+  [[nodiscard]] std::uint64_t unflushed() const {
+    return seq_ - durable_seq_;
+  }
+  /// Seq of the newest durable ESubtreeMap (0 = none yet).
+  [[nodiscard]] std::uint64_t durable_subtree_map_seq() const {
+    return durable_map_seq_;
+  }
+  [[nodiscard]] std::uint64_t entries_retained() const { return retained_; }
+
+  // -- Lifetime statistics (monotonic, survive reset) ----------------------
+  [[nodiscard]] std::uint64_t appends() const { return appends_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
+  [[nodiscard]] std::uint64_t segments_trimmed() const { return trimmed_; }
+
+ private:
+  MdsId rank_;
+  JournalParams params_;
+  std::deque<JournalSegment> segments_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t durable_seq_ = 0;
+  /// Newest ESubtreeMap seq appended / made durable (0 = none).
+  std::uint64_t map_seq_ = 0;
+  std::uint64_t durable_map_seq_ = 0;
+  std::uint64_t retained_ = 0;
+  Tick stall_until_ = 0;
+  Tick last_flush_tick_ = -1;
+  std::uint64_t appends_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t trimmed_ = 0;
+};
+
+}  // namespace lunule::journal

@@ -1,0 +1,65 @@
+// Typed entries of the per-rank metadata journal.
+//
+// The entry vocabulary mirrors CephFS's LogEvent hierarchy, reduced to the
+// four kinds that matter for the balancing/recovery model:
+//   * EUpdate       — a metadata mutation (create/unlink/rename) against a
+//                     dirfrag the rank is authoritative for;
+//   * ESubtreeMap   — a checkpoint of everything the rank is authoritative
+//                     for (subtree roots + pinned dirfrags) plus its recent
+//                     load history.  Replay starts from the newest durable
+//                     one; segments wholly before it can be trimmed.
+//   * EExportCommit — this rank handed a subtree to `peer` (exporter side
+//                     of a committed migration);
+//   * EImportStart  — this rank adopted a subtree from `peer` (importer
+//                     side of a commit, or a crash take-over).
+//
+// Entries carry simulated time only (tick + epoch) and a modeled on-journal
+// byte size, so journal traffic is reportable without serializing anything.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "fs/namespace_tree.h"
+
+namespace lunule::journal {
+
+enum class EntryType : std::uint8_t {
+  kUpdate,        // EUpdate: one metadata mutation (dir, frag)
+  kSubtreeMap,    // ESubtreeMap: authority + load-history checkpoint
+  kExportCommit,  // EExportCommit: subtree handed to `peer`
+  kImportStart,   // EImportStart: subtree adopted from `peer`
+};
+
+[[nodiscard]] std::string_view entry_type_name(EntryType t);
+
+/// The checkpoint payload of an ESubtreeMap entry: every unit the rank is
+/// authoritative for (in deterministic namespace order) and the rank's
+/// per-epoch load history, oldest first.
+struct SubtreeSnapshot {
+  std::vector<fs::SubtreeRef> owned;
+  std::vector<double> load_history;
+};
+
+struct JournalEntry {
+  EntryType type = EntryType::kUpdate;
+  /// Monotonic per-journal sequence number, stamped by MdsJournal::append.
+  std::uint64_t seq = 0;
+  Tick tick = -1;
+  EpochId epoch = -1;
+  /// Namespace unit the entry is about (unused by kSubtreeMap).
+  DirId dir = kNoDir;
+  FragId frag = kWholeDir;
+  /// Migration peer of kExportCommit / kImportStart (kNoMds otherwise).
+  MdsId peer = kNoMds;
+  /// Checkpoint payload; only kSubtreeMap entries carry one.
+  SubtreeSnapshot snapshot;
+};
+
+/// Modeled on-journal size of an entry in bytes (CephFS EUpdates run from
+/// hundreds of bytes to kilobytes; ESubtreeMap grows with the subtree map).
+[[nodiscard]] std::uint64_t entry_bytes(const JournalEntry& e);
+
+}  // namespace lunule::journal

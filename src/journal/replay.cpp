@@ -1,0 +1,82 @@
+#include "journal/replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lunule::journal {
+
+namespace {
+
+/// Deterministic namespace order for reconstructed authority sets.
+bool ref_less(const fs::SubtreeRef& a, const fs::SubtreeRef& b) {
+  if (a.dir != b.dir) return a.dir < b.dir;
+  return a.frag < b.frag;
+}
+
+}  // namespace
+
+ReplayResult replay_journal(const MdsJournal& j, EpochId now_epoch,
+                            const JournalParams& p) {
+  ReplayResult r;
+  r.lost_entries = j.unflushed();
+
+  // Locate the newest durable ESubtreeMap across the retained segments.
+  const JournalEntry* checkpoint = nullptr;
+  const std::uint64_t map_seq = j.durable_subtree_map_seq();
+  for (const JournalSegment& seg : j.segments()) {
+    for (const JournalEntry& e : seg.entries) {
+      if (e.type == EntryType::kSubtreeMap && e.seq == map_seq) {
+        checkpoint = &e;
+      }
+    }
+  }
+
+  std::vector<fs::SubtreeRef> owned;
+  if (checkpoint != nullptr) {
+    owned = checkpoint->snapshot.owned;
+    r.load_history = checkpoint->snapshot.load_history;
+    r.checkpoint_epoch = checkpoint->epoch;
+    r.entries_replayed = 1;
+  }
+
+  // Patch the snapshot with every later durable authority delta.  EUpdates
+  // are replayed (they cost time) but do not move subtree bounds.
+  const std::uint64_t from_seq = checkpoint != nullptr ? checkpoint->seq : 0;
+  for (const JournalSegment& seg : j.segments()) {
+    for (const JournalEntry& e : seg.entries) {
+      if (e.seq <= from_seq || e.seq > j.durable_seq()) continue;
+      ++r.entries_replayed;
+      const fs::SubtreeRef ref{e.dir, e.frag};
+      if (e.type == EntryType::kImportStart) {
+        if (std::find(owned.begin(), owned.end(), ref) == owned.end()) {
+          owned.push_back(ref);
+        }
+      } else if (e.type == EntryType::kExportCommit) {
+        owned.erase(std::remove(owned.begin(), owned.end(), ref),
+                    owned.end());
+      }
+    }
+  }
+  std::sort(owned.begin(), owned.end(), ref_less);
+  r.owned = std::move(owned);
+
+  // Replay-time model: nothing durable → instant (there is no journal to
+  // open); otherwise a fixed base plus rate-limited entry scan.
+  if (r.entries_replayed > 0) {
+    r.replay_seconds =
+        p.replay_base_seconds +
+        static_cast<double>(r.entries_replayed) / p.replay_entries_per_second;
+  }
+
+  // Decay the checkpointed history across the replay gap: the forecast
+  // signal aged one decay step per epoch the journal sat unplayed.
+  if (!r.load_history.empty() && r.checkpoint_epoch >= 0) {
+    const EpochId gap = std::max<EpochId>(0, now_epoch - r.checkpoint_epoch);
+    const double scale = std::pow(p.history_decay_per_epoch,
+                                  static_cast<double>(gap));
+    for (double& v : r.load_history) v *= scale;
+  }
+  return r;
+}
+
+}  // namespace lunule::journal

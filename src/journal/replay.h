@@ -1,0 +1,49 @@
+// Crash-recovery replay over a dead rank's journal.
+//
+// A take-over rank does not receive the dead rank's state by fiat: it reads
+// the *durable* prefix of the surviving journal and reconstructs
+//   * the subtree-authority set — the newest durable ESubtreeMap snapshot,
+//     patched with every later durable EImportStart (adopt) / EExportCommit
+//     (hand-off) delta; and
+//   * the Lunule load history — the checkpointed samples, decayed once per
+//     epoch elapsed since the checkpoint (the forecast signal is stale by
+//     exactly the replay gap).
+// Entries past the last durable flush never made it to the backing store and
+// are counted as lost, not replayed.
+//
+// Replay is a pure function of journal content: deterministic, no clocks, no
+// side effects.  The cluster applies the result (re-pinning subtrees,
+// restoring history, opening the replay window) in `MdsCluster::set_down`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "journal/journal.h"
+
+namespace lunule::journal {
+
+struct ReplayResult {
+  /// Durable entries scanned to rebuild state.
+  std::uint64_t entries_replayed = 0;
+  /// Entries past the last durable flush — appended but never committed,
+  /// gone with the crash.
+  std::uint64_t lost_entries = 0;
+  /// Modeled replay wall time: base cost + entries / replay rate.  Zero when
+  /// the journal never went durable (nothing to replay).
+  double replay_seconds = 0.0;
+  /// Epoch of the snapshot the reconstruction started from (-1 = none).
+  EpochId checkpoint_epoch = -1;
+  /// Reconstructed authority set, deterministic namespace order.
+  std::vector<fs::SubtreeRef> owned;
+  /// Reconstructed load history (oldest first), decayed across the gap
+  /// between `checkpoint_epoch` and `now_epoch`.
+  std::vector<double> load_history;
+};
+
+[[nodiscard]] ReplayResult replay_journal(const MdsJournal& j,
+                                          EpochId now_epoch,
+                                          const JournalParams& p);
+
+}  // namespace lunule::journal

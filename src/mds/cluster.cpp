@@ -1,8 +1,27 @@
 #include "mds/cluster.h"
 
+#include <cmath>
+
 #include "common/assert.h"
 
 namespace lunule::mds {
+
+namespace {
+
+journal::JournalEntry make_entry(journal::EntryType type, Tick tick,
+                                 EpochId epoch, DirId dir, FragId frag,
+                                 MdsId peer) {
+  journal::JournalEntry e;
+  e.type = type;
+  e.tick = tick;
+  e.epoch = epoch;
+  e.dir = dir;
+  e.frag = frag;
+  e.peer = peer;
+  return e;
+}
+
+}  // namespace
 
 MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
     : tree_(tree), params_(params) {
@@ -20,10 +39,18 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
   migration_->set_liveness_probe([this](MdsId m) {
     return static_cast<std::size_t>(m) < servers_.size() && is_up(m);
   });
-  migration_->set_commit_hook(
-      [this](const fs::SubtreeRef& ref, std::uint64_t moved) {
-        audit_.on_commit(tree_, ref, moved, epoch_);
-      });
+  migration_->set_commit_hook([this](const fs::SubtreeRef& ref, MdsId from,
+                                     MdsId to, std::uint64_t moved) {
+    audit_.on_commit(tree_, ref, moved, epoch_);
+    journal_commit(ref, from, to);
+  });
+
+  if (params_.journal.enabled) {
+    journals_.reserve(params_.n_mds);
+    for (std::size_t i = 0; i < params_.n_mds; ++i) {
+      journals_.emplace_back(static_cast<MdsId>(i), params_.journal);
+    }
+  }
 
   trace_ = std::make_unique<obs::TraceRecorder>();
   trace_->set_clock(/*epoch=*/0, /*tick=*/0);
@@ -41,6 +68,7 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
 }
 
 void MdsCluster::begin_tick(Tick now) {
+  now_ = now;
   trace_->set_clock(epoch_, now);
   for (MdsServer& s : servers_) {
     const bool migrating = migration_->involved(s.id());
@@ -48,7 +76,19 @@ void MdsCluster::begin_tick(Tick now) {
   }
 }
 
-void MdsCluster::end_tick() { migration_->tick(); }
+void MdsCluster::end_tick() {
+  migration_->tick();
+  if (journaling()) {
+    // Cadenced group commit per alive rank; the flush cost lands as debt
+    // against the next tick's budget.
+    for (MdsServer& s : servers_) {
+      if (!s.up()) continue;
+      if (journals_[static_cast<std::size_t>(s.id())].maybe_flush(now_)) {
+        s.add_journal_debt(params_.journal.flush_cost_ops);
+      }
+    }
+  }
+}
 
 std::vector<Load> MdsCluster::close_epoch() {
   std::vector<Load> loads;
@@ -78,6 +118,7 @@ std::vector<Load> MdsCluster::close_epoch() {
   recorder_->close_epoch();
   audit_.on_epoch_close(tree_, epoch_);
   if (params_.replicate_threshold_iops > 0.0) update_replicas();
+  if (journaling()) journal_checkpoint();
   ++epoch_;
   trace_->set_clock(epoch_, trace_->tick());
   return loads;
@@ -105,6 +146,97 @@ void MdsCluster::update_replicas() {
       }
     }
   }
+}
+
+std::vector<fs::SubtreeRef> MdsCluster::owned_units(MdsId m) const {
+  std::vector<fs::SubtreeRef> owned;
+  for (DirId d = 0; d < tree_.dir_count(); ++d) {
+    const fs::Directory& dir = tree_.dir(d);
+    if (dir.explicit_auth() == m) owned.push_back(fs::SubtreeRef{.dir = d});
+    for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+      if (dir.frag(f).auth_pin == m) {
+        owned.push_back(fs::SubtreeRef{.dir = d, .frag = f});
+      }
+    }
+  }
+  return owned;
+}
+
+void MdsCluster::journal_commit(const fs::SubtreeRef& ref, MdsId from,
+                                MdsId to) {
+  if (!journaling()) return;
+  // Both endpoints log the authority switch: the exporter so its next
+  // replay no longer claims the subtree, the importer so a crash after the
+  // commit replays the adoption.
+  journals_[static_cast<std::size_t>(from)].append(
+      make_entry(journal::EntryType::kExportCommit, now_, epoch_, ref.dir,
+                 ref.frag, to));
+  journals_[static_cast<std::size_t>(to)].append(
+      make_entry(journal::EntryType::kImportStart, now_, epoch_, ref.dir,
+                 ref.frag, from));
+  servers_[static_cast<std::size_t>(from)].add_journal_debt(
+      params_.journal.append_cost_ops);
+  servers_[static_cast<std::size_t>(to)].add_journal_debt(
+      params_.journal.append_cost_ops);
+}
+
+void MdsCluster::journal_checkpoint() {
+  for (MdsServer& s : servers_) {
+    if (!s.up()) continue;
+    journal::MdsJournal& j = journals_[static_cast<std::size_t>(s.id())];
+    journal::JournalEntry e;
+    e.type = journal::EntryType::kSubtreeMap;
+    e.tick = now_;
+    e.epoch = epoch_;
+    e.snapshot.owned = owned_units(s.id());
+    const std::span<const double> h = s.load_history();
+    e.snapshot.load_history.assign(h.begin(), h.end());
+    j.append(std::move(e));
+    s.add_journal_debt(params_.journal.append_cost_ops);
+    // Force a group commit so the checkpoint is durable immediately (a
+    // stalled journal refuses: its checkpoint stays tentative and replay
+    // falls back to the previous durable one), then expire segments the
+    // durable checkpoint covers.
+    if (j.flush(now_)) s.add_journal_debt(params_.journal.flush_cost_ops);
+    j.trim();
+  }
+  sync_journal_counters();
+}
+
+void MdsCluster::sync_journal_counters() {
+  const JournalTotals t = journal_totals();
+  obs::CounterRegistry& c = trace_->counters();
+  c.counter("journal.appends").add(t.appends - journal_synced_.appends);
+  c.counter("journal.bytes_written")
+      .add(t.bytes_written - journal_synced_.bytes_written);
+  c.counter("journal.flushes").add(t.flushes - journal_synced_.flushes);
+  c.counter("journal.segments_trimmed")
+      .add(t.segments_trimmed - journal_synced_.segments_trimmed);
+  journal_synced_ = t;
+}
+
+MdsCluster::JournalTotals MdsCluster::journal_totals() const {
+  JournalTotals t;
+  for (const journal::MdsJournal& j : journals_) {
+    t.appends += j.appends();
+    t.bytes_written += j.bytes_written();
+    t.flushes += j.flushes();
+    t.segments_trimmed += j.segments_trimmed();
+  }
+  return t;
+}
+
+void MdsCluster::stall_journal(MdsId m, Tick until) {
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  if (!journaling()) return;
+  journal::MdsJournal& j = journals_[static_cast<std::size_t>(m)];
+  j.stall_until(until);
+  trace_->counters().counter("journal.stalls").add();
+  trace_->record(obs::Component::kFaults,
+                 {.kind = obs::EventKind::kJournalStall,
+                  .a = m,
+                  .n0 = static_cast<std::int64_t>(until),
+                  .v0 = static_cast<double>(j.unflushed())});
 }
 
 std::uint64_t MdsCluster::replicated_frags() const {
@@ -156,9 +288,15 @@ ServeResult MdsCluster::try_create(DirId d) {
   if (migration_->is_frozen(d, idx)) return ServeResult::kFrozen;
   // The create lands in the fragment the new dentry hashes to.
   const fs::Directory& dir = tree_.dir(d);
-  const MdsId pin = dir.frag(dir.frag_of(idx)).auth_pin;
+  const FragId frag = dir.frag_of(idx);
+  const MdsId pin = dir.frag(frag).auth_pin;
   const MdsId m = pin != kNoMds ? pin : tree_.auth_of(d);
   LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  // Journal-full backpressure: a mutation cannot proceed until the backlog
+  // of un-flushed entries drains (only reachable under a journal stall).
+  if (journaling() && journals_[static_cast<std::size_t>(m)].full()) {
+    return ServeResult::kSaturated;
+  }
   if (!servers_[static_cast<std::size_t>(m)].try_serve()) {
     return ServeResult::kSaturated;
   }
@@ -166,6 +304,13 @@ ServeResult MdsCluster::try_create(DirId d) {
   const FileIndex created = tree_.create_file(d);
   LUNULE_CHECK(created == idx);
   recorder_->record_create(d, created, epoch_);
+  if (journaling()) {
+    journals_[static_cast<std::size_t>(m)].append(
+        make_entry(journal::EntryType::kUpdate, now_, epoch_, d, frag,
+                   kNoMds));
+    servers_[static_cast<std::size_t>(m)].add_journal_debt(
+        params_.journal.append_cost_ops);
+  }
 
   // CephFS-style auto-split: fragment one level deeper whenever the
   // per-fragment population crosses the threshold.
@@ -188,6 +333,7 @@ void MdsCluster::charge_forward(MdsId m) {
 MdsId MdsCluster::add_server() {
   const auto id = static_cast<MdsId>(servers_.size());
   servers_.emplace_back(id, params_.mds_capacity_iops);
+  if (journaling()) journals_.emplace_back(id, params_.journal);
   return id;
 }
 
@@ -210,6 +356,19 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
   // commits (the protocol is all-or-nothing), so authority stays with the
   // recorded owner and fails over with everything else below.
   stats.aborted_migrations = migration_->abort_involving(m);
+
+  // Replay the dead rank's journal: only the durable prefix survives the
+  // crash, and reconstructing from it takes modeled time that the adopting
+  // ranks pay as a capacity-penalty window below.
+  journal::ReplayResult replay;
+  if (journaling()) {
+    replay = journal::replay_journal(journals_[static_cast<std::size_t>(m)],
+                                     epoch_, params_.journal);
+    stats.replayed_entries = replay.entries_replayed;
+    stats.lost_entries = replay.lost_entries;
+    stats.replay_seconds = replay.replay_seconds;
+    stats.journaled_subtrees = replay.owned.size();
+  }
 
   // Deterministic survivor choice: each orphaned unit goes to the alive
   // rank with the smallest takeover tally so far, ties to the lowest rank.
@@ -235,6 +394,11 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
       taken[static_cast<std::size_t>(to)] += moved;
       ++stats.subtrees;
       stats.inodes += moved;
+      if (journaling()) {
+        journals_[static_cast<std::size_t>(to)].append(
+            make_entry(journal::EntryType::kImportStart, now_, epoch_, d,
+                       kWholeDir, m));
+      }
       trace_->record(obs::Component::kFaults,
                      {.kind = obs::EventKind::kTakeover,
                       .a = to,
@@ -253,6 +417,11 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
       taken[static_cast<std::size_t>(to)] += moved;
       ++stats.subtrees;
       stats.inodes += moved;
+      if (journaling()) {
+        journals_[static_cast<std::size_t>(to)].append(
+            make_entry(journal::EntryType::kImportStart, now_, epoch_, d, f,
+                       m));
+      }
       trace_->record(obs::Component::kFaults,
                      {.kind = obs::EventKind::kTakeover,
                       .a = to,
@@ -270,6 +439,45 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
     for (fs::FragStats& frag : tree_.dir(d).frags()) {
       frag.replica_mask &= ~dead_bit;
     }
+  }
+
+  if (journaling()) {
+    // Replay-based takeover: the adopting ranks pay a capacity penalty for
+    // the replay window, and the primary adopter (most inodes, ties to the
+    // lowest rank) inherits the replayed — decayed — load history, so the
+    // next forecast starts from a stale-but-real signal instead of nothing.
+    MdsId primary = kNoMds;
+    for (std::size_t r = 0; r < servers_.size(); ++r) {
+      if (!servers_[r].up() || taken[r] == 0) continue;
+      if (primary == kNoMds || taken[r] > taken[static_cast<std::size_t>(primary)]) {
+        primary = static_cast<MdsId>(r);
+      }
+    }
+    const Tick window = static_cast<Tick>(std::ceil(replay.replay_seconds));
+    for (std::size_t r = 0; r < servers_.size(); ++r) {
+      if (!servers_[r].up() || taken[r] == 0) continue;
+      servers_[r].begin_replay(window,
+                               params_.journal.replay_capacity_penalty);
+    }
+    if (primary != kNoMds) {
+      servers_[static_cast<std::size_t>(primary)].restore_history(
+          replay.load_history);
+    }
+    trace_->counters().counter("journal.replays").add();
+    trace_->counters()
+        .counter("journal.replayed_entries")
+        .add(replay.entries_replayed);
+    trace_->counters()
+        .counter("journal.lost_entries")
+        .add(replay.lost_entries);
+    trace_->record(obs::Component::kFaults,
+                   {.kind = obs::EventKind::kReplay,
+                    .a = primary,
+                    .b = m,
+                    .n0 = static_cast<std::int64_t>(replay.entries_replayed),
+                    .n1 = static_cast<std::int64_t>(replay.lost_entries),
+                    .v0 = replay.replay_seconds,
+                    .v1 = static_cast<double>(replay.owned.size())});
   }
 
   trace_->counters().counter("faults.crashes").add();
@@ -291,6 +499,9 @@ void MdsCluster::set_up(MdsId m) {
   if (s.up()) return;
   s.set_up(true);
   s.reset_history();
+  // The revived incarnation starts a fresh journal: the old content was
+  // consumed by the take-over replay (sequence numbers keep counting).
+  if (journaling()) journals_[static_cast<std::size_t>(m)].reset();
   trace_->counters().counter("faults.recoveries").add();
   trace_->record(obs::Component::kFaults,
                  {.kind = obs::EventKind::kMdsRecover, .a = m});

@@ -15,6 +15,8 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "fs/namespace_tree.h"
+#include "journal/journal.h"
+#include "journal/replay.h"
 #include "mds/access_recorder.h"
 #include "mds/migration.h"
 #include "mds/migration_audit.h"
@@ -48,6 +50,10 @@ struct ClusterParams {
   /// paper's balancers are evaluated without it).
   double replicate_threshold_iops = 0.0;
   double unreplicate_threshold_iops = 0.0;
+  /// Per-rank metadata journal (off by default: with `journal.enabled`
+  /// false no journal exists, no journal counters are created, and every
+  /// trace is byte-identical to the journal-free behavior).
+  journal::JournalParams journal;
   std::uint64_t seed = 42;
 };
 
@@ -87,6 +93,11 @@ class MdsCluster {
     std::size_t subtrees = 0;          // dirs + frags reassigned
     std::uint64_t inodes = 0;          // exclusive inodes failed over
     std::size_t aborted_migrations = 0;
+    // Journal-replay metrics (all zero when journaling is disabled):
+    std::uint64_t replayed_entries = 0;  // durable entries scanned
+    std::uint64_t lost_entries = 0;      // unflushed tail, gone for good
+    double replay_seconds = 0.0;         // modeled replay wall time
+    std::size_t journaled_subtrees = 0;  // units the replay reconstructed
   };
 
   /// Crashes MDS `m`: its budget drops to zero, every subtree and dirfrag it
@@ -107,6 +118,27 @@ class MdsCluster {
     return servers_[static_cast<std::size_t>(m)].up();
   }
   [[nodiscard]] std::size_t alive_count() const;
+
+  // -- Journal --------------------------------------------------------------
+  [[nodiscard]] bool journaling() const { return params_.journal.enabled; }
+  /// Rank `m`'s journal; only meaningful when `journaling()`.
+  [[nodiscard]] const journal::MdsJournal& journal(MdsId m) const {
+    return journals_[static_cast<std::size_t>(m)];
+  }
+  /// Fault injection (`journal_stall`): no flush on `m` completes before
+  /// tick `until`.  Appends continue, the backlog grows, and once it hits
+  /// `JournalParams::max_unflushed_entries` creates are refused
+  /// (backpressure).  A no-op when journaling is disabled.
+  void stall_journal(MdsId m, Tick until);
+
+  /// Cluster-wide journal lifetime totals (all zero when disabled).
+  struct JournalTotals {
+    std::uint64_t appends = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t segments_trimmed = 0;
+  };
+  [[nodiscard]] JournalTotals journal_totals() const;
 
 
   [[nodiscard]] std::size_t size() const { return servers_.size(); }
@@ -149,9 +181,21 @@ class MdsCluster {
  private:
   /// Replica management at epoch close (replicate hot frags, drop cold).
   void update_replicas();
+  /// Everything rank `m` is authoritative for (explicit dir pins + dirfrag
+  /// pins), in deterministic namespace order — the ESubtreeMap payload.
+  [[nodiscard]] std::vector<fs::SubtreeRef> owned_units(MdsId m) const;
+  /// Journals a committed migration on both endpoints.
+  void journal_commit(const fs::SubtreeRef& ref, MdsId from, MdsId to);
+  /// Epoch-close checkpoint: ESubtreeMap per alive rank + flush + trim.
+  void journal_checkpoint();
+  /// Flushes journal lifetime totals into the registry's journal.* counters
+  /// by delta (once per epoch; the invariant checker audits agreement).
+  void sync_journal_counters();
   fs::NamespaceTree& tree_;
   ClusterParams params_;
   std::vector<MdsServer> servers_;
+  /// One journal per rank; empty when `params_.journal.enabled` is false.
+  std::vector<journal::MdsJournal> journals_;
   std::unique_ptr<AccessRecorder> recorder_;
   std::unique_ptr<MigrationEngine> migration_;
   std::unique_ptr<obs::TraceRecorder> trace_;
@@ -161,8 +205,11 @@ class MdsCluster {
   /// serve paths never touch the counter registry.
   std::uint64_t ops_tallied_ = 0;
   std::uint64_t last_epoch_served_ = 0;
+  /// Journal totals already flushed into the counter registry.
+  JournalTotals journal_synced_;
   MigrationAudit audit_;
   EpochId epoch_ = 0;
+  Tick now_ = 0;  // last tick opened by begin_tick
 };
 
 }  // namespace lunule::mds

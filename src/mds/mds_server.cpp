@@ -1,5 +1,7 @@
 #include "mds/mds_server.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace lunule::mds {
@@ -23,6 +25,39 @@ void MdsServer::reset_history() {
 void MdsServer::begin_tick(double capacity_factor) {
   LUNULE_CHECK(capacity_factor > 0.0 && capacity_factor <= 1.0);
   budget_ = up_ ? capacity_ * degrade_ * capacity_factor : 0.0;
+  if (replay_ticks_ > 0) {
+    budget_ *= 1.0 - replay_penalty_;
+    if (--replay_ticks_ == 0) replay_penalty_ = 0.0;
+  }
+  // Journal I/O queued last tick competes with this tick's foreground.
+  if (journal_debt_ > 0.0) {
+    budget_ = std::max(0.0, budget_ - journal_debt_);
+    journal_debt_ = 0.0;
+  }
+}
+
+void MdsServer::begin_replay(Tick ticks, double penalty) {
+  LUNULE_CHECK(ticks >= 0);
+  LUNULE_CHECK(penalty >= 0.0 && penalty < 1.0);
+  replay_ticks_ = std::max(replay_ticks_, ticks);
+  replay_penalty_ = std::max(replay_penalty_, penalty);
+}
+
+void MdsServer::restore_history(std::span<const double> replayed) {
+  if (replayed.empty()) return;
+  // Align at the most recent sample; surplus replayed samples extend the
+  // window toward the past while it stays under the bound.
+  const std::size_t overlap = std::min(history_.size(), replayed.size());
+  for (std::size_t i = 0; i < overlap; ++i) {
+    history_[history_.size() - 1 - i] += replayed[replayed.size() - 1 - i];
+  }
+  std::size_t extra = replayed.size() - overlap;
+  std::vector<double> lead;
+  while (extra > 0 && history_.size() + lead.size() < kHistoryEpochs) {
+    lead.push_back(replayed[extra - 1]);
+    --extra;
+  }
+  history_.insert(history_.begin(), lead.rbegin(), lead.rend());
 }
 
 bool MdsServer::try_serve(double cost) {

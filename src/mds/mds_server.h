@@ -38,6 +38,27 @@ class MdsServer {
   /// rejoins with no usable load record).
   void reset_history();
 
+  // -- Journal coupling (fault recovery) ----------------------------------
+  /// Queues `ops` of journal I/O cost against the next tick's budget: the
+  /// MDLog's appends and group commits are asynchronous, so their cost
+  /// lands after the fact, competing with the next tick's foreground
+  /// service.
+  void add_journal_debt(double ops) { journal_debt_ += ops; }
+  [[nodiscard]] double journal_debt() const { return journal_debt_; }
+
+  /// Opens a replay window: for the next `ticks` ticks this server loses
+  /// `penalty` of its effective capacity while it replays an adopted
+  /// journal.  Overlapping windows keep the longer remainder and the
+  /// stronger penalty.
+  void begin_replay(Tick ticks, double penalty);
+  [[nodiscard]] bool replaying() const { return replay_ticks_ > 0; }
+
+  /// Merges a replayed (journal-checkpointed, decayed) load history into
+  /// this server's own, aligned at the most recent epoch: the adopted
+  /// subtrees' historical load now belongs to this rank, so its forecast
+  /// regression sees the combined past instead of starting amnesiac.
+  void restore_history(std::span<const double> replayed);
+
   // -- Tick-level service ------------------------------------------------
   /// Opens a tick with the given effective-capacity factor in (0, 1]
   /// (reduced while the server participates in a migration).  A down
@@ -81,6 +102,9 @@ class MdsServer {
   bool up_ = true;
   double degrade_ = 1.0;
   double budget_ = 0.0;
+  double journal_debt_ = 0.0;
+  Tick replay_ticks_ = 0;
+  double replay_penalty_ = 0.0;
   std::uint64_t served_epoch_ = 0;
   std::uint64_t total_served_ = 0;
   std::uint64_t total_forwards_ = 0;

@@ -15,6 +15,8 @@ MigrationEngine::MigrationEngine(fs::NamespaceTree& tree,
                params_.freeze_fraction < 1.0);
   LUNULE_CHECK(params_.capacity_penalty >= 0.0 &&
                params_.capacity_penalty < 1.0);
+  LUNULE_CHECK(params_.max_retries >= 0);
+  LUNULE_CHECK(params_.retry_backoff_ticks >= 0);
 }
 
 bool MigrationEngine::submit(const fs::SubtreeRef& ref, MdsId to) {
@@ -108,7 +110,23 @@ std::size_t MigrationEngine::force_abort_active(MdsId exporter) {
     if (exporter != kNoMds && t.from != exporter) return false;
     record_abort(t, 0.0);
     ++hit;
-    if (t.retries >= params_.max_retries) return true;  // give up
+    if (t.retries >= params_.max_retries) {
+      // Retries exhausted: the task is dropped for good.  Say so — a
+      // silently vanishing plan looks like a migration that never existed,
+      // and the balancer's operator deserves a terminal event to grep for.
+      ++retries_exhausted_;
+      if (tracer_) {
+        tracer_->counters().counter("migration.retries_exhausted").add();
+        tracer_->record(obs::Component::kMigration,
+                        {.kind = obs::EventKind::kMigrationRetriesExhausted,
+                         .a = t.from,
+                         .b = t.to,
+                         .n0 = static_cast<std::int64_t>(t.subtree.dir),
+                         .n1 = t.retries,
+                         .v0 = static_cast<double>(t.inodes)});
+      }
+      return true;
+    }
     // Roll back and requeue with exponential backoff: the two-phase
     // protocol discarded the partial stream, so progress restarts at zero.
     t.active = false;
@@ -173,7 +191,7 @@ void MigrationEngine::tick() {
   // Commit completed transfers (authority switch).
   for (auto it = done.rbegin(); it != done.rend(); ++it) {
     ExportTask& t = tasks_[*it];
-    if (commit_hook_) commit_hook_(t.subtree, t.inodes);
+    if (commit_hook_) commit_hook_(t.subtree, t.from, t.to, t.inodes);
     const std::uint64_t moved = tree_.migrate_subtree(t.subtree, t.to);
     total_migrated_ += moved;
     ++completed_;

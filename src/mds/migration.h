@@ -145,14 +145,20 @@ class MigrationEngine {
   [[nodiscard]] std::uint64_t migrations_aborted() const {
     return aborted_;
   }
+  /// Tasks dropped for good after exhausting their forced-abort retries
+  /// (each drop also emits a terminal `migration_retries_exhausted` event).
+  [[nodiscard]] std::uint64_t retries_exhausted() const {
+    return retries_exhausted_;
+  }
 
   /// Request rate (IOPS) observed on `ref` during the last closed epoch.
   [[nodiscard]] double subtree_rate(const fs::SubtreeRef& ref) const;
 
-  /// Invoked after every commit with the migrated unit and the inode count
-  /// actually moved (used by the migration-validity auditor).
-  using CommitHook =
-      std::function<void(const fs::SubtreeRef&, std::uint64_t moved)>;
+  /// Invoked after every commit with the migrated unit, both endpoints, and
+  /// the inode count actually moved (used by the migration-validity auditor
+  /// and the exporter/importer journal hooks).
+  using CommitHook = std::function<void(const fs::SubtreeRef&, MdsId from,
+                                        MdsId to, std::uint64_t moved)>;
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   /// Attaches the owning cluster's flight recorder.  Every submit, start,
@@ -177,6 +183,7 @@ class MigrationEngine {
   std::uint64_t completed_ = 0;
   std::uint64_t submitted_ = 0;
   std::uint64_t aborted_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
   CommitHook commit_hook_;
   LivenessProbe liveness_;
   obs::TraceRecorder* tracer_ = nullptr;

@@ -154,6 +154,71 @@ std::vector<std::string> InvariantChecker::check_epoch(
     }
   }
 
+  // 5. Journal coherence (only when the cluster journals).  The epoch just
+  //    closed appended one ESubtreeMap per alive rank, so the newest
+  //    retained checkpoint must describe exactly what the rank owns now —
+  //    a drifting checkpoint means a journal hook was missed and a replay
+  //    from it would reconstruct the wrong authority map.
+  if (cluster.journaling()) {
+    mds::MdsCluster::JournalTotals totals;
+    for (std::size_t m = 0; m < n; ++m) {
+      const journal::MdsJournal& j = cluster.journal(static_cast<MdsId>(m));
+      totals.appends += j.appends();
+      totals.bytes_written += j.bytes_written();
+      totals.flushes += j.flushes();
+      totals.segments_trimmed += j.segments_trimmed();
+      if (j.durable_seq() > j.seq()) {
+        v.add("mds.", m, " journal durable seq ", j.durable_seq(),
+              " ahead of head seq ", j.seq());
+      }
+      std::uint64_t retained = 0;
+      for (const journal::JournalSegment& seg : j.segments()) {
+        retained += seg.entries.size();
+        if (seg.entries.size() > j.params().segment_entries) {
+          v.add("mds.", m, " journal segment holds ", seg.entries.size(),
+                " entries, cap ", j.params().segment_entries);
+        }
+      }
+      if (retained != j.entries_retained()) {
+        v.add("mds.", m, " journal retains ", retained,
+              " entries but reports ", j.entries_retained());
+      }
+      if (!cluster.is_up(static_cast<MdsId>(m))) continue;
+      // Recompute the rank's live authority set and compare it against the
+      // newest retained checkpoint.
+      std::vector<fs::SubtreeRef> owned;
+      for (DirId d = 0; d < tree.dir_count(); ++d) {
+        const fs::Directory& dir = tree.dir(d);
+        if (dir.explicit_auth() == static_cast<MdsId>(m)) {
+          owned.push_back(fs::SubtreeRef{.dir = d});
+        }
+        for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+          if (dir.frag(f).auth_pin == static_cast<MdsId>(m)) {
+            owned.push_back(fs::SubtreeRef{.dir = d, .frag = f});
+          }
+        }
+      }
+      const journal::JournalEntry* newest_map = nullptr;
+      for (const journal::JournalSegment& seg : j.segments()) {
+        for (const journal::JournalEntry& e : seg.entries) {
+          if (e.type == journal::EntryType::kSubtreeMap) newest_map = &e;
+        }
+      }
+      if (newest_map == nullptr) {
+        v.add("mds.", m, " (alive) has no retained ESubtreeMap checkpoint");
+      } else if (newest_map->snapshot.owned != owned) {
+        v.add("mds.", m, " newest ESubtreeMap describes ",
+              newest_map->snapshot.owned.size(), " units but the rank owns ",
+              owned.size());
+      }
+    }
+    check_counter(v, counters, "journal.appends", totals.appends);
+    check_counter(v, counters, "journal.bytes_written", totals.bytes_written);
+    check_counter(v, counters, "journal.flushes", totals.flushes);
+    check_counter(v, counters, "journal.segments_trimmed",
+                  totals.segments_trimmed);
+  }
+
   ++epochs_checked_;
   return v.take();
 }

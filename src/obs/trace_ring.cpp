@@ -23,6 +23,10 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kMdsRecover:      return "mds_recover";
     case EventKind::kMdsDegrade:      return "mds_degrade";
     case EventKind::kTakeover:        return "takeover";
+    case EventKind::kReplay:          return "replay";
+    case EventKind::kJournalStall:    return "journal_stall";
+    case EventKind::kMigrationRetriesExhausted:
+      return "migration_retries_exhausted";
   }
   return "?";
 }

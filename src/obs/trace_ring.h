@@ -51,6 +51,12 @@ enum class EventKind : std::uint8_t {
   kMdsDegrade,       // a=mds, v0=new capacity factor (1.0 = restored)
   kTakeover,         // a=survivor, b=failed mds, n0=dir, n1=frag,
                      //   v0=inodes adopted
+  kReplay,           // a=primary takeover, b=crashed mds, n0=durable
+                     //   entries replayed, n1=entries lost, v0=replay
+                     //   seconds, v1=journaled subtrees reconstructed
+  kJournalStall,     // a=mds, n0=stall-until tick, v0=unflushed backlog
+  kMigrationRetriesExhausted,  // a=from, b=to, n0=dir, n1=retries spent,
+                     //   v0=inodes (task dropped for good)
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind kind);

@@ -132,6 +132,15 @@ void write_result(std::ostream& os, const ScenarioResult& r) {
   w.field("fault_migration_aborts", r.fault_migration_aborts);
   w.field("first_crash_tick", static_cast<std::int64_t>(r.first_crash_tick));
   w.field("reconverge_seconds", r.reconverge_seconds);
+  w.field("migration_retries_exhausted", r.migration_retries_exhausted);
+  w.field("replay_seconds", r.replay_seconds);
+  w.field("replayed_entries", r.replayed_entries);
+  w.field("lost_entries", r.lost_entries);
+  w.field("journaled_takeover_subtrees",
+          static_cast<std::uint64_t>(r.journaled_takeover_subtrees));
+  w.field("journal_entries_appended", r.journal_entries_appended);
+  w.field("journal_bytes_written", r.journal_bytes_written);
+  w.field("journal_segments_trimmed", r.journal_segments_trimmed);
   w.key("op_latency");
   w.begin_object();
   w.field("mean", r.op_latency.mean());

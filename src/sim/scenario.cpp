@@ -214,6 +214,9 @@ mds::ClusterParams cluster_params_for(const ScenarioConfig& cfg) {
   // The freeze-abort threshold tracks the MDS capacity: a subtree eating
   // more than ~1/8 of an MDS cannot be frozen for export.
   cp.migration.hot_abort_iops = cfg.mds_capacity_iops / 8.0;
+  cp.migration.max_retries = cfg.migration_max_retries;
+  cp.migration.retry_backoff_ticks = cfg.migration_retry_backoff_ticks;
+  cp.journal = cfg.journal;
   cp.recorder.sibling_credit_prob = cfg.sibling_credit_prob;
   cp.replicate_threshold_iops = cfg.replicate_threshold_iops;
   cp.unreplicate_threshold_iops = cfg.replicate_threshold_iops / 8.0;
@@ -390,11 +393,24 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   r.end_tick = sim->end_tick();
   r.mean_if = sim->metrics().mean_if(/*skip=*/3);
   r.peak_aggregate_iops = sim->metrics().peak_aggregate_iops();
+  r.migration_retries_exhausted =
+      sim->cluster().migration().retries_exhausted();
+  if (sim->cluster().journaling()) {
+    const mds::MdsCluster::JournalTotals totals =
+        sim->cluster().journal_totals();
+    r.journal_entries_appended = totals.appends;
+    r.journal_bytes_written = totals.bytes_written;
+    r.journal_segments_trimmed = totals.segments_trimmed;
+  }
   if (const faults::FaultInjector* inj = sim->fault_injector()) {
     r.faults_injected = inj->faults_applied();
     r.faults_skipped = inj->faults_skipped();
     r.takeover_subtrees = inj->takeover_subtrees();
     r.fault_migration_aborts = inj->migration_aborts();
+    r.replay_seconds = inj->replay_seconds();
+    r.replayed_entries = inj->replayed_entries();
+    r.lost_entries = inj->lost_entries();
+    r.journaled_takeover_subtrees = inj->journaled_takeover_subtrees();
     r.first_crash_tick = cfg.faults.first_crash_tick();
     if (r.first_crash_tick >= 0) {
       // Re-convergence: the first epoch closing after the crash whose

@@ -17,6 +17,7 @@
 
 #include "common/histogram.h"
 #include "faults/fault_plan.h"
+#include "journal/journal.h"
 #include "sim/simulation.h"
 
 namespace lunule::sim {
@@ -78,6 +79,20 @@ struct ScenarioConfig {
   /// validated against n_mds / max_ticks at scenario construction
   /// (std::invalid_argument on a malformed plan).
   faults::FaultPlan faults;
+
+  /// Per-rank metadata journal (journal.enabled = false by default: no
+  /// journal exists and every trace stays byte-identical to the
+  /// journal-free behavior).  With it on, mutations/migrations/checkpoints
+  /// append entries, journaling consumes IOPS budget, and crash take-over
+  /// becomes replay-based (see docs/JOURNAL.md).
+  journal::JournalParams journal;
+
+  /// Forced-abort retry budget of the migration engine (how many times a
+  /// fault-aborted export requeues before the task is dropped for good)
+  /// and its backoff base; defaults match the engine's historical
+  /// constants, so existing seeds trace byte-identically.
+  int migration_max_retries = 3;
+  Tick migration_retry_backoff_ticks = 5;
 
   /// Record flight-recorder events and export them as `trace_json`.
   /// Off by default: monotonic counters (and hence the invariant checks)
@@ -151,6 +166,22 @@ struct ScenarioResult {
   /// below the Lunule trigger threshold (-1 = no crash, or never
   /// re-converged within the run).
   double reconverge_seconds = -1.0;
+  /// Migration tasks dropped for good after exhausting forced-abort
+  /// retries (each leaves a terminal migration_retries_exhausted event).
+  std::uint64_t migration_retries_exhausted = 0;
+  // -- Journal / replay reporting (all zero with the journal disabled) ----
+  /// Modeled replay wall time summed over every applied crash.
+  double replay_seconds = 0.0;
+  /// Durable entries scanned by crash replays.
+  std::uint64_t replayed_entries = 0;
+  /// Entries past the last durable flush at crash time, lost for good.
+  std::uint64_t lost_entries = 0;
+  /// Subtrees crash replays reconstructed from durable journal state.
+  std::size_t journaled_takeover_subtrees = 0;
+  /// Cluster-wide journal lifetime totals.
+  std::uint64_t journal_entries_appended = 0;
+  std::uint64_t journal_bytes_written = 0;
+  std::uint64_t journal_segments_trimmed = 0;
   /// Full flight-recorder dump (JSON, deterministic for a fixed seed);
   /// benches write it to disk under --trace.
   std::string trace_json;

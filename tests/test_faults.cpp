@@ -51,6 +51,18 @@ TEST(FaultPlan, AllExporterAbortNeedsNoRank) {
   EXPECT_NO_THROW(plan.validate(3, 200));
 }
 
+TEST(FaultPlan, JournalStallValidatesLikeOtherWindows) {
+  faults::FaultPlan plan;
+  plan.journal_stall(1, 50, 30);
+  EXPECT_NO_THROW(plan.validate(3, 200));
+  faults::FaultPlan zero;
+  zero.journal_stall(1, 50, 0);
+  EXPECT_THROW(zero.validate(3, 200), std::invalid_argument);
+  faults::FaultPlan bad_rank;
+  bad_rank.journal_stall(9, 50, 30);
+  EXPECT_THROW(bad_rank.validate(3, 200), std::invalid_argument);
+}
+
 TEST(FaultPlan, FirstCrashTickIgnoresNonCrashEvents) {
   faults::FaultPlan plan;
   plan.slow(0, 5, 10, 0.5).abort_migrations(8);
@@ -229,6 +241,45 @@ TEST(MigrationFaults, RetriesAreBoundedThenDropped) {
   EXPECT_EQ(forced, mp.max_retries + 1);  // initial try + max_retries
   EXPECT_EQ(engine.migrations_aborted(), static_cast<std::uint64_t>(forced));
   EXPECT_EQ(engine.migrations_completed(), 0u);
+  // Regression: the give-up is accounted, not silent.
+  EXPECT_EQ(engine.retries_exhausted(), 1u);
+}
+
+TEST(MigrationFaults, RetryExhaustionEmitsTerminalTraceEvent) {
+  fs::NamespaceTree tree;
+  const std::vector<DirId> dirs = fs::build_private_dirs(tree, "w", 2, 50);
+  mds::MigrationParams mp;
+  mp.bandwidth_inodes_per_tick = 1.0;
+  mp.hot_abort_iops = 1e9;
+  mp.max_retries = 1;
+  mp.retry_backoff_ticks = 1;
+  mds::MigrationEngine engine(tree, mp);
+  obs::TraceRecorder trace;
+  engine.set_tracer(&trace);
+  ASSERT_TRUE(engine.submit({.dir = dirs[0]}, 1));
+
+  for (int round = 0; round < 20 && !engine.tasks().empty(); ++round) {
+    engine.tick();
+    if (!engine.tasks().empty() && engine.tasks().front().active) {
+      engine.force_abort_active();
+    }
+  }
+  ASSERT_TRUE(engine.tasks().empty());
+  EXPECT_EQ(engine.retries_exhausted(), 1u);
+  EXPECT_EQ(trace.counters().value("migration.retries_exhausted"), 1u);
+  // Exactly one terminal event, carrying the dropped task's endpoints.
+  const obs::TraceRing& ring = trace.ring(obs::Component::kMigration);
+  std::size_t terminal = 0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const obs::TraceEvent& e = ring.at(i);
+    if (e.kind != obs::EventKind::kMigrationRetriesExhausted) continue;
+    ++terminal;
+    EXPECT_EQ(e.a, 0);
+    EXPECT_EQ(e.b, 1);
+    EXPECT_EQ(e.n0, static_cast<std::int64_t>(dirs[0]));
+    EXPECT_EQ(e.n1, mp.max_retries);
+  }
+  EXPECT_EQ(terminal, 1u);
 }
 
 TEST(MigrationFaults, ExporterFilteredAbortLeavesOthersAlone) {
@@ -339,6 +390,23 @@ TEST(FaultScenario, FaultFreeRunsReportNeutralValues) {
   EXPECT_EQ(r.faults_injected, 0u);
   EXPECT_EQ(r.first_crash_tick, -1);
   EXPECT_DOUBLE_EQ(r.reconverge_seconds, -1.0);
+}
+
+TEST(FaultScenario, MigrationRetryKnobsFlowIntoTheEngine) {
+  sim::ScenarioConfig cfg;
+  // Defaults reproduce the engine's historical constants, so existing
+  // seeds keep tracing byte-identically.
+  const mds::MigrationParams engine_defaults;
+  mds::ClusterParams cp = sim::cluster_params_for(cfg);
+  EXPECT_EQ(cp.migration.max_retries, engine_defaults.max_retries);
+  EXPECT_EQ(cp.migration.retry_backoff_ticks,
+            engine_defaults.retry_backoff_ticks);
+
+  cfg.migration_max_retries = 0;
+  cfg.migration_retry_backoff_ticks = 9;
+  cp = sim::cluster_params_for(cfg);
+  EXPECT_EQ(cp.migration.max_retries, 0);
+  EXPECT_EQ(cp.migration.retry_backoff_ticks, 9);
 }
 
 TEST(FaultScenario, MalformedPlanThrowsBeforeRunning) {

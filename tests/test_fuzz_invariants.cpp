@@ -210,7 +210,7 @@ TEST_P(FuzzSweep, FaultyScenariosHoldEpochInvariants) {
   };
   const auto n_faults = 1 + rng.next_below(4);
   for (std::uint64_t f = 0; f < n_faults; ++f) {
-    switch (rng.next_below(4)) {
+    switch (rng.next_below(5)) {
       case 0:
         cfg.faults.crash(random_rank(), random_tick(),
                          static_cast<Tick>(10 + rng.next_below(60)));
@@ -226,12 +226,69 @@ TEST_P(FuzzSweep, FaultyScenariosHoldEpochInvariants) {
       case 3:
         cfg.faults.abort_migrations(random_tick());
         break;
+      case 4:
+        cfg.faults.journal_stall(random_rank(), random_tick(),
+                                 static_cast<Tick>(5 + rng.next_below(40)));
+        break;
     }
   }
 
   const sim::ScenarioResult r = sim::run_scenario(cfg);
   EXPECT_GT(r.total_served, 0u);
   EXPECT_GE(r.faults_injected + r.faults_skipped, n_faults);
+}
+
+TEST_P(FuzzSweep, JournaledFaultyScenariosHoldJournalInvariants) {
+  // Same property, with the metadata journal on and sized aggressively
+  // (tiny segments, tight un-flushed cap) so segment roll-over, trim,
+  // journal-full backpressure and crash replay all fire.  The epoch audit's
+  // journal section (checkpoint == live authority, counter agreement)
+  // aborts the run on any violation.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 96731 + 29);
+
+  sim::ScenarioConfig cfg;
+  cfg.workload = sim::WorkloadKind::kZipf;
+  cfg.balancer = sim::BalancerKind::kLunule;
+  cfg.n_clients = 8;
+  cfg.scale = 0.05;
+  cfg.max_ticks = 220;
+  cfg.n_mds = 4;
+  cfg.seed = seed;
+  cfg.journal.enabled = true;
+  cfg.journal.segment_entries = static_cast<std::uint32_t>(
+      8 + rng.next_below(64));
+  cfg.journal.max_unflushed_entries = 50 + rng.next_below(200);
+
+  const auto random_rank = [&] {
+    return static_cast<MdsId>(rng.next_below(cfg.n_mds));
+  };
+  const auto random_tick = [&] {
+    return static_cast<Tick>(20 + rng.next_below(150));
+  };
+  const auto n_faults = 1 + rng.next_below(3);
+  for (std::uint64_t f = 0; f < n_faults; ++f) {
+    switch (rng.next_below(3)) {
+      case 0:
+        cfg.faults.crash(random_rank(), random_tick(),
+                         static_cast<Tick>(10 + rng.next_below(60)));
+        break;
+      case 1:
+        cfg.faults.journal_stall(random_rank(), random_tick(),
+                                 static_cast<Tick>(5 + rng.next_below(50)));
+        break;
+      case 2:
+        cfg.faults.slow(random_rank(), random_tick(),
+                        static_cast<Tick>(10 + rng.next_below(60)),
+                        0.2 + 0.7 * rng.next_double());
+        break;
+    }
+  }
+
+  const sim::ScenarioResult r = sim::run_scenario(cfg);
+  EXPECT_GT(r.total_served, 0u);
+  EXPECT_GT(r.journal_entries_appended, 0u);
+  EXPECT_GT(r.journal_bytes_written, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(1, 9));

@@ -1,0 +1,483 @@
+// Tests for the per-rank metadata journal and crash-recovery replay:
+// segment lifecycle, group commit, stall backpressure, trim, replay
+// reconstruction, and the cluster-level wiring (checkpoint cadence,
+// journal debt, replay-based fail-over, counter agreement).
+#include "journal/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fs/builder.h"
+#include "fs/namespace_tree.h"
+#include "journal/replay.h"
+#include "mds/cluster.h"
+#include "sim/json_export.h"
+#include "sim/scenario.h"
+
+namespace lunule {
+namespace {
+
+journal::JournalEntry update_entry(DirId d) {
+  journal::JournalEntry e;
+  e.type = journal::EntryType::kUpdate;
+  e.dir = d;
+  return e;
+}
+
+journal::JournalEntry delta_entry(journal::EntryType type, DirId d,
+                                  FragId f = kWholeDir) {
+  journal::JournalEntry e;
+  e.type = type;
+  e.dir = d;
+  e.frag = f;
+  return e;
+}
+
+journal::JournalEntry map_entry(std::vector<fs::SubtreeRef> owned,
+                                std::vector<double> history,
+                                EpochId epoch) {
+  journal::JournalEntry e;
+  e.type = journal::EntryType::kSubtreeMap;
+  e.epoch = epoch;
+  e.snapshot.owned = std::move(owned);
+  e.snapshot.load_history = std::move(history);
+  return e;
+}
+
+// -- MdsJournal unit tests --------------------------------------------------
+
+TEST(MdsJournal, AppendAssignsMonotonicSeqsAndOpensSegments) {
+  journal::JournalParams p;
+  p.enabled = true;
+  p.segment_entries = 4;
+  journal::MdsJournal j(0, p);
+
+  for (DirId d = 0; d < 10; ++d) {
+    EXPECT_EQ(j.append(update_entry(d)), d + 1u);
+  }
+  EXPECT_EQ(j.seq(), 10u);
+  EXPECT_EQ(j.unflushed(), 10u);
+  EXPECT_EQ(j.entries_retained(), 10u);
+  ASSERT_EQ(j.segments().size(), 3u);
+  EXPECT_EQ(j.segments()[0].entries.size(), 4u);
+  EXPECT_EQ(j.segments()[1].entries.size(), 4u);
+  EXPECT_EQ(j.segments()[2].entries.size(), 2u);
+  EXPECT_EQ(j.appends(), 10u);
+  // Every EUpdate bills the same modeled size.
+  EXPECT_EQ(j.bytes_written(), 10u * entry_bytes(update_entry(0)));
+}
+
+TEST(MdsJournal, FlushMakesDurableOnceAndIsIdempotent) {
+  journal::MdsJournal j(0, journal::JournalParams{});
+  j.append(update_entry(1));
+  j.append(update_entry(2));
+  EXPECT_TRUE(j.flush(0));
+  EXPECT_EQ(j.durable_seq(), 2u);
+  EXPECT_EQ(j.unflushed(), 0u);
+  // Nothing new pending: a second flush is a no-op.
+  EXPECT_FALSE(j.flush(1));
+  EXPECT_EQ(j.flushes(), 1u);
+}
+
+TEST(MdsJournal, StallBlocksFlushUntilDeadline) {
+  journal::MdsJournal j(0, journal::JournalParams{});
+  j.append(update_entry(1));
+  j.stall_until(5);
+  EXPECT_TRUE(j.stalled(3));
+  EXPECT_FALSE(j.flush(3));
+  EXPECT_EQ(j.durable_seq(), 0u);
+  // The deadline itself is past the stall window.
+  EXPECT_FALSE(j.stalled(5));
+  EXPECT_TRUE(j.flush(5));
+  EXPECT_EQ(j.durable_seq(), 1u);
+}
+
+TEST(MdsJournal, FullBackpressureAtUnflushedCap) {
+  journal::JournalParams p;
+  p.max_unflushed_entries = 3;
+  journal::MdsJournal j(0, p);
+  j.append(update_entry(1));
+  j.append(update_entry(2));
+  EXPECT_FALSE(j.full());
+  j.append(update_entry(3));
+  EXPECT_TRUE(j.full());
+  EXPECT_TRUE(j.flush(0));
+  EXPECT_FALSE(j.full());
+}
+
+TEST(MdsJournal, MaybeFlushHonorsCadence) {
+  journal::JournalParams p;
+  p.flush_interval_ticks = 3;
+  journal::MdsJournal j(0, p);
+  j.append(update_entry(1));
+  EXPECT_TRUE(j.maybe_flush(0));  // first flush is always due
+  j.append(update_entry(2));
+  EXPECT_FALSE(j.maybe_flush(1));  // within the interval
+  EXPECT_FALSE(j.maybe_flush(2));
+  EXPECT_TRUE(j.maybe_flush(3));
+}
+
+TEST(MdsJournal, TrimDropsSegmentsCoveredByDurableCheckpoint) {
+  journal::JournalParams p;
+  p.segment_entries = 2;
+  journal::MdsJournal j(0, p);
+  for (DirId d = 0; d < 4; ++d) j.append(update_entry(d));
+  j.append(map_entry({fs::SubtreeRef{.dir = 1}}, {}, 0));  // seq 5
+  // Not durable yet: nothing may be trimmed.
+  EXPECT_EQ(j.trim(), 0u);
+  EXPECT_TRUE(j.flush(0));
+  EXPECT_EQ(j.durable_subtree_map_seq(), 5u);
+  EXPECT_EQ(j.trim(), 2u);  // both all-EUpdate segments precede the map
+  ASSERT_EQ(j.segments().size(), 1u);
+  EXPECT_EQ(j.segments().front().entries.front().seq, 5u);
+  EXPECT_EQ(j.entries_retained(), 1u);
+  EXPECT_EQ(j.segments_trimmed(), 2u);
+  // Lifetime append statistics are unaffected by trimming.
+  EXPECT_EQ(j.appends(), 5u);
+}
+
+TEST(MdsJournal, ResetClearsContentButKeepsSeqAndLifetimeStats) {
+  journal::MdsJournal j(0, journal::JournalParams{});
+  j.append(update_entry(1));
+  j.append(map_entry({}, {}, 0));
+  j.flush(0);
+  const std::uint64_t appends = j.appends();
+  const std::uint64_t bytes = j.bytes_written();
+  j.reset();
+  EXPECT_TRUE(j.segments().empty());
+  EXPECT_EQ(j.entries_retained(), 0u);
+  EXPECT_EQ(j.unflushed(), 0u);
+  EXPECT_EQ(j.durable_subtree_map_seq(), 0u);
+  // Sequence numbers keep counting across incarnations...
+  EXPECT_EQ(j.seq(), 2u);
+  j.append(update_entry(2));
+  EXPECT_EQ(j.seq(), 3u);
+  // ...and the monotonic lifetime statistics survive.
+  EXPECT_EQ(j.appends(), appends + 1);
+  EXPECT_GT(j.bytes_written(), bytes);
+}
+
+// -- Replay unit tests ------------------------------------------------------
+
+TEST(Replay, EmptyJournalReplaysNothingForFree) {
+  journal::JournalParams p;
+  journal::MdsJournal j(0, p);
+  const journal::ReplayResult r = journal::replay_journal(j, 5, p);
+  EXPECT_EQ(r.entries_replayed, 0u);
+  EXPECT_EQ(r.lost_entries, 0u);
+  EXPECT_DOUBLE_EQ(r.replay_seconds, 0.0);
+  EXPECT_EQ(r.checkpoint_epoch, -1);
+  EXPECT_TRUE(r.owned.empty());
+  EXPECT_TRUE(r.load_history.empty());
+}
+
+TEST(Replay, RebuildsOwnedFromSnapshotPlusDurableDeltas) {
+  journal::JournalParams p;
+  p.replay_base_seconds = 1.0;
+  p.replay_entries_per_second = 100.0;
+  journal::MdsJournal j(0, p);
+  j.append(map_entry({fs::SubtreeRef{.dir = 1}, fs::SubtreeRef{.dir = 3}},
+                     {}, 2));
+  j.append(delta_entry(journal::EntryType::kImportStart, 5));
+  j.append(delta_entry(journal::EntryType::kExportCommit, 3));
+  ASSERT_TRUE(j.flush(0));
+  // Appended after the last group commit: gone with the crash.
+  for (DirId d = 0; d < 3; ++d) j.append(update_entry(d));
+
+  const journal::ReplayResult r = journal::replay_journal(j, 2, p);
+  EXPECT_EQ(r.entries_replayed, 3u);  // checkpoint + two deltas
+  EXPECT_EQ(r.lost_entries, 3u);
+  EXPECT_EQ(r.checkpoint_epoch, 2);
+  ASSERT_EQ(r.owned.size(), 2u);
+  EXPECT_EQ(r.owned[0].dir, 1u);  // namespace order
+  EXPECT_EQ(r.owned[1].dir, 5u);  // imported after the checkpoint
+  EXPECT_DOUBLE_EQ(r.replay_seconds, 1.0 + 3.0 / 100.0);
+}
+
+TEST(Replay, FallsBackToNewestDurableCheckpoint) {
+  journal::JournalParams p;
+  journal::MdsJournal j(0, p);
+  j.append(map_entry({fs::SubtreeRef{.dir = 1}}, {}, 0));
+  ASSERT_TRUE(j.flush(0));
+  // A newer checkpoint exists but never went durable: replay must not see
+  // it — only the flushed one counts.
+  j.append(
+      map_entry({fs::SubtreeRef{.dir = 1}, fs::SubtreeRef{.dir = 2}}, {}, 1));
+
+  const journal::ReplayResult r = journal::replay_journal(j, 1, p);
+  EXPECT_EQ(r.checkpoint_epoch, 0);
+  ASSERT_EQ(r.owned.size(), 1u);
+  EXPECT_EQ(r.owned[0].dir, 1u);
+  EXPECT_EQ(r.lost_entries, 1u);
+}
+
+TEST(Replay, DecaysCheckpointedHistoryAcrossTheEpochGap) {
+  journal::JournalParams p;
+  p.history_decay_per_epoch = 0.5;
+  journal::MdsJournal j(0, p);
+  j.append(map_entry({}, {100.0, 40.0}, 2));
+  ASSERT_TRUE(j.flush(0));
+
+  const journal::ReplayResult r = journal::replay_journal(j, 5, p);
+  ASSERT_EQ(r.load_history.size(), 2u);
+  // Three epochs elapsed: each sample decays by 0.5^3.
+  EXPECT_DOUBLE_EQ(r.load_history[0], 100.0 * 0.125);
+  EXPECT_DOUBLE_EQ(r.load_history[1], 40.0 * 0.125);
+}
+
+// -- Cluster-level wiring ---------------------------------------------------
+
+class JournalClusterTest : public ::testing::Test {
+ protected:
+  JournalClusterTest() {
+    dirs = fs::build_private_dirs(tree, "w", 6, 100);
+    params.n_mds = 3;
+    params.mds_capacity_iops = 50.0;
+    params.epoch_ticks = 2;
+    params.journal.enabled = true;
+  }
+
+  /// Runs `ticks` ticks of `creates` creates/tick against `dir`, closing an
+  /// epoch every `epoch_ticks`.
+  void drive(mds::MdsCluster& cluster, DirId dir, Tick ticks, int creates) {
+    for (Tick t = 0; t < ticks; ++t) {
+      cluster.begin_tick(next_tick_);
+      for (int i = 0; i < creates; ++i) cluster.try_create(dir);
+      cluster.end_tick();
+      if (++next_tick_ % params.epoch_ticks == 0) cluster.close_epoch();
+    }
+  }
+
+  fs::NamespaceTree tree;
+  mds::ClusterParams params;
+  std::vector<DirId> dirs;
+  Tick next_tick_ = 0;
+};
+
+TEST_F(JournalClusterTest, AppendsCheckpointsAndSyncsCounters) {
+  mds::MdsCluster cluster(tree, params);
+  tree.set_auth(dirs[1], 1);
+  drive(cluster, dirs[1], 4, 5);
+
+  ASSERT_TRUE(cluster.journaling());
+  const mds::MdsCluster::JournalTotals totals = cluster.journal_totals();
+  // 20 EUpdates + one ESubtreeMap per alive rank per closed epoch.
+  EXPECT_EQ(totals.appends, 20u + 2u * 3u);
+  EXPECT_GT(totals.bytes_written, 0u);
+  EXPECT_GT(totals.flushes, 0u);
+  // Every alive rank has a durable checkpoint after an epoch close.
+  for (MdsId m = 0; m < 3; ++m) {
+    EXPECT_GT(cluster.journal(m).durable_subtree_map_seq(), 0u) << m;
+  }
+  // The registry's journal counters were synced at epoch close.
+  const obs::CounterRegistry& counters = cluster.trace().counters();
+  EXPECT_EQ(counters.value("journal.appends"), totals.appends);
+  EXPECT_EQ(counters.value("journal.bytes_written"), totals.bytes_written);
+  EXPECT_EQ(counters.value("journal.flushes"), totals.flushes);
+}
+
+TEST_F(JournalClusterTest, JournalingConsumesIopsBudget) {
+  params.journal.append_cost_ops = 1.0;  // one op of debt per create
+  mds::MdsCluster cluster(tree, params);
+  cluster.begin_tick(0);
+  int first = 0;
+  while (cluster.try_create(dirs[0]) == mds::ServeResult::kServed) ++first;
+  cluster.end_tick();
+  // Tick 0 ran at full capacity; the appended debt is charged against tick
+  // 1's budget, so strictly fewer creates fit.
+  cluster.begin_tick(1);
+  int second = 0;
+  while (cluster.try_create(dirs[0]) == mds::ServeResult::kServed) ++second;
+  cluster.end_tick();
+  EXPECT_EQ(first, 50);
+  EXPECT_LT(second, first);
+}
+
+TEST_F(JournalClusterTest, DisabledJournalIsInert) {
+  params.journal.enabled = false;
+  mds::MdsCluster cluster(tree, params);
+  tree.set_auth(dirs[1], 1);
+  drive(cluster, dirs[1], 4, 5);
+
+  EXPECT_FALSE(cluster.journaling());
+  const mds::MdsCluster::JournalTotals totals = cluster.journal_totals();
+  EXPECT_EQ(totals.appends, 0u);
+  EXPECT_EQ(totals.bytes_written, 0u);
+  // No journal counter may even exist: their creation would already change
+  // the trace dump of journal-free runs.
+  for (const auto& [name, counter] : cluster.trace().counters().all()) {
+    EXPECT_EQ(std::string(name).rfind("journal.", 0), std::string::npos)
+        << name;
+  }
+  // A crash on a journal-free cluster reports zero replay work.
+  cluster.begin_tick(next_tick_);
+  const mds::MdsCluster::FailoverStats stats = cluster.set_down(1);
+  EXPECT_EQ(stats.replayed_entries, 0u);
+  EXPECT_EQ(stats.lost_entries, 0u);
+  EXPECT_DOUBLE_EQ(stats.replay_seconds, 0.0);
+  EXPECT_EQ(stats.journaled_subtrees, 0u);
+}
+
+TEST_F(JournalClusterTest, CrashReplaysDurablePrefixAndOpensReplayWindow) {
+  mds::MdsCluster cluster(tree, params);
+  tree.set_auth(dirs[2], 1);
+  tree.set_auth(dirs[3], 1);
+  drive(cluster, dirs[2], 2, 5);  // one closed epoch -> durable checkpoint
+
+  // Mutations in the open tick are appended but not yet flushed when the
+  // rank dies mid-tick: they are lost.
+  cluster.begin_tick(next_tick_);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_EQ(cluster.try_create(dirs[2]), mds::ServeResult::kServed);
+  }
+  const mds::MdsCluster::FailoverStats stats = cluster.set_down(1);
+
+  EXPECT_GT(stats.replayed_entries, 0u);
+  EXPECT_EQ(stats.lost_entries, 7u);
+  EXPECT_GE(stats.replay_seconds, params.journal.replay_base_seconds);
+  EXPECT_EQ(stats.journaled_subtrees, 2u);  // dirs[2] and dirs[3]
+  EXPECT_EQ(stats.subtrees, 2u);
+  // Every adopter pays the replay-window capacity penalty.
+  bool any_replaying = false;
+  for (MdsId m = 0; m < 3; ++m) {
+    if (cluster.is_up(m) && cluster.server(m).replaying()) {
+      any_replaying = true;
+    }
+  }
+  EXPECT_TRUE(any_replaying);
+  EXPECT_EQ(cluster.trace().counters().value("journal.replays"), 1u);
+  EXPECT_EQ(cluster.trace().counters().value("journal.lost_entries"), 7u);
+}
+
+TEST_F(JournalClusterTest, ReplayWindowShrinksAdopterBudget) {
+  params.journal.replay_capacity_penalty = 0.5;
+  mds::MdsCluster cluster(tree, params);
+  tree.set_auth(dirs[2], 1);
+  drive(cluster, dirs[2], 2, 5);
+  cluster.begin_tick(next_tick_);
+  cluster.set_down(1);
+  cluster.end_tick();
+  ++next_tick_;
+
+  // Find the adopter: dirs[2] now resolves to a surviving rank.
+  const MdsId adopter = tree.auth_of(dirs[2]);
+  ASSERT_TRUE(cluster.is_up(adopter));
+  ASSERT_TRUE(cluster.server(adopter).replaying());
+  cluster.begin_tick(next_tick_);
+  int served = 0;
+  while (cluster.try_create(dirs[2]) == mds::ServeResult::kServed) ++served;
+  // Half of the 50-IOPS capacity, minus the journal debt of the appends.
+  EXPECT_LE(served, 25);
+  EXPECT_GT(served, 0);
+}
+
+TEST_F(JournalClusterTest, SetUpResetsJournalButKeepsLifetimeStats) {
+  mds::MdsCluster cluster(tree, params);
+  tree.set_auth(dirs[2], 1);
+  drive(cluster, dirs[2], 2, 5);
+  cluster.begin_tick(next_tick_);
+  cluster.set_down(1);
+  cluster.end_tick();
+
+  const std::uint64_t seq_before = cluster.journal(1).seq();
+  const std::uint64_t appends_before = cluster.journal(1).appends();
+  ASSERT_GT(appends_before, 0u);
+  cluster.set_up(1);
+  EXPECT_TRUE(cluster.journal(1).segments().empty());
+  EXPECT_EQ(cluster.journal(1).unflushed(), 0u);
+  EXPECT_EQ(cluster.journal(1).seq(), seq_before);
+  EXPECT_EQ(cluster.journal(1).appends(), appends_before);
+}
+
+TEST_F(JournalClusterTest, StalledJournalBackpressuresCreates) {
+  params.journal.max_unflushed_entries = 4;
+  mds::MdsCluster cluster(tree, params);
+  cluster.stall_journal(0, 1000);
+  cluster.begin_tick(0);
+  int served = 0;
+  mds::ServeResult last = mds::ServeResult::kServed;
+  for (int i = 0; i < 10; ++i) {
+    last = cluster.try_create(dirs[0]);
+    if (last != mds::ServeResult::kServed) break;
+    ++served;
+  }
+  // Four appends fill the un-flushed cap; the fifth create is refused.
+  EXPECT_EQ(served, 4);
+  EXPECT_EQ(last, mds::ServeResult::kSaturated);
+  EXPECT_TRUE(cluster.journal(0).full());
+  EXPECT_EQ(cluster.trace().counters().value("journal.stalls"), 1u);
+
+  // Once the stall lifts, the end-of-tick flush drains the backlog and
+  // creates flow again.
+  cluster.stall_journal(0, 0);
+  cluster.end_tick();
+  cluster.begin_tick(1);
+  EXPECT_FALSE(cluster.journal(0).full());
+  EXPECT_EQ(cluster.try_create(dirs[0]), mds::ServeResult::kServed);
+}
+
+// -- Scenario-level behavior ------------------------------------------------
+
+sim::ScenarioConfig journaled_crash_config(std::uint64_t seed) {
+  sim::ScenarioConfig cfg;
+  cfg.workload = sim::WorkloadKind::kZipf;
+  cfg.balancer = sim::BalancerKind::kLunule;
+  cfg.n_clients = 12;
+  cfg.scale = 0.2;
+  cfg.max_ticks = 300;
+  cfg.seed = seed;
+  cfg.journal.enabled = true;
+  cfg.faults.crash(0, 60, 80);
+  return cfg;
+}
+
+TEST(JournalScenario, CrashReportsReplayMetrics) {
+  const sim::ScenarioResult r = sim::run_scenario(journaled_crash_config(7));
+  EXPECT_GT(r.replay_seconds, 0.0);
+  EXPECT_GT(r.replayed_entries, 0u);
+  EXPECT_GT(r.journaled_takeover_subtrees, 0u);
+  EXPECT_GT(r.journal_entries_appended, 0u);
+  EXPECT_GT(r.journal_bytes_written, 0u);
+}
+
+TEST(JournalScenario, JournaledRunsAreDeterministic) {
+  sim::ScenarioConfig cfg = journaled_crash_config(11);
+  cfg.capture_trace = true;
+  cfg.faults.journal_stall(1, 100, 30);
+  const sim::ScenarioResult a = sim::run_scenario(cfg);
+  const sim::ScenarioResult b = sim::run_scenario(cfg);
+  EXPECT_EQ(sim::to_json(a), sim::to_json(b));
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_FALSE(a.trace_json.empty());
+  // The journal left its marks in the trace.
+  EXPECT_NE(a.trace_json.find("\"journal.appends\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"replay\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"journal_stall\""), std::string::npos);
+}
+
+TEST(JournalScenario, DisabledJournalLeavesTraceFreeOfJournalArtifacts) {
+  sim::ScenarioConfig cfg = journaled_crash_config(13);
+  cfg.journal.enabled = false;
+  cfg.capture_trace = true;
+  const sim::ScenarioResult r = sim::run_scenario(cfg);
+  EXPECT_EQ(r.trace_json.find("journal"), std::string::npos);
+  EXPECT_EQ(r.replay_seconds, 0.0);
+  EXPECT_EQ(r.journal_entries_appended, 0u);
+  EXPECT_EQ(r.journal_bytes_written, 0u);
+}
+
+TEST(JournalScenario, JournalStallIsSkippedWithoutAJournal) {
+  sim::ScenarioConfig cfg;
+  cfg.workload = sim::WorkloadKind::kZipf;
+  cfg.n_clients = 4;
+  cfg.scale = 0.05;
+  cfg.max_ticks = 120;
+  cfg.faults.journal_stall(0, 40, 20);
+  const sim::ScenarioResult r = sim::run_scenario(cfg);
+  EXPECT_EQ(r.faults_injected, 0u);
+  EXPECT_EQ(r.faults_skipped, 1u);
+}
+
+}  // namespace
+}  // namespace lunule

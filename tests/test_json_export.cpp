@@ -2,7 +2,11 @@
 #include "sim/json_export.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
+#include <string>
 
 namespace lunule::sim {
 namespace {
@@ -79,6 +83,44 @@ TEST(JsonExport, SerializesAScenarioResult) {
     ++count;
   }
   EXPECT_EQ(count, 5u);
+}
+
+TEST(JsonExport, RoundTripsReplayAndJournalMetrics) {
+  ScenarioConfig cfg;
+  cfg.workload = WorkloadKind::kZipf;
+  cfg.balancer = BalancerKind::kLunule;
+  cfg.n_clients = 12;
+  cfg.scale = 0.2;
+  cfg.max_ticks = 300;
+  cfg.journal.enabled = true;
+  cfg.faults.crash(0, 60, 80);
+  const ScenarioResult r = run_scenario(cfg);
+  const std::string json = to_json(r);
+
+  // Integer metrics round-trip exactly.
+  const auto expect_field = [&](const char* key, std::uint64_t v) {
+    const std::string field =
+        std::string("\"") + key + "\":" + std::to_string(v);
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  };
+  expect_field("lost_entries", r.lost_entries);
+  expect_field("replayed_entries", r.replayed_entries);
+  expect_field("journal_entries_appended", r.journal_entries_appended);
+  expect_field("journal_bytes_written", r.journal_bytes_written);
+  expect_field("journal_segments_trimmed", r.journal_segments_trimmed);
+  expect_field("journaled_takeover_subtrees",
+               static_cast<std::uint64_t>(r.journaled_takeover_subtrees));
+  expect_field("migration_retries_exhausted", r.migration_retries_exhausted);
+  EXPECT_GT(r.journal_bytes_written, 0u);
+
+  // replay_seconds is emitted with %.6g: parse it back and compare.
+  const std::string key = "\"replay_seconds\":";
+  const std::size_t pos = json.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  const double parsed = std::strtod(json.c_str() + pos + key.size(), nullptr);
+  EXPECT_GT(r.replay_seconds, 0.0);
+  EXPECT_NEAR(parsed, r.replay_seconds,
+              std::abs(r.replay_seconds) * 1e-5 + 1e-9);
 }
 
 TEST(JsonExport, DeterministicForSameScenario) {

@@ -86,7 +86,7 @@ TEST(ParallelRunner, FirstFailureByConfigOrderWins) {
   configs[1].faults.crash(50, 10, 5);   // invalid rank
   configs[3].faults.slow(0, 10, 5, 7.0);  // invalid factor
   try {
-    run_scenarios(configs, 4);
+    static_cast<void>(run_scenarios(configs, 4));
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     // The earliest failing config's message, regardless of which worker
