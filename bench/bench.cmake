@@ -39,3 +39,4 @@ lunule_bench(ext_adaptive_selection)
 lunule_bench(ext_replication)
 lunule_bench(ext_fault_recovery)
 lunule_bench(table_journal_overhead)
+lunule_bench(micro_hotpath)

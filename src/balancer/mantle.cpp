@@ -31,20 +31,17 @@ void MantleBalancer::on_epoch(mds::MdsCluster& cluster,
     // Mantle keeps CephFS's heat-based candidate selection: rank the
     // exporter's subtrees by heat and queue them until the heat-share
     // estimate covers the requested amount.
-    std::vector<Candidate> cands =
-        collect_candidates(cluster.tree(), spill.from);
+    collect_candidates_into(cands_, cluster.tree(), spill.from,
+                            cluster.candidate_dirs());
     const double total_heat = std::accumulate(
-        cands.begin(), cands.end(), 0.0,
+        cands_.begin(), cands_.end(), 0.0,
         [](double acc, const Candidate& c) { return acc + c.heat; });
     if (total_heat <= 0.0) continue;
-    std::sort(cands.begin(), cands.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.heat > b.heat;
-              });
+    std::sort(cands_.begin(), cands_.end(), heat_order);
     const double exporter_load =
         loads[static_cast<std::size_t>(spill.from)];
     double remaining = spill.amount;
-    for (const Candidate& c : cands) {
+    for (const Candidate& c : cands_) {
       if (remaining <= 0.0) break;
       if (c.heat <= 0.0) break;
       const double est_load = exporter_load * (c.heat / total_heat);

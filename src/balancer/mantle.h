@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "balancer/balancer.h"
+#include "balancer/candidates.h"
 
 namespace lunule::balancer {
 
@@ -51,6 +52,7 @@ class MantleBalancer : public Balancer {
   std::string name_;
   MantleWhenFn when_;
   MantleHowMuchFn howmuch_;
+  std::vector<Candidate> cands_;  // reused across epochs
 };
 
 struct GreedySpillParams {

@@ -54,19 +54,16 @@ void VanillaBalancer::on_epoch(mds::MdsCluster& cluster,
 
     // Rank this exporter's subtrees by heat (inefficiency #3) and estimate
     // each candidate's load as its heat share of the exporter's load.
-    std::vector<Candidate> cands =
-        collect_candidates(cluster.tree(), exporter);
+    collect_candidates_into(cands_, cluster.tree(), exporter,
+                            cluster.candidate_dirs());
     const double total_heat = std::accumulate(
-        cands.begin(), cands.end(), 0.0,
+        cands_.begin(), cands_.end(), 0.0,
         [](double acc, const Candidate& c) { return acc + c.heat; });
     if (total_heat <= 0.0) continue;
-    std::sort(cands.begin(), cands.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.heat > b.heat;
-              });
+    std::sort(cands_.begin(), cands_.end(), heat_order);
 
     std::size_t queued = 0;
-    for (const Candidate& c : cands) {
+    for (const Candidate& c : cands_) {
       if (excess <= 0.0 || queued >= params_.max_exports_per_epoch) break;
       if (c.heat <= 0.0) break;
       const double est_load = loads[i] * (c.heat / total_heat);

@@ -26,7 +26,10 @@
 //      invalid and the hotspot never moves.
 #pragma once
 
+#include <vector>
+
 #include "balancer/balancer.h"
+#include "balancer/candidates.h"
 
 namespace lunule::balancer {
 
@@ -53,6 +56,7 @@ class VanillaBalancer final : public Balancer {
 
  private:
   VanillaParams params_;
+  std::vector<Candidate> cands_;  // reused across epochs
 };
 
 }  // namespace lunule::balancer

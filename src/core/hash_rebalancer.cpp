@@ -60,13 +60,11 @@ void HashRebalancer::on_epoch(mds::MdsCluster& cluster,
     // A hash service has no subtree semantics: rank the exporter's shards
     // by their *observed* last-epoch load and re-pin the hottest movable
     // ones until the assigned amounts are covered.
-    std::vector<balancer::Candidate> shards =
-        balancer::collect_candidates(cluster.tree(), exporter);
-    std::sort(shards.begin(), shards.end(),
-              [](const balancer::Candidate& a, const balancer::Candidate& b) {
-                return a.visits_last_epoch > b.visits_last_epoch;
-              });
-    for (const balancer::Candidate& shard : shards) {
+    balancer::collect_candidates_into(shards_, cluster.tree(), exporter,
+                                      cluster.candidate_dirs());
+    std::sort(shards_.begin(), shards_.end(),
+              balancer::last_epoch_visits_order);
+    for (const balancer::Candidate& shard : shards_) {
       const double rate = static_cast<double>(shard.visits_last_epoch) /
                           params_.epoch_seconds;
       if (rate <= 0.0) break;  // the rest of the list is idle

@@ -23,7 +23,10 @@
 // advantage (fewer forwards).
 #pragma once
 
+#include <vector>
+
 #include "balancer/balancer.h"
+#include "balancer/candidates.h"
 #include "balancer/dir_hash.h"
 #include "core/imbalance_factor.h"
 #include "core/load_monitor.h"
@@ -70,6 +73,7 @@ class HashRebalancer final : public balancer::Balancer {
   balancer::DirHashBalancer initial_hash_;
   LoadMonitor monitor_;
   double last_if_ = 0.0;
+  std::vector<balancer::Candidate> shards_;  // reused across epochs
 };
 
 }  // namespace lunule::core

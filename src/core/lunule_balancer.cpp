@@ -94,8 +94,8 @@ void LunuleBalancer::select_workload_aware(
   const double total = std::accumulate(
       assignments.begin(), assignments.end(), 0.0,
       [](double acc, const MigrationAssignment& a) { return acc + a.amount; });
-  std::vector<Selection> picks =
-      selector_.select(cluster.tree(), exporter, total, inode_budget);
+  std::vector<Selection> picks = selector_.select(
+      cluster.tree(), exporter, total, inode_budget, cluster.candidate_dirs());
   // Hand each selected subtree to the importer with the largest remaining
   // demand, decrementing by the subtree's predicted contribution.
   for (const Selection& pick : picks) {
@@ -127,19 +127,16 @@ void LunuleBalancer::select_heat_based(
     std::uint64_t inode_budget) {
   // CephFS default selection (used by the -Light variant): rank by decayed
   // heat, estimate each candidate's load as its heat share.
-  std::vector<balancer::Candidate> cands =
-      balancer::collect_candidates(cluster.tree(), exporter);
+  balancer::collect_candidates_into(heat_cands_, cluster.tree(), exporter,
+                                    cluster.candidate_dirs());
   const double total_heat = std::accumulate(
-      cands.begin(), cands.end(), 0.0,
+      heat_cands_.begin(), heat_cands_.end(), 0.0,
       [](double acc, const balancer::Candidate& c) { return acc + c.heat; });
   if (total_heat <= 0.0) return;
-  std::sort(cands.begin(), cands.end(),
-            [](const balancer::Candidate& a, const balancer::Candidate& b) {
-              return a.heat > b.heat;
-            });
+  std::sort(heat_cands_.begin(), heat_cands_.end(), balancer::heat_order);
   if (inode_budget == 0) inode_budget = params_.selector.inode_cap;
   std::size_t taken = 0;
-  for (const balancer::Candidate& c : cands) {
+  for (const balancer::Candidate& c : heat_cands_) {
     if (taken >= params_.selector.max_subtrees) break;
     if (c.heat <= 0.0) break;
     if (c.inodes > inode_budget) continue;

@@ -18,8 +18,10 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "balancer/balancer.h"
+#include "balancer/candidates.h"
 #include "core/imbalance_factor.h"
 #include "core/load_monitor.h"
 #include "core/migration_initiator.h"
@@ -84,6 +86,7 @@ class LunuleBalancer final : public balancer::Balancer {
   LoadMonitor monitor_;
   double last_if_ = 0.0;
   MigrationPlan last_plan_;
+  std::vector<balancer::Candidate> heat_cands_;  // reused across epochs
 };
 
 }  // namespace lunule::core

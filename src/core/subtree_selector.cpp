@@ -27,7 +27,8 @@ void check_budget(const std::vector<Selection>& out, std::uint64_t cap) {
 
 std::vector<Selection> SubtreeSelector::select(
     fs::NamespaceTree& tree, MdsId exporter, double amount_iops,
-    std::uint64_t inode_budget_override) const {
+    std::uint64_t inode_budget_override,
+    const std::vector<DirId>* live_dirs) const {
   const std::uint64_t inode_cap = inode_budget_override > 0
                                       ? inode_budget_override
                                       : params_.inode_cap;
@@ -44,8 +45,13 @@ std::vector<Selection> SubtreeSelector::select(
     return static_cast<double>(c.visits_last_epoch) / epoch_seconds;
   };
 
+  // A drained candidate (all cutting-window sums zero) always predicts
+  // zero and is filtered here either way, so restricting the enumeration
+  // to `live_dirs` yields the exact same scored set as a full scan.
+  balancer::collect_candidates_into(cand_scratch_, tree, exporter, live_dirs);
   std::vector<Scored> scored;
-  for (balancer::Candidate& c : balancer::collect_candidates(tree, exporter)) {
+  scored.reserve(cand_scratch_.size());
+  for (balancer::Candidate& c : cand_scratch_) {
     const MigrationIndex idx = compute_mindex(c);
     const double p = idx.predicted_iops(params_.window_seconds);
     if (p > 0.0) {
@@ -53,8 +59,11 @@ std::vector<Selection> SubtreeSelector::select(
     }
   }
   if (scored.empty()) return out;
-  std::sort(scored.begin(), scored.end(),
-            [](const Scored& a, const Scored& b) { return a.pred > b.pred; });
+  std::sort(scored.begin(), scored.end(), [](const Scored& a,
+                                             const Scored& b) {
+    if (a.pred != b.pred) return a.pred > b.pred;
+    return balancer::ref_tie_before(a.cand.ref, b.cand.ref);
+  });
 
   const double tol = params_.tolerance * amount_iops;
 

@@ -70,15 +70,22 @@ class SubtreeSelector {
   /// non-zero) replaces params().inode_cap for this call — the balancer
   /// passes the *remaining* migration-pipeline capacity so in-flight
   /// transfers and the new selection together never exceed one epoch's
-  /// migration throughput.
+  /// migration throughput.  `live_dirs` (sorted ascending, optional)
+  /// restricts candidate enumeration to the recorder's active set; drained
+  /// directories have a zero migration index and can never be selected, so
+  /// the restriction does not change decisions.
   [[nodiscard]] std::vector<Selection> select(
       fs::NamespaceTree& tree, MdsId exporter, double amount_iops,
-      std::uint64_t inode_budget_override = 0) const;
+      std::uint64_t inode_budget_override = 0,
+      const std::vector<DirId>* live_dirs = nullptr) const;
 
   [[nodiscard]] const SelectorParams& params() const { return params_; }
 
  private:
   SelectorParams params_;
+  /// Enumeration scratch reused across calls (allocation hygiene on the
+  /// per-epoch hot path).
+  mutable std::vector<balancer::Candidate> cand_scratch_;
 };
 
 }  // namespace lunule::core

@@ -69,6 +69,18 @@ class Directory {
   [[nodiscard]] EpochId touched_epoch() const { return touched_epoch_; }
   void set_touched_epoch(EpochId e) { touched_epoch_ = e; }
 
+  /// Clock value at which every fragment's statistics are predicted to be
+  /// fully drained (see FragStats::compute_dead_epoch); lets the access
+  /// recorder expire warm directories without touching their fragments.
+  [[nodiscard]] EpochId stats_dead_epoch() const { return stats_dead_epoch_; }
+  void set_stats_dead_epoch(EpochId e) { stats_dead_epoch_ = e; }
+
+  /// Number of fragments carrying an explicit authority pin (maintained by
+  /// NamespaceTree so pinned directories are indexable without a scan).
+  [[nodiscard]] std::uint32_t frag_pin_count() const {
+    return frag_pin_count_;
+  }
+
  private:
   friend class NamespaceTree;
 
@@ -82,11 +94,8 @@ class Directory {
   MdsId explicit_auth_ = kNoMds;
   std::uint64_t subtree_inodes_ = 1;  // this directory itself
   EpochId touched_epoch_ = -1;
-
-  // Resolved-authority cache (valid while cache_gen_ matches the tree's
-  // authority generation).
-  mutable MdsId cached_auth_ = kNoMds;
-  mutable std::uint64_t cache_gen_ = 0;
+  EpochId stats_dead_epoch_ = 0;
+  std::uint32_t frag_pin_count_ = 0;
 };
 
 }  // namespace lunule::fs

@@ -14,6 +14,7 @@
 //     used by Lunule's Pattern Analyzer.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/ring_buffer.h"
@@ -72,8 +73,96 @@ struct FragStats {
   /// Lifetime visit counter (reporting only).
   std::uint64_t total_visits = 0;
 
+  // -- Lazy epoch advancement ------------------------------------------
+  // Untouched fragments are not rotated at every epoch close; instead the
+  // windows carry the epoch they are advanced through and catch up by
+  // delta on first read.  `stats_epoch` is the open epoch whose
+  // accumulators are currently live: the rings reflect every close before
+  // it.  `dead_epoch` is the clock value at which the fragment's signal is
+  // fully drained (all liveness windows evicted and heat flushed to zero),
+  // predicted at fold time so the warm set can expire entries without
+  // touching them.
+  EpochId stats_epoch = 0;
+  EpochId dead_epoch = 0;
+
   [[nodiscard]] std::uint32_t unvisited_files() const {
     return file_count - visited_files;
+  }
+
+  /// Rolls this fragment forward to open epoch `target`: folds the open
+  /// accumulators into the rings once, then replays the idle epochs in
+  /// between (zero pushes, bounded by the window span — older entries are
+  /// evicted anyway) and the per-epoch heat decay.  The decay replays the
+  /// exact eager sequence (multiply + flush-to-zero) so a lazily advanced
+  /// fragment is bit-identical to an eagerly rotated one.
+  void advance_to(EpochId target, double heat_decay) {
+    if (stats_epoch >= target) return;
+    const EpochId gap = target - stats_epoch;
+    visits_window.push(visits_epoch);
+    file_visits_window.push(file_visits_epoch);
+    first_visits_window.push(first_visits_epoch);
+    recurrent_window.push(recurrent_epoch);
+    creates_window.push(creates_epoch);
+    sibling_credit_window.push(sibling_credit_epoch);
+    visits_epoch = 0;
+    file_visits_epoch = 0;
+    first_visits_epoch = 0;
+    recurrent_epoch = 0;
+    creates_epoch = 0;
+    sibling_credit_epoch = 0.0;
+    // Idle closes: after kCuttingWindows zero pushes every ring is all
+    // zero and further pushes change nothing observable.
+    const EpochId idle = std::min<EpochId>(
+        gap - 1, static_cast<EpochId>(kCuttingWindows));
+    for (EpochId i = 0; i < idle; ++i) {
+      visits_window.push(0);
+      file_visits_window.push(0);
+      first_visits_window.push(0);
+      recurrent_window.push(0);
+      creates_window.push(0);
+      sibling_credit_window.push(0.0);
+    }
+    // Heat decays once per close; zero is a fixed point, so stop early.
+    for (EpochId i = 0; i < gap && heat > 0.0; ++i) {
+      heat *= heat_decay;
+      if (heat < 0.01) heat = 0.0;
+    }
+    stats_epoch = target;
+  }
+
+  /// Predicts the clock value at which this fragment stops being live
+  /// (the access recorder's retention criterion: any of heat, the visits
+  /// window, the first-visits window, or the sibling-credit window still
+  /// non-zero).  Only valid right after a fold (open accumulators zero);
+  /// later accumulation re-dirties the owner and triggers a recompute.
+  [[nodiscard]] EpochId compute_dead_epoch(double heat_decay) const {
+    EpochId steps = 0;
+    steps = std::max(steps, newest_nonzero_steps(visits_window));
+    steps = std::max(steps, newest_nonzero_steps(first_visits_window));
+    steps = std::max(steps, newest_nonzero_steps(sibling_credit_window));
+    double h = heat;
+    EpochId heat_steps = 0;
+    while (h > 0.0) {
+      h *= heat_decay;
+      if (h < 0.01) h = 0.0;
+      ++heat_steps;
+    }
+    steps = std::max(steps, heat_steps);
+    return stats_epoch + steps;
+  }
+
+ private:
+  /// Closes until the newest non-zero entry of `ring` is evicted (its
+  /// window sum is zero from then on); 0 when already all zero.
+  template <typename T>
+  [[nodiscard]] static EpochId newest_nonzero_steps(
+      const RingBuffer<T, kCuttingWindows>& ring) {
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      if (ring.at(i) != T{}) {
+        return static_cast<EpochId>(kCuttingWindows - i);
+      }
+    }
+    return 0;
   }
 };
 

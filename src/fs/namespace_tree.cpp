@@ -10,6 +10,9 @@ NamespaceTree::NamespaceTree() {
   dirs_.emplace_back(0, kNoDir, "/");
   // The root is always a subtree root; CephFS pins "/" to mds.0 at startup.
   dirs_[0].explicit_auth_ = 0;
+  pinned_dirs_.insert(0);
+  auth_cache_.push_back(kNoMds);
+  auth_cache_gen_.push_back(0);
 }
 
 DirId NamespaceTree::add_dir(DirId parent, std::string name) {
@@ -17,6 +20,8 @@ DirId NamespaceTree::add_dir(DirId parent, std::string name) {
   const auto id = static_cast<DirId>(dirs_.size());
   dirs_.emplace_back(id, parent, std::move(name));
   dirs_[parent].children_.push_back(id);
+  auth_cache_.push_back(kNoMds);
+  auth_cache_gen_.push_back(0);
   add_inodes_to_ancestors(parent, 1);
   return id;
 }
@@ -46,6 +51,11 @@ void NamespaceTree::fragment_dir(DirId d, std::uint8_t bits) {
   LUNULE_CHECK_MSG(bits >= dir.frag_bits_, "dirfrags can only be split");
   LUNULE_CHECK(bits <= 10);
   if (bits == dir.frag_bits_) return;
+
+  // Lazily advanced fragments must be rolled to the clock before their
+  // state is redistributed (the open accumulators stay open: the split
+  // scales them into the refining fragments, exactly as before).
+  advance_dir_stats(d);
 
   const std::uint32_t old_count = dir.frag_count();
   const std::uint32_t new_count = 1u << bits;
@@ -98,45 +108,107 @@ void NamespaceTree::fragment_dir(DirId d, std::uint8_t bits) {
       nf.sibling_credit_window.push(old_frag.sibling_credit_window.at(w) *
                                     ratio);
     }
+    nf.stats_epoch = stats_clock_;
+    nf.dead_epoch = nf.compute_dead_epoch(heat_decay_);
   }
   const std::uint8_t old_bits = dir.frag_bits_;
   dir.frags_ = std::move(next);
   dir.frag_bits_ = bits;
+  // Re-derive the pinned-fragment count from the refined layout.
+  std::uint32_t pins = 0;
+  for (const FragStats& frag : dir.frags_) {
+    if (frag.auth_pin != kNoMds) ++pins;
+  }
+  const std::uint32_t old_pins = dir.frag_pin_count_;
+  dir.frag_pin_count_ = pins;
+  if (old_pins == 0 && pins > 0) frag_pinned_dirs_.insert(d);
+  if (old_pins > 0 && pins == 0) frag_pinned_dirs_.erase(d);
   bump_generation();
   if (fragment_hook_) fragment_hook_(d, old_bits, bits);
 }
 
+void NamespaceTree::index_explicit_auth(DirId d, MdsId old_pin,
+                                        MdsId new_pin) {
+  if (old_pin == kNoMds && new_pin != kNoMds) pinned_dirs_.insert(d);
+  if (old_pin != kNoMds && new_pin == kNoMds) pinned_dirs_.erase(d);
+}
+
+void NamespaceTree::count_frag_pin(DirId d, MdsId old_pin, MdsId new_pin) {
+  Directory& dir = dirs_[d];
+  if (old_pin == kNoMds && new_pin != kNoMds) {
+    if (++dir.frag_pin_count_ == 1) frag_pinned_dirs_.insert(d);
+  } else if (old_pin != kNoMds && new_pin == kNoMds) {
+    LUNULE_CHECK(dir.frag_pin_count_ > 0);
+    if (--dir.frag_pin_count_ == 0) frag_pinned_dirs_.erase(d);
+  }
+}
+
 void NamespaceTree::set_auth(DirId d, MdsId m) {
   LUNULE_CHECK(m != kNoMds);
+  index_explicit_auth(d, dirs_[d].explicit_auth_, m);
   dirs_[d].explicit_auth_ = m;
   bump_generation();
+  bump_dir_auth_generation();
 }
 
 void NamespaceTree::clear_auth(DirId d) {
   LUNULE_CHECK_MSG(d != root(), "the root must stay pinned");
+  index_explicit_auth(d, dirs_[d].explicit_auth_, kNoMds);
   dirs_[d].explicit_auth_ = kNoMds;
   bump_generation();
+  bump_dir_auth_generation();
 }
 
 void NamespaceTree::set_frag_auth(DirId d, FragId f, MdsId m) {
   Directory& dir = dirs_[d];
   LUNULE_CHECK(f >= 0 && static_cast<std::uint32_t>(f) < dir.frag_count());
-  dir.frags_[static_cast<std::size_t>(f)].auth_pin = m;
+  FragStats& frag = dir.frags_[static_cast<std::size_t>(f)];
+  count_frag_pin(d, frag.auth_pin, m);
+  frag.auth_pin = m;
+  // Fragment pins override but never alter what the directory inherits, so
+  // the dir-level resolution cache stays valid; only the public generation
+  // (client location caches) moves.
   bump_generation();
 }
 
-MdsId NamespaceTree::auth_of(DirId d) const {
-  const Directory& dir = dirs_[d];
-  if (dir.cache_gen_ == auth_gen_) return dir.cached_auth_;
-  MdsId a;
-  if (dir.explicit_auth_ != kNoMds) {
-    a = dir.explicit_auth_;
-  } else {
-    LUNULE_CHECK(dir.parent_ != kNoDir);
-    a = auth_of(dir.parent_);
+MdsId NamespaceTree::resolve_auth_uncached(DirId d) const {
+  while (dirs_[d].explicit_auth_ == kNoMds) {
+    LUNULE_CHECK(dirs_[d].parent_ != kNoDir);
+    d = dirs_[d].parent_;
   }
-  dir.cached_auth_ = a;
-  dir.cache_gen_ = auth_gen_;
+  return dirs_[d].explicit_auth_;
+}
+
+MdsId NamespaceTree::auth_of(DirId d) const {
+  if (!auth_cache_enabled_) return resolve_auth_uncached(d);
+  if (auth_cache_gen_[d] == dir_auth_gen_) return auth_cache_[d];
+  // Walk up collecting stale directories until a pin or a warm cache entry
+  // resolves the chain, then fill the whole walk downward — amortised O(1)
+  // per lookup, and iterative so pathologically deep chains cannot
+  // overflow the stack.
+  auth_walk_.clear();
+  DirId cur = d;
+  MdsId a = kNoMds;
+  while (true) {
+    if (auth_cache_gen_[cur] == dir_auth_gen_) {
+      a = auth_cache_[cur];
+      break;
+    }
+    const Directory& dir = dirs_[cur];
+    if (dir.explicit_auth_ != kNoMds) {
+      a = dir.explicit_auth_;
+      break;
+    }
+    auth_walk_.push_back(cur);
+    LUNULE_CHECK(dir.parent_ != kNoDir);
+    cur = dir.parent_;
+  }
+  auth_cache_[cur] = a;
+  auth_cache_gen_[cur] = dir_auth_gen_;
+  for (const DirId w : auth_walk_) {
+    auth_cache_[w] = a;
+    auth_cache_gen_[w] = dir_auth_gen_;
+  }
   return a;
 }
 
@@ -157,12 +229,18 @@ MdsId NamespaceTree::auth_of_subtree(const SubtreeRef& ref) const {
 namespace {
 
 /// An authority change invalidates read replicas (CephFS re-establishes
-/// them from the new authority if the fragment stays hot).
-void drop_replicas_below(NamespaceTree& tree, DirId d) {
-  for (FragStats& frag : tree.dir(d).frags()) frag.replica_mask = 0;
-  for (const DirId c : tree.dir(d).children()) {
-    if (tree.dir(c).explicit_auth() == kNoMds) {
-      drop_replicas_below(tree, c);
+/// them from the new authority if the fragment stays hot).  Iterative
+/// (explicit stack) so deep unpinned chains cannot overflow the C++ stack.
+void drop_replicas_below(NamespaceTree& tree, DirId d,
+                         std::vector<DirId>& stack) {
+  stack.clear();
+  stack.push_back(d);
+  while (!stack.empty()) {
+    const DirId cur = stack.back();
+    stack.pop_back();
+    for (FragStats& frag : tree.dir(cur).frags()) frag.replica_mask = 0;
+    for (const DirId c : tree.dir(cur).children()) {
+      if (tree.dir(c).explicit_auth() == kNoMds) stack.push_back(c);
     }
   }
 }
@@ -177,7 +255,7 @@ std::uint64_t NamespaceTree::migrate_subtree(const SubtreeRef& ref,
         0;
     set_frag_auth(ref.dir, ref.frag, to);
   } else {
-    drop_replicas_below(*this, ref.dir);
+    drop_replicas_below(*this, ref.dir, dir_stack_);
     set_auth(ref.dir, to);
   }
   return moved;
@@ -185,22 +263,34 @@ std::uint64_t NamespaceTree::migrate_subtree(const SubtreeRef& ref,
 
 void NamespaceTree::simplify_auth() {
   // Directory ids are assigned parent-before-child, so one ascending pass
-  // sees each parent fully simplified before its children.
+  // sees each parent fully simplified before its children.  Only pinned
+  // directories can hold a redundant pin; iterate the pin index (snapshot:
+  // clearing a pin mutates the index) instead of the whole namespace.
+  std::vector<DirId> snapshot;
+  snapshot.reserve(pinned_dirs_.size() + frag_pinned_dirs_.size());
+  std::set_union(pinned_dirs_.begin(), pinned_dirs_.end(),
+                 frag_pinned_dirs_.begin(), frag_pinned_dirs_.end(),
+                 std::back_inserter(snapshot));
   bool changed = false;
-  for (DirId d = 1; d < dirs_.size(); ++d) {
+  for (const DirId d : snapshot) {
+    if (d == root()) continue;  // the root pin is never redundant
     Directory& dir = dirs_[d];
     if (dir.explicit_auth_ != kNoMds) {
       // What would this directory inherit without its own pin?
       const MdsId inherited = auth_of(dir.parent_);
       if (dir.explicit_auth_ == inherited) {
+        index_explicit_auth(d, dir.explicit_auth_, kNoMds);
         dir.explicit_auth_ = kNoMds;
         changed = true;
         bump_generation();
+        bump_dir_auth_generation();
       }
     }
+    if (dir.frag_pin_count_ == 0) continue;
     const MdsId resolved = auth_of(d);
     for (auto& frag : dir.frags_) {
       if (frag.auth_pin != kNoMds && frag.auth_pin == resolved) {
+        count_frag_pin(d, frag.auth_pin, kNoMds);
         frag.auth_pin = kNoMds;
         changed = true;
       }
@@ -210,19 +300,24 @@ void NamespaceTree::simplify_auth() {
 }
 
 std::uint64_t NamespaceTree::exclusive_inodes(const SubtreeRef& ref) const {
-  const Directory& dir = dirs_[ref.dir];
+  const Directory& top = dirs_[ref.dir];
   if (ref.is_frag()) {
-    return dir.frags_[static_cast<std::size_t>(ref.frag)].file_count;
+    return top.frags_[static_cast<std::size_t>(ref.frag)].file_count;
   }
-  // Count this directory + unpinned files, then recurse into children that
-  // are not subtree bounds themselves.
-  std::uint64_t count = 1;
-  for (const auto& frag : dir.frags_) {
-    if (frag.auth_pin == kNoMds) count += frag.file_count;
-  }
-  for (DirId c : dir.children_) {
-    if (dirs_[c].explicit_auth_ == kNoMds) {
-      count += exclusive_inodes(SubtreeRef{.dir = c});
+  // Count each directory + its unpinned files, descending (iteratively)
+  // into children that are not subtree bounds themselves.
+  std::uint64_t count = 0;
+  dir_stack_.clear();
+  dir_stack_.push_back(ref.dir);
+  while (!dir_stack_.empty()) {
+    const Directory& dir = dirs_[dir_stack_.back()];
+    dir_stack_.pop_back();
+    ++count;
+    for (const auto& frag : dir.frags_) {
+      if (frag.auth_pin == kNoMds) count += frag.file_count;
+    }
+    for (const DirId c : dir.children_) {
+      if (dirs_[c].explicit_auth_ == kNoMds) dir_stack_.push_back(c);
     }
   }
   return count;
@@ -272,11 +367,7 @@ std::vector<std::uint64_t> NamespaceTree::inodes_per_mds(
 }
 
 std::vector<DirId> NamespaceTree::subtree_roots() const {
-  std::vector<DirId> roots;
-  for (const auto& dir : dirs_) {
-    if (dir.explicit_auth() != kNoMds) roots.push_back(dir.id());
-  }
-  return roots;
+  return {pinned_dirs_.begin(), pinned_dirs_.end()};
 }
 
 void NamespaceTree::add_inodes_to_ancestors(DirId d, std::uint64_t count) {

@@ -4,14 +4,22 @@
 // Authority resolution: a directory with an explicit authority pin is a
 // *subtree root*; every other directory inherits the authority of its
 // nearest pinned ancestor.  Fragmented directories may additionally pin
-// individual dirfrags.  Resolution results are cached per directory and
-// invalidated wholesale by bumping a generation counter whenever any pin
-// changes (migrations are rare relative to accesses, so this trade is
-// heavily in favour of reads).
+// individual dirfrags.  Resolution results are cached in a flat per-dir
+// array and invalidated wholesale by bumping a generation counter whenever
+// a *directory-level* pin changes (migrations are rare relative to reads,
+// so this trade is heavily in favour of reads; dirfrag pins never touch
+// the dir-level cache because they cannot change what a directory
+// inherits).
+//
+// The tree also carries the statistics clock for lazy cutting-window
+// advancement: AccessRecorder::close_epoch() ticks it, and any reader of a
+// fragment's windows first rolls the fragment forward to the clock (see
+// FragStats::advance_to), so untouched fragments pay nothing per epoch.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -66,9 +74,17 @@ class NamespaceTree {
   [[nodiscard]] MdsId auth_of_file(DirId d, FileIndex i) const;
   /// Resolved authority of a migratable unit.
   [[nodiscard]] MdsId auth_of_subtree(const SubtreeRef& ref) const;
+  /// Cache-free resolution by walking the pin chain (the invariant
+  /// checker's oracle, and the resolution path when the cache is off).
+  [[nodiscard]] MdsId resolve_auth_uncached(DirId d) const;
   /// Bumped whenever any pin changes; clients use it to invalidate their
   /// location caches.
   [[nodiscard]] std::uint64_t auth_generation() const { return auth_gen_; }
+
+  /// Toggles the flat resolved-authority cache (on by default).  Off, every
+  /// auth_of() walks the pin chain — the equivalence suite runs both ways.
+  void set_auth_cache_enabled(bool enabled) { auth_cache_enabled_ = enabled; }
+  [[nodiscard]] bool auth_cache_enabled() const { return auth_cache_enabled_; }
 
   /// Moves the authority of a migratable unit to `to`, returning the number
   /// of inodes transferred (the unit's exclusive inode count).  This is the
@@ -78,6 +94,24 @@ class NamespaceTree {
   /// Removes redundant pins: an explicit pin equal to what the directory
   /// would inherit anyway is dropped (CephFS's subtree-map trimming).
   void simplify_auth();
+
+  // -- Statistics clock (lazy cutting-window advancement) ---------------
+  /// The open statistics epoch; AccessRecorder::close_epoch() ticks it.
+  [[nodiscard]] EpochId stats_clock() const { return stats_clock_; }
+  void tick_stats_clock() { ++stats_clock_; }
+  /// Per-epoch heat decay used when rolling lagging fragments forward;
+  /// installed by the access recorder so every reader replays the same
+  /// multiply sequence.
+  void set_heat_decay(double decay) { heat_decay_ = decay; }
+  [[nodiscard]] double heat_decay() const { return heat_decay_; }
+  /// Rolls one fragment forward to the statistics clock.
+  void advance_frag_stats(FragStats& frag) const {
+    frag.advance_to(stats_clock_, heat_decay_);
+  }
+  /// Rolls every fragment of `d` forward to the statistics clock.
+  void advance_dir_stats(DirId d) {
+    for (FragStats& frag : dirs_[d].frags_) advance_frag_stats(frag);
+  }
 
   // -- Queries ---------------------------------------------------------
   [[nodiscard]] const Directory& dir(DirId d) const { return dirs_[d]; }
@@ -106,12 +140,44 @@ class NamespaceTree {
   /// plus the tree root.
   [[nodiscard]] std::vector<DirId> subtree_roots() const;
 
+  // -- Pin index --------------------------------------------------------
+  /// Directories with an explicit authority pin, ascending (includes the
+  /// root).  Failover and journal checkpoints iterate this instead of the
+  /// whole namespace.
+  [[nodiscard]] const std::set<DirId>& pinned_dirs() const {
+    return pinned_dirs_;
+  }
+  /// Directories with at least one pinned fragment, ascending.
+  [[nodiscard]] const std::set<DirId>& frag_pinned_dirs() const {
+    return frag_pinned_dirs_;
+  }
+
  private:
   void bump_generation() { ++auth_gen_; }
+  /// Directory-level pins changed: the flat resolution cache is stale.
+  void bump_dir_auth_generation() { ++dir_auth_gen_; }
   void add_inodes_to_ancestors(DirId d, std::uint64_t count);
+  void index_explicit_auth(DirId d, MdsId old_pin, MdsId new_pin);
+  void count_frag_pin(DirId d, MdsId old_pin, MdsId new_pin);
 
   std::vector<Directory> dirs_;
   std::uint64_t auth_gen_ = 1;
+  /// Invalidation clock of the flat cache; bumped only by directory-level
+  /// pin changes (frag pins never alter what a directory inherits).
+  std::uint64_t dir_auth_gen_ = 1;
+  bool auth_cache_enabled_ = true;
+  /// Flat resolution cache: auth_cache_[d] is valid while
+  /// auth_cache_gen_[d] == dir_auth_gen_.
+  mutable std::vector<MdsId> auth_cache_;
+  mutable std::vector<std::uint64_t> auth_cache_gen_;
+  /// Scratch for the iterative uncached walk (avoids per-call allocation).
+  mutable std::vector<DirId> auth_walk_;
+  /// Scratch stack for iterative subtree traversals.
+  mutable std::vector<DirId> dir_stack_;
+  std::set<DirId> pinned_dirs_;
+  std::set<DirId> frag_pinned_dirs_;
+  EpochId stats_clock_ = 0;
+  double heat_decay_ = 0.8;
   FragmentHook fragment_hook_;
 };
 

@@ -8,11 +8,14 @@
 namespace lunule::mds {
 
 AccessRecorder::AccessRecorder(fs::NamespaceTree& tree, RecorderParams params,
-                               Rng rng)
-    : tree_(tree), params_(params), rng_(rng) {
+                               Rng rng, bool lazy)
+    : tree_(tree), params_(params), rng_(rng), lazy_(lazy) {
   LUNULE_CHECK(params_.heat_decay > 0.0 && params_.heat_decay < 1.0);
   LUNULE_CHECK(params_.sibling_credit_prob >= 0.0 &&
                params_.sibling_credit_prob <= 1.0);
+  // Every reader that rolls a lagging fragment forward must replay the
+  // exact decay sequence this recorder would have applied.
+  tree_.set_heat_decay(params_.heat_decay);
 }
 
 AccessOutcome AccessRecorder::record(DirId d, FileIndex i, EpochId epoch) {
@@ -31,6 +34,7 @@ AccessOutcome AccessRecorder::record(DirId d, FileIndex i, EpochId epoch) {
   file.last_access_epoch = static_cast<std::uint32_t>(epoch);
 
   fs::FragStats& frag = dir.frag(dir.frag_of(i));
+  tree_.advance_frag_stats(frag);
   ++frag.visits_epoch;
   ++frag.total_visits;
   frag.heat += 1.0;
@@ -41,7 +45,7 @@ AccessOutcome AccessRecorder::record(DirId d, FileIndex i, EpochId epoch) {
     credit_sibling(d);
   }
   if (logical_visit && out.recurrent) ++frag.recurrent_epoch;
-  mark_active(d);
+  mark_touched(dir);
   return out;
 }
 
@@ -51,6 +55,7 @@ void AccessRecorder::record_create(DirId d, FileIndex i, EpochId epoch) {
   file.last_access_epoch = static_cast<std::uint32_t>(epoch);
 
   fs::FragStats& frag = dir.frag(dir.frag_of(i));
+  tree_.advance_frag_stats(frag);
   ++frag.visits_epoch;
   ++frag.file_visits_epoch;
   ++frag.total_visits;
@@ -58,7 +63,7 @@ void AccessRecorder::record_create(DirId d, FileIndex i, EpochId epoch) {
   ++frag.first_visits_epoch;
   ++frag.creates_epoch;
   ++frag.visited_files;
-  mark_active(d);
+  mark_touched(dir);
 }
 
 void AccessRecorder::credit_sibling(DirId d) {
@@ -86,51 +91,90 @@ void AccessRecorder::credit_sibling(DirId d) {
   fs::Directory& sib = tree_.dir(sibling);
   const auto frag_pick =
       static_cast<FragId>(rng_.next_below(sib.frag_count()));
-  sib.frag(frag_pick).sibling_credit_epoch += 1.0;
-  mark_active(sibling);
+  fs::FragStats& frag = sib.frag(frag_pick);
+  tree_.advance_frag_stats(frag);
+  frag.sibling_credit_epoch += 1.0;
+  mark_touched(sib);
 }
 
-void AccessRecorder::mark_active(DirId d) {
+void AccessRecorder::mark_touched(fs::Directory& dir) {
+  const DirId d = dir.id();
+  const EpochId clock = tree_.stats_clock();
+  if (dir.touched_epoch() != clock) {
+    dir.set_touched_epoch(clock);
+    dirty_.push_back(d);
+  }
   if (d >= is_active_.size()) is_active_.resize(tree_.dir_count(), 0);
-  if (is_active_[d]) return;
-  is_active_[d] = 1;
-  active_.push_back(d);
+  if (!is_active_[d]) {
+    is_active_[d] = 1;
+    active_.push_back(d);
+  }
 }
 
 void AccessRecorder::close_epoch() {
-  std::vector<DirId> still_active;
-  still_active.reserve(active_.size());
-  for (const DirId d : active_) {
-    fs::Directory& dir = tree_.dir(d);
-    bool live = false;
-    for (fs::FragStats& frag : dir.frags()) {
-      frag.visits_window.push(frag.visits_epoch);
-      frag.file_visits_window.push(frag.file_visits_epoch);
-      frag.first_visits_window.push(frag.first_visits_epoch);
-      frag.recurrent_window.push(frag.recurrent_epoch);
-      frag.creates_window.push(frag.creates_epoch);
-      frag.sibling_credit_window.push(frag.sibling_credit_epoch);
-      frag.visits_epoch = 0;
-      frag.file_visits_epoch = 0;
-      frag.first_visits_epoch = 0;
-      frag.recurrent_epoch = 0;
-      frag.creates_epoch = 0;
-      frag.sibling_credit_epoch = 0.0;
-      frag.heat *= params_.heat_decay;
-      if (frag.heat < 0.01) frag.heat = 0.0;
-      if (frag.heat > 0.0 || frag.visits_window.window_sum() > 0 ||
-          frag.first_visits_window.window_sum() > 0 ||
-          frag.sibling_credit_window.window_sum() > 0.0) {
-        live = true;
+  const EpochId closing = tree_.stats_clock();
+  keep_scratch_.clear();
+  keep_scratch_.reserve(active_.size());
+
+  if (lazy_) {
+    // Fold only the directories touched this epoch.  Any fragment at the
+    // clock carries this epoch's accumulators (writers always advance
+    // before accumulating); lagging fragments stay lagging and catch up by
+    // delta on first read.
+    for (const DirId d : dirty_) {
+      fs::Directory& dir = tree_.dir(d);
+      EpochId dead = dir.stats_dead_epoch();
+      for (fs::FragStats& frag : dir.frags()) {
+        if (frag.stats_epoch == closing) {
+          frag.advance_to(closing + 1, params_.heat_decay);
+          frag.dead_epoch = frag.compute_dead_epoch(params_.heat_decay);
+        }
+        // A lagging fragment's prediction (made at its last fold) is still
+        // valid; the directory keeps the running max so expiry can only be
+        // postponed, never hastened.
+        dead = std::max(dead, frag.dead_epoch);
+      }
+      dir.set_stats_dead_epoch(dead);
+    }
+    dirty_.clear();
+    tree_.tick_stats_clock();
+    const EpochId clock = tree_.stats_clock();
+    for (const DirId d : active_) {
+      if (tree_.dir(d).stats_dead_epoch() > clock) {
+        keep_scratch_.push_back(d);
+      } else {
+        is_active_[d] = 0;
       }
     }
-    if (live) {
-      still_active.push_back(d);
-    } else {
-      is_active_[d] = 0;
+  } else {
+    // Eager mode: roll every fragment of every active directory and keep
+    // the directory iff any fragment still carries signal — the original
+    // scan-the-active-set behaviour, kept as the equivalence oracle.
+    dirty_.clear();
+    for (const DirId d : active_) {
+      fs::Directory& dir = tree_.dir(d);
+      bool live = false;
+      for (fs::FragStats& frag : dir.frags()) {
+        frag.advance_to(closing + 1, params_.heat_decay);
+        if (frag.heat > 0.0 || frag.visits_window.window_sum() > 0 ||
+            frag.first_visits_window.window_sum() > 0 ||
+            frag.sibling_credit_window.window_sum() > 0.0) {
+          live = true;
+        }
+      }
+      if (live) {
+        keep_scratch_.push_back(d);
+      } else {
+        is_active_[d] = 0;
+      }
     }
+    tree_.tick_stats_clock();
   }
-  active_ = std::move(still_active);
+
+  active_.swap(keep_scratch_);
+  // Ascending enumeration order makes the active set a drop-in filter for
+  // the whole-namespace candidate scan (which walks DirIds ascending).
+  std::sort(active_.begin(), active_.end());
 }
 
 }  // namespace lunule::mds

@@ -12,7 +12,13 @@
 //
 // At each epoch boundary close_epoch() folds the open-epoch accumulators
 // into the cutting-window rings and applies the exponential heat decay that
-// the CephFS-Vanilla balancer relies on.
+// the CephFS-Vanilla balancer relies on.  In the (default) lazy mode only
+// the directories actually touched during the epoch are folded; everything
+// else catches up by delta on first read (FragStats::advance_to), and warm
+// directories expire from the active set via the per-directory dead-epoch
+// prediction instead of being rescanned every close.  The eager mode rolls
+// every fragment of every active directory at each close — the two modes
+// are observationally identical (the equivalence suite asserts it).
 #pragma once
 
 #include <cstdint>
@@ -45,7 +51,8 @@ struct AccessOutcome {
 
 class AccessRecorder {
  public:
-  AccessRecorder(fs::NamespaceTree& tree, RecorderParams params, Rng rng);
+  AccessRecorder(fs::NamespaceTree& tree, RecorderParams params, Rng rng,
+                 bool lazy = true);
 
   /// Records a read/lookup access to file `i` of directory `d`.
   AccessOutcome record(DirId d, FileIndex i, EpochId epoch);
@@ -53,25 +60,38 @@ class AccessRecorder {
   /// Records a create of file `i` (always a first visit).
   void record_create(DirId d, FileIndex i, EpochId epoch);
 
-  /// Folds open-epoch accumulators into the windows and decays heat.
+  /// Folds open-epoch accumulators into the windows, decays heat, and ticks
+  /// the tree's statistics clock.
   void close_epoch();
 
-  /// Directories with any live statistics (hot set; shrinks as stats age).
+  /// Directories with any live statistics (hot set; shrinks as stats age),
+  /// sorted ascending after every close.
   [[nodiscard]] const std::vector<DirId>& active_dirs() const {
     return active_;
   }
 
+  [[nodiscard]] bool is_active(DirId d) const {
+    return static_cast<std::size_t>(d) < is_active_.size() &&
+           is_active_[static_cast<std::size_t>(d)] != 0;
+  }
+
+  [[nodiscard]] bool lazy() const { return lazy_; }
   [[nodiscard]] const RecorderParams& params() const { return params_; }
 
  private:
-  void mark_active(DirId d);
+  void mark_touched(fs::Directory& dir);
   void credit_sibling(DirId d);
 
   fs::NamespaceTree& tree_;
   RecorderParams params_;
   Rng rng_;
+  bool lazy_;
   std::vector<DirId> active_;
   std::vector<std::uint8_t> is_active_;  // indexed by DirId, lazily grown
+  /// Directories touched during the open epoch (deduplicated via
+  /// Directory::touched_epoch); the lazy close folds exactly these.
+  std::vector<DirId> dirty_;
+  std::vector<DirId> keep_scratch_;  // reused across closes
 };
 
 }  // namespace lunule::mds

@@ -1,6 +1,8 @@
 #include "mds/cluster.h"
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "common/assert.h"
 
@@ -31,8 +33,10 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
   for (std::size_t i = 0; i < params_.n_mds; ++i) {
     servers_.emplace_back(static_cast<MdsId>(i), params_.mds_capacity_iops);
   }
+  tree_.set_auth_cache_enabled(params_.hot_path.auth_cache);
   recorder_ = std::make_unique<AccessRecorder>(
-      tree_, params_.recorder, Rng(params_.seed).fork(/*stream=*/1));
+      tree_, params_.recorder, Rng(params_.seed).fork(/*stream=*/1),
+      params_.hot_path.lazy_stats);
   MigrationParams mig = params_.migration;
   mig.epoch_seconds = epoch_seconds();
   migration_ = std::make_unique<MigrationEngine>(tree_, mig);
@@ -134,6 +138,7 @@ void MdsCluster::update_replicas() {
   }
   for (const DirId d : recorder_->active_dirs()) {
     for (fs::FragStats& frag : tree_.dir(d).frags()) {
+      tree_.advance_frag_stats(frag);
       const double rate =
           frag.visits_window.empty()
               ? 0.0
@@ -149,14 +154,34 @@ void MdsCluster::update_replicas() {
 }
 
 std::vector<fs::SubtreeRef> MdsCluster::owned_units(MdsId m) const {
+  // Merge the two ascending pin indexes instead of scanning the namespace;
+  // the emission order (dirs ascending, whole-dir pin before frag pins)
+  // matches the old full scan exactly, so ESubtreeMap payloads are
+  // unchanged.
   std::vector<fs::SubtreeRef> owned;
-  for (DirId d = 0; d < tree_.dir_count(); ++d) {
+  const std::set<DirId>& pinned = tree_.pinned_dirs();
+  const std::set<DirId>& frag_pinned = tree_.frag_pinned_dirs();
+  auto pi = pinned.begin();
+  auto fi = frag_pinned.begin();
+  while (pi != pinned.end() || fi != frag_pinned.end()) {
+    DirId d;
+    if (fi == frag_pinned.end() || (pi != pinned.end() && *pi <= *fi)) {
+      d = *pi;
+    } else {
+      d = *fi;
+    }
     const fs::Directory& dir = tree_.dir(d);
-    if (dir.explicit_auth() == m) owned.push_back(fs::SubtreeRef{.dir = d});
-    for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
-      if (dir.frag(f).auth_pin == m) {
-        owned.push_back(fs::SubtreeRef{.dir = d, .frag = f});
+    if (pi != pinned.end() && *pi == d) {
+      if (dir.explicit_auth() == m) owned.push_back(fs::SubtreeRef{.dir = d});
+      ++pi;
+    }
+    if (fi != frag_pinned.end() && *fi == d) {
+      for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+        if (dir.frag(f).auth_pin == m) {
+          owned.push_back(fs::SubtreeRef{.dir = d, .frag = f});
+        }
       }
+      ++fi;
     }
   }
   return owned;
@@ -240,6 +265,7 @@ void MdsCluster::stall_journal(MdsId m, Tick until) {
 }
 
 std::uint64_t MdsCluster::replicated_frags() const {
+  if (params_.replicate_threshold_iops <= 0.0) return 0;
   std::uint64_t count = 0;
   for (DirId d = 0; d < tree_.dir_count(); ++d) {
     for (const fs::FragStats& frag : tree_.dir(d).frags()) {
@@ -385,7 +411,18 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
     return best;
   };
 
-  for (DirId d = 0; d < tree_.dir_count(); ++d) {
+  // Only pinned directories can reference the dead rank; iterate a snapshot
+  // of the pin indexes (ascending, like the old whole-namespace scan) since
+  // the reassignments below mutate pins as we go.
+  std::vector<DirId> pinned_snapshot;
+  {
+    const std::set<DirId>& pinned = tree_.pinned_dirs();
+    const std::set<DirId>& frag_pinned = tree_.frag_pinned_dirs();
+    pinned_snapshot.reserve(pinned.size() + frag_pinned.size());
+    std::set_union(pinned.begin(), pinned.end(), frag_pinned.begin(),
+                   frag_pinned.end(), std::back_inserter(pinned_snapshot));
+  }
+  for (const DirId d : pinned_snapshot) {
     if (tree_.dir(d).explicit_auth() == m) {
       const MdsId to = pick_survivor();
       const std::uint64_t moved =
@@ -433,11 +470,15 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
   }
   tree_.simplify_auth();
 
-  // Drop the crashed rank's replica bits: its cached copies are gone.
-  const std::uint32_t dead_bit = 1u << static_cast<std::uint32_t>(m);
-  for (DirId d = 0; d < tree_.dir_count(); ++d) {
-    for (fs::FragStats& frag : tree_.dir(d).frags()) {
-      frag.replica_mask &= ~dead_bit;
+  // Drop the crashed rank's replica bits: its cached copies are gone.  With
+  // replication disabled no mask can ever be non-zero (update_replicas is
+  // the only setter), so the scan is skipped entirely.
+  if (params_.replicate_threshold_iops > 0.0) {
+    const std::uint32_t dead_bit = 1u << static_cast<std::uint32_t>(m);
+    for (DirId d = 0; d < tree_.dir_count(); ++d) {
+      for (fs::FragStats& frag : tree_.dir(d).frags()) {
+        frag.replica_mask &= ~dead_bit;
+      }
     }
   }
 

@@ -25,6 +25,19 @@
 
 namespace lunule::mds {
 
+/// Hot-path optimisation switches.  All default on; the equivalence suite
+/// flips them off and asserts byte-identical traces (they are mechanical
+/// optimisations, never behavioural ones).
+struct HotPathOpts {
+  /// Flat resolved-authority cache in the namespace tree.
+  bool auth_cache = true;
+  /// Dirty-set epoch close + lazy cutting-window advancement.
+  bool lazy_stats = true;
+  /// Candidate collection iterates the recorder's active set instead of the
+  /// whole namespace.
+  bool candidate_filter = true;
+};
+
 struct ClusterParams {
   std::size_t n_mds = 5;
   /// Theoretical per-MDS capacity C in IOPS (Eq. 2 of the paper).
@@ -54,6 +67,7 @@ struct ClusterParams {
   /// false no journal exists, no journal counters are created, and every
   /// trace is byte-identical to the journal-free behavior).
   journal::JournalParams journal;
+  HotPathOpts hot_path;
   std::uint64_t seed = 42;
 };
 
@@ -152,6 +166,7 @@ class MdsCluster {
   [[nodiscard]] fs::NamespaceTree& tree() { return tree_; }
   [[nodiscard]] const fs::NamespaceTree& tree() const { return tree_; }
   [[nodiscard]] AccessRecorder& recorder() { return *recorder_; }
+  [[nodiscard]] const AccessRecorder& recorder() const { return *recorder_; }
   [[nodiscard]] MigrationEngine& migration() { return *migration_; }
   [[nodiscard]] const MigrationEngine& migration() const {
     return *migration_;
@@ -177,6 +192,14 @@ class MdsCluster {
 
   /// Number of dirfrags currently replicated (reporting).
   [[nodiscard]] std::uint64_t replicated_frags() const;
+
+  /// Directories worth considering for candidate collection: the recorder's
+  /// active set (sorted ascending) when the candidate filter is on, or
+  /// nullptr meaning "scan the whole namespace".
+  [[nodiscard]] const std::vector<DirId>* candidate_dirs() const {
+    return params_.hot_path.candidate_filter ? &recorder_->active_dirs()
+                                             : nullptr;
+  }
 
  private:
   /// Replica management at epoch close (replicate hot frags, drop cold).

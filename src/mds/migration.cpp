@@ -52,8 +52,9 @@ bool MigrationEngine::submit(const fs::SubtreeRef& ref, MdsId to) {
 }
 
 double MigrationEngine::subtree_rate(const fs::SubtreeRef& ref) const {
-  const fs::Directory& dir = tree_.dir(ref.dir);
-  auto frag_visits = [](const fs::FragStats& f) -> double {
+  fs::Directory& dir = tree_.dir(ref.dir);
+  auto frag_visits = [this](fs::FragStats& f) -> double {
+    tree_.advance_frag_stats(f);
     return f.visits_window.empty()
                ? static_cast<double>(f.visits_epoch)
                : static_cast<double>(f.visits_window.at(0));
@@ -64,7 +65,7 @@ double MigrationEngine::subtree_rate(const fs::SubtreeRef& ref) const {
   } else {
     // Leaf-unit candidates hold their files directly; include any unpinned
     // descendants for completeness (namespaces are shallow).
-    for (const fs::FragStats& f : dir.frags()) {
+    for (fs::FragStats& f : dir.frags()) {
       if (f.auth_pin == kNoMds) visits += frag_visits(f);
     }
     for (const DirId c : dir.children()) {

@@ -17,11 +17,11 @@ void MigrationAudit::on_commit(const fs::NamespaceTree& tree,
 
 namespace {
 
-std::uint64_t subtree_last_epoch_visits(const fs::NamespaceTree& tree,
-                                        DirId d) {
-  const fs::Directory& dir = tree.dir(d);
+std::uint64_t subtree_last_epoch_visits(fs::NamespaceTree& tree, DirId d) {
+  fs::Directory& dir = tree.dir(d);
   std::uint64_t visits = 0;
-  for (const fs::FragStats& f : dir.frags()) {
+  for (fs::FragStats& f : dir.frags()) {
+    tree.advance_frag_stats(f);
     visits += f.visits_window.empty() ? 0 : f.visits_window.at(0);
   }
   for (const DirId c : dir.children()) {
@@ -32,9 +32,9 @@ std::uint64_t subtree_last_epoch_visits(const fs::NamespaceTree& tree,
 
 }  // namespace
 
-std::uint64_t MigrationAudit::last_epoch_visits(const fs::NamespaceTree& tree,
+std::uint64_t MigrationAudit::last_epoch_visits(fs::NamespaceTree& tree,
                                                 const Entry& entry) {
-  const fs::Directory& dir = tree.dir(entry.ref.dir);
+  fs::Directory& dir = tree.dir(entry.ref.dir);
   if (entry.ref.is_frag()) {
     // Later splits refine fragments: with the interleaved mapping, every
     // current fragment f refines commit-time fragment (f & (count-1)).
@@ -43,7 +43,8 @@ std::uint64_t MigrationAudit::last_epoch_visits(const fs::NamespaceTree& tree,
     for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
       if ((static_cast<std::uint32_t>(f) & commit_mask) ==
           static_cast<std::uint32_t>(entry.ref.frag)) {
-        const fs::FragStats& fs = dir.frag(f);
+        fs::FragStats& fs = dir.frag(f);
+        tree.advance_frag_stats(fs);
         visits += fs.visits_window.empty() ? 0 : fs.visits_window.at(0);
       }
     }
@@ -52,8 +53,7 @@ std::uint64_t MigrationAudit::last_epoch_visits(const fs::NamespaceTree& tree,
   return subtree_last_epoch_visits(tree, entry.ref.dir);
 }
 
-void MigrationAudit::on_epoch_close(const fs::NamespaceTree& tree,
-                                    EpochId epoch) {
+void MigrationAudit::on_epoch_close(fs::NamespaceTree& tree, EpochId epoch) {
   std::vector<Entry> still_open;
   still_open.reserve(open_.size());
   for (Entry& e : open_) {

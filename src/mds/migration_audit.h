@@ -39,8 +39,9 @@ class MigrationAudit {
 
   /// Accumulates the last closed epoch's visits for every open entry and
   /// closes entries whose observation window ended.  Call once per epoch,
-  /// after the access recorder's close_epoch().
-  void on_epoch_close(const fs::NamespaceTree& tree, EpochId epoch);
+  /// after the access recorder's close_epoch().  Takes the tree non-const
+  /// because reading a window rolls the fragment to the statistics clock.
+  void on_epoch_close(fs::NamespaceTree& tree, EpochId epoch);
 
   // -- Results -------------------------------------------------------------
   [[nodiscard]] std::uint64_t audited() const { return valid_ + invalid_; }
@@ -75,7 +76,7 @@ class MigrationAudit {
 
   /// Visits the unit received in the last closed epoch.
   [[nodiscard]] static std::uint64_t last_epoch_visits(
-      const fs::NamespaceTree& tree, const Entry& entry);
+      fs::NamespaceTree& tree, const Entry& entry);
 
   AuditParams params_;
   std::vector<Entry> open_;

@@ -219,6 +219,50 @@ std::vector<std::string> InvariantChecker::check_epoch(
                   totals.segments_trimmed);
   }
 
+  // 6. Hot-path caches.  The flat authority cache must agree with the
+  //    pin-chain oracle for every directory; fragment statistics may never
+  //    run ahead of the statistics clock; and every fragment outside the
+  //    recorder's active set must be fully drained once rolled forward —
+  //    a violation means the lazy close expired a still-live directory.
+  {
+    const mds::AccessRecorder& recorder = cluster.recorder();
+    const EpochId clock = tree.stats_clock();
+    const double decay = recorder.params().heat_decay;
+    for (DirId d = 0; d < tree.dir_count(); ++d) {
+      const MdsId cached = tree.auth_of(d);
+      const MdsId oracle = tree.resolve_auth_uncached(d);
+      if (cached != oracle) {
+        v.add("dir ", d, " cached authority ", cached,
+              " != recomputed authority ", oracle);
+      }
+      const fs::Directory& dir = tree.dir(d);
+      const bool active = recorder.is_active(d);
+      for (std::size_t f = 0; f < dir.frags().size(); ++f) {
+        const fs::FragStats& frag = dir.frags()[f];
+        if (frag.stats_epoch > clock) {
+          v.add("dirfrag ", d, "/", f, " stats epoch ", frag.stats_epoch,
+                " is ahead of the statistics clock ", clock);
+        }
+        if (active) continue;
+        if (frag.visits_epoch != 0 || frag.file_visits_epoch != 0 ||
+            frag.first_visits_epoch != 0 || frag.recurrent_epoch != 0 ||
+            frag.creates_epoch != 0 || frag.sibling_credit_epoch != 0.0) {
+          v.add("dirfrag ", d, "/", f,
+                " has open accumulators but its directory is not active");
+        }
+        fs::FragStats copy = frag;
+        copy.advance_to(clock, decay);
+        if (copy.heat > 0.0 || copy.visits_window.window_sum() > 0 ||
+            copy.first_visits_window.window_sum() > 0 ||
+            copy.sibling_credit_window.window_sum() > 0.0) {
+          v.add("dirfrag ", d, "/", f,
+                " still carries live statistics but its directory was "
+                "expired from the active set");
+        }
+      }
+    }
+  }
+
   ++epochs_checked_;
   return v.take();
 }

@@ -20,6 +20,14 @@
 //   4. Migration-engine sanity: tasks have positive inode counts, distinct
 //      endpoints in range, bounded progress, and per-exporter active counts
 //      within the configured in-flight limit.
+//   5. Journal coherence: the newest retained ESubtreeMap checkpoint of
+//      every alive rank matches what the rank actually owns.
+//   6. Hot-path caches: the flat resolved-authority cache agrees with the
+//      pin-chain oracle for every directory, no fragment's statistics run
+//      ahead of the statistics clock, and every fragment outside the access
+//      recorder's active set is fully drained once rolled forward — i.e.
+//      the lazy epoch close never expired a directory that still carried
+//      signal.
 //
 // Violations are returned as human-readable strings rather than aborted on,
 // so tests can assert that a deliberately corrupted cluster is flagged; the

@@ -220,6 +220,9 @@ mds::ClusterParams cluster_params_for(const ScenarioConfig& cfg) {
   cp.recorder.sibling_credit_prob = cfg.sibling_credit_prob;
   cp.replicate_threshold_iops = cfg.replicate_threshold_iops;
   cp.unreplicate_threshold_iops = cfg.replicate_threshold_iops / 8.0;
+  cp.hot_path.auth_cache = cfg.hot_path_opts;
+  cp.hot_path.lazy_stats = cfg.hot_path_opts;
+  cp.hot_path.candidate_filter = cfg.hot_path_opts;
   return cp;
 }
 

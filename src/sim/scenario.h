@@ -100,6 +100,11 @@ struct ScenarioConfig {
   /// a trace was asked for (--trace, or tests that inspect the dump).
   bool capture_trace = false;
 
+  /// Hot-path optimisations (authority cache, lazy stats advancement,
+  /// live-set candidate filtering).  On by default; the equivalence suite
+  /// flips this off and asserts byte-identical traces either way.
+  bool hot_path_opts = true;
+
   std::uint64_t seed = 42;
 };
 

@@ -32,6 +32,9 @@ TEST(AdaptiveLunule, DelegatesBalancingToTheInnerLunule) {
   mds::ClusterParams cp;
   cp.n_mds = 5;
   cp.mds_capacity_iops = 1000.0;
+  // Window stats are poked directly below (bypassing the recorder), so the
+  // recorder-driven live-set filter must be off.
+  cp.hot_path.candidate_filter = false;
   mds::MdsCluster cluster(tree, cp);
   for (int e = 0; e < 4; ++e) cluster.close_epoch();
 
@@ -39,6 +42,7 @@ TEST(AdaptiveLunule, DelegatesBalancingToTheInnerLunule) {
   // A harmful one-hot load must trigger migrations via the wrapped Lunule.
   for (const DirId d : dirs) {
     fs::FragStats& f = tree.dir(d).frag(0);
+    tree.advance_frag_stats(f);  // keep the poked samples newest on read
     for (std::size_t e = 0; e < fs::kCuttingWindows; ++e) {
       f.visits_window.push(900);
       f.file_visits_window.push(900);

@@ -20,6 +20,9 @@ class BalancerTest : public ::testing::Test {
     params.n_mds = 5;
     params.mds_capacity_iops = 100.0;
     params.epoch_ticks = 1;
+    // These tests poke frag stats directly instead of going through the
+    // access recorder, so the recorder-driven live-set filter must be off.
+    params.hot_path.candidate_filter = false;
   }
 
   /// Gives a directory some heat (vanilla's selection signal).

@@ -15,6 +15,9 @@ class LunuleBalancerTest : public ::testing::Test {
     cp.n_mds = 5;
     cp.mds_capacity_iops = 1000.0;
     cp.epoch_ticks = 10;
+    // set_temporal_load writes window stats directly (bypassing the
+    // recorder), so the recorder-driven live-set filter must be off.
+    cp.hot_path.candidate_filter = false;
   }
 
   /// Warms up a cluster with load history so fld forecasts exist.
@@ -26,6 +29,7 @@ class LunuleBalancerTest : public ::testing::Test {
   /// cutting window so the observed per-epoch rate equals `iops`.
   void set_temporal_load(DirId d, double iops, double window_seconds) {
     fs::FragStats& f = tree.dir(d).frag(0);
+    tree.advance_frag_stats(f);  // keep the poked samples newest on read
     const double epoch_seconds =
         window_seconds / static_cast<double>(fs::kCuttingWindows);
     const auto per_epoch = static_cast<std::uint32_t>(iops * epoch_seconds);

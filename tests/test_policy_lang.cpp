@@ -106,6 +106,9 @@ class PolicyBalancerTest : public ::testing::Test {
     cp.n_mds = 4;
     cp.mds_capacity_iops = 1000.0;
     cp.epoch_ticks = 1;
+    // Heat is poked directly below (bypassing the recorder), so the
+    // recorder-driven live-set filter must be off.
+    cp.hot_path.candidate_filter = false;
     // Spread heat so estimates fit the policy amounts.
     for (const DirId d : dirs) tree.dir(d).frag(0).heat = 10.0;
   }
