@@ -21,7 +21,11 @@ fi
 
 cmake -B "$BUILD_DIR" "${GENERATOR[@]}" -DLUNULE_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure
+# Two tiers (see docs/TESTING.md): the gtest suites, then the
+# property-fuzzing entry points (corpus replay, generation determinism,
+# smoke campaign).  Split so a fuzz regression is immediately attributable.
+ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure -L tier1
+ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure -L fuzz
 
 status=0
 for bench in "$BUILD_DIR"/bench/*; do

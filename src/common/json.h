@@ -1,0 +1,78 @@
+// A minimal JSON document model and parser.
+//
+// The repo already *writes* JSON deterministically (sim/json_export.h); this
+// is the matching read side, used to load ScenarioConfig documents and
+// property-test repro files.  Dependency-free by design: a JsonValue is a
+// small tagged tree, objects preserve key order (so save -> load -> save is
+// byte-identical), and parse errors throw JsonError with an offset, like
+// the policy language's PolicyError.
+//
+// Numbers are stored as doubles — every numeric knob in the simulator fits
+// a double exactly (integers up to 2^53), and the writers already print
+// through double formatting.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lunule {
+
+/// Thrown on malformed documents (with byte-offset info) and on type or
+/// missing-key errors during access.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Key-ordered (insertion order) object representation.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array(Array items);
+  static JsonValue object(Object members);
+
+  /// Parses one JSON document (trailing garbage rejected); throws JsonError.
+  static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw JsonError when the kind does not match.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;  // rejects non-integral numbers
+  [[nodiscard]] std::uint64_t as_uint() const;  // additionally rejects < 0
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup: nullptr when absent; `at` throws when absent.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace lunule

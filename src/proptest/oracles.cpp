@@ -1,0 +1,333 @@
+#include "proptest/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "balancer/policy_lang.h"
+#include "common/rng.h"
+#include "core/imbalance_factor.h"
+#include "sim/json_export.h"
+
+namespace lunule::proptest {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Result JSON + trace JSON of one run (capture_trace forced on so the
+/// comparison covers the full flight-recorder stream, not just summaries).
+struct RunFingerprint {
+  sim::ScenarioResult result;
+  std::string result_json;
+  std::uint64_t result_digest = 0;
+  std::uint64_t trace_digest = 0;
+};
+
+RunFingerprint fingerprint(sim::ScenarioConfig cfg) {
+  cfg.capture_trace = true;
+  RunFingerprint fp;
+  fp.result = sim::run_scenario(cfg);
+  fp.result_json = sim::to_json(fp.result);
+  fp.result_digest = digest64(fp.result_json);
+  fp.trace_digest = digest64(fp.result.trace_json);
+  return fp;
+}
+
+/// Strips fault events whose semantics differ between the two sides of the
+/// journal comparison (crashes lose un-flushed entries; stalls only exist
+/// with a journal).
+faults::FaultPlan crash_free(const faults::FaultPlan& plan) {
+  faults::FaultPlan out;
+  for (const faults::FaultEvent& e : plan.events) {
+    if (e.kind == faults::FaultKind::kCrash ||
+        e.kind == faults::FaultKind::kPermanentLoss ||
+        e.kind == faults::FaultKind::kJournalStall) {
+      continue;
+    }
+    out.events.push_back(e);
+  }
+  return out;
+}
+
+// -- Oracles ----------------------------------------------------------------
+
+OracleResult check_same_seed_determinism(const sim::ScenarioConfig& cfg) {
+  const RunFingerprint a = fingerprint(cfg);
+  const RunFingerprint b = fingerprint(cfg);
+  if (a.result_json != b.result_json) {
+    return OracleResult::fail("same seed, different result JSON: " +
+                              hex(a.result_digest) + " vs " +
+                              hex(b.result_digest));
+  }
+  if (a.result.trace_json != b.result.trace_json) {
+    return OracleResult::fail("same seed, different trace: " +
+                              hex(a.trace_digest) + " vs " +
+                              hex(b.trace_digest));
+  }
+  return OracleResult::ok();
+}
+
+OracleResult check_single_mds_no_migrations(const sim::ScenarioConfig& cfg) {
+  // With one rank there is nowhere to migrate to and nobody to forward to —
+  // for *every* balancer, including the static-placement ones.
+  sim::ScenarioConfig base = cfg;
+  base.n_mds = 1;
+  base.faults = {};  // plans may target ranks that no longer exist
+  for (const sim::BalancerKind kind :
+       {sim::BalancerKind::kVanilla, sim::BalancerKind::kGreedySpill,
+        sim::BalancerKind::kLunule, sim::BalancerKind::kLunuleLight,
+        sim::BalancerKind::kDirHash, sim::BalancerKind::kLunuleHash,
+        sim::BalancerKind::kNone}) {
+    base.balancer = kind;
+    const sim::ScenarioResult r = sim::run_scenario(base);
+    if (r.migrated_total != 0 || r.migrations_completed != 0 ||
+        r.total_forwards != 0) {
+      std::ostringstream os;
+      os << "single-MDS run under " << sim::balancer_name(kind)
+         << " migrated " << r.migrated_total << " inodes ("
+         << r.migrations_completed << " migrations, " << r.total_forwards
+         << " forwards)";
+      return OracleResult::fail(os.str());
+    }
+    if (r.total_served == 0) {
+      return OracleResult::fail(
+          std::string("single-MDS run under ") +
+          std::string(sim::balancer_name(kind)) + " served nothing");
+    }
+  }
+  return OracleResult::ok();
+}
+
+OracleResult check_rank_relabel_invariance(const sim::ScenarioConfig& cfg) {
+  // End-to-end rank relabeling is deliberately NOT a symmetry of the
+  // simulator (rank ids break sort ties, rank 0 roots the namespace), but
+  // the *decision substrate* every balancer consumes must be: the imbalance
+  // factor and the policy-env statistics are functions of the load
+  // *multiset*.  Checked on random load vectors derived from the scenario
+  // seed, against random permutations.
+  if (cfg.n_mds < 2) {
+    return OracleResult::skip("needs >= 2 ranks to permute");
+  }
+  Rng rng = Rng(cfg.seed).fork(0x7e1abe1);
+  const core::IfParams if_params{.mds_capacity = cfg.mds_capacity_iops};
+  for (int round = 0; round < 8; ++round) {
+    std::vector<Load> loads(cfg.n_mds);
+    for (Load& l : loads) {
+      l = cfg.mds_capacity_iops * 1.2 * rng.next_double();
+    }
+    std::vector<std::size_t> perm(loads.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(std::span<std::size_t>(perm));
+    std::vector<Load> shuffled(loads.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      shuffled[i] = loads[perm[i]];
+    }
+
+    const double if_a = core::imbalance_factor(loads, if_params);
+    const double if_b = core::imbalance_factor(shuffled, if_params);
+    if (std::abs(if_a - if_b) > 1e-9 * std::max(1.0, std::abs(if_a))) {
+      std::ostringstream os;
+      os << "imbalance_factor changed under rank relabeling: " << if_a
+         << " vs " << if_b;
+      return OracleResult::fail(os.str());
+    }
+
+    // Policy env: cluster statistics must not move; `my` must follow the
+    // relabeled rank.
+    const balancer::PolicyEnv env_a =
+        balancer::make_policy_env(loads, static_cast<MdsId>(perm[0]),
+                                  cfg.mds_capacity_iops, /*epoch=*/3);
+    const balancer::PolicyEnv env_b =
+        balancer::make_policy_env(shuffled, /*my_rank=*/0,
+                                  cfg.mds_capacity_iops, /*epoch=*/3);
+    for (const char* stat : {"avg", "min", "max", "total", "n", "my"}) {
+      const double va = env_a.at(stat);
+      const double vb = env_b.at(stat);
+      if (std::abs(va - vb) > 1e-9 * std::max(1.0, std::abs(va))) {
+        std::ostringstream os;
+        os << "policy env '" << stat
+           << "' changed under rank relabeling: " << va << " vs " << vb;
+        return OracleResult::fail(os.str());
+      }
+    }
+  }
+  return OracleResult::ok();
+}
+
+OracleResult check_hot_path_equivalence(const sim::ScenarioConfig& cfg) {
+  sim::ScenarioConfig on = cfg;
+  on.hot_path_opts = true;
+  sim::ScenarioConfig off = cfg;
+  off.hot_path_opts = false;
+  const RunFingerprint a = fingerprint(on);
+  const RunFingerprint b = fingerprint(off);
+  if (a.result.trace_json != b.result.trace_json) {
+    return OracleResult::fail("hot-path on/off diverged: trace " +
+                              hex(a.trace_digest) + " vs " +
+                              hex(b.trace_digest));
+  }
+  if (a.result_json != b.result_json) {
+    return OracleResult::fail("hot-path on/off diverged: result " +
+                              hex(a.result_digest) + " vs " +
+                              hex(b.result_digest));
+  }
+  return OracleResult::ok();
+}
+
+OracleResult check_journal_overhead_bounded(const sim::ScenarioConfig& cfg) {
+  // Without crashes (nothing to replay, nothing to lose) the journal is
+  // pure overhead, and a *bounded* one: the journaled run must still serve
+  // the workload, and a completed workload is served exactly once either
+  // way.
+  sim::ScenarioConfig off = cfg;
+  off.faults = crash_free(cfg.faults);
+  off.journal = {};
+  sim::ScenarioConfig on = off;
+  on.journal = cfg.journal;
+  on.journal.enabled = true;
+  // A pathologically tight un-flushed cap measures backpressure stalls, not
+  // steady-state overhead; keep the cap off the floor.
+  on.journal.max_unflushed_entries =
+      std::max<std::uint64_t>(on.journal.max_unflushed_entries, 2000);
+
+  const sim::ScenarioResult r_off = sim::run_scenario(off);
+  const sim::ScenarioResult r_on = sim::run_scenario(on);
+  if (r_on.journal_entries_appended == 0) {
+    return OracleResult::fail("journaled run appended no entries");
+  }
+  const bool off_done = r_off.clients_done == r_off.n_clients;
+  const bool on_done = r_on.clients_done == r_on.n_clients;
+  if (off_done && on_done && r_on.total_served != r_off.total_served) {
+    std::ostringstream os;
+    os << "journal on/off disagree on completed workload: " << r_on.total_served
+       << " vs " << r_off.total_served << " ops served";
+    return OracleResult::fail(os.str());
+  }
+  const auto floor_served = static_cast<std::uint64_t>(
+      0.7 * static_cast<double>(r_off.total_served));
+  if (r_on.total_served < floor_served) {
+    std::ostringstream os;
+    os << "journal overhead unbounded: " << r_on.total_served << " vs "
+       << r_off.total_served << " ops served (floor " << floor_served << ")";
+    return OracleResult::fail(os.str());
+  }
+  return OracleResult::ok();
+}
+
+OracleResult check_capacity_monotonicity(const sim::ScenarioConfig& cfg) {
+  // More hardware must not lose work: with double the per-MDS capacity the
+  // cluster serves at least (almost — balancing dynamics shift) as many ops
+  // in the same window, and a workload that completed keeps completing.
+  sim::ScenarioConfig hi = cfg;
+  hi.mds_capacity_iops = cfg.mds_capacity_iops * 2.0;
+  const sim::ScenarioResult base = sim::run_scenario(cfg);
+  const sim::ScenarioResult doubled = sim::run_scenario(hi);
+  const bool base_done = base.clients_done == base.n_clients;
+  const bool doubled_done = doubled.clients_done == doubled.n_clients;
+  if (base_done && !doubled_done) {
+    std::ostringstream os;
+    os << "doubling capacity lost completions: " << doubled.clients_done
+       << "/" << doubled.n_clients << " clients done (was "
+       << base.clients_done << "/" << base.n_clients << ")";
+    return OracleResult::fail(os.str());
+  }
+  const auto floor_served = static_cast<std::uint64_t>(
+      0.95 * static_cast<double>(base.total_served));
+  if (doubled.total_served < floor_served) {
+    std::ostringstream os;
+    os << "doubling capacity lost throughput: " << doubled.total_served
+       << " vs " << base.total_served << " ops served (floor "
+       << floor_served << ")";
+    return OracleResult::fail(os.str());
+  }
+  return OracleResult::ok();
+}
+
+OracleResult check_cross_balancer_conservation(
+    const sim::ScenarioConfig& cfg) {
+  // The workload defines total demand; the balancer only decides *where*
+  // ops are served.  Every balancer that runs the workload to completion
+  // must therefore agree exactly on total ops served.
+  struct Done {
+    sim::BalancerKind kind;
+    std::uint64_t served;
+  };
+  std::vector<Done> done;
+  for (const sim::BalancerKind kind :
+       {sim::BalancerKind::kVanilla, sim::BalancerKind::kGreedySpill,
+        sim::BalancerKind::kLunule, sim::BalancerKind::kDirHash}) {
+    sim::ScenarioConfig c = cfg;
+    c.balancer = kind;
+    const sim::ScenarioResult r = sim::run_scenario(c);
+    if (r.clients_done == r.n_clients) done.push_back({kind, r.total_served});
+  }
+  if (done.size() < 2) {
+    return OracleResult::skip(
+        "fewer than two balancers completed the workload");
+  }
+  for (const Done& d : done) {
+    if (d.served != done.front().served) {
+      std::ostringstream os;
+      os << "completed workload served differently: "
+         << sim::balancer_name(done.front().kind) << "="
+         << done.front().served << " vs " << sim::balancer_name(d.kind)
+         << "=" << d.served;
+      return OracleResult::fail(os.str());
+    }
+  }
+  return OracleResult::ok();
+}
+
+constexpr Oracle kOracles[] = {
+    {"same_seed_determinism",
+     "two identical runs produce byte-identical result + trace JSON",
+     &check_same_seed_determinism},
+    {"single_mds_no_migrations",
+     "with one MDS no balancer migrates or forwards anything",
+     &check_single_mds_no_migrations},
+    {"rank_relabel_invariance",
+     "IF and policy-env statistics are invariant under load permutations",
+     &check_rank_relabel_invariance},
+    {"hot_path_equivalence",
+     "hot-path optimisations on vs off trace byte-identically",
+     &check_hot_path_equivalence},
+    {"journal_overhead_bounded",
+     "crash-free journaling conserves completed work at bounded overhead",
+     &check_journal_overhead_bounded},
+    {"capacity_monotonicity",
+     "doubling per-MDS capacity never loses completions or throughput",
+     &check_capacity_monotonicity},
+    {"cross_balancer_conservation",
+     "balancers completing the same workload agree on total ops served",
+     &check_cross_balancer_conservation},
+};
+
+}  // namespace
+
+std::span<const Oracle> all_oracles() { return kOracles; }
+
+const Oracle* find_oracle(std::string_view name) {
+  for (const Oracle& o : kOracles) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+std::uint64_t digest64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace lunule::proptest

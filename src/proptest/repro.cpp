@@ -1,0 +1,84 @@
+#include "proptest/repro.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "sim/json_export.h"
+#include "sim/scenario_json.h"
+
+namespace lunule::proptest {
+
+namespace {
+constexpr std::string_view kFormat = "lunule-proptest-repro-v1";
+}
+
+void write_repro(std::ostream& os, const Repro& repro) {
+  sim::JsonWriter w(os);
+  w.begin_object();
+  w.field("format", kFormat);
+  w.field("oracle", std::string_view(repro.oracle));
+  w.field("generator_seed",
+          std::string_view(std::to_string(repro.generator_seed)));
+  w.field("generator_index", repro.generator_index);
+  w.field("message", std::string_view(repro.message));
+  w.key("config");
+  os << sim::scenario_config_to_json(repro.config);
+  w.end_object();
+  os << '\n';
+}
+
+std::string repro_to_json(const Repro& repro) {
+  std::ostringstream os;
+  write_repro(os, repro);
+  return os.str();
+}
+
+Repro repro_from_json(std::string_view text) {
+  const JsonValue doc = JsonValue::parse(text);
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    if (key != "format" && key != "oracle" && key != "generator_seed" &&
+        key != "generator_index" && key != "message" && key != "config") {
+      throw JsonError("unknown key '" + key + "' in repro file");
+    }
+  }
+  if (const JsonValue* f = doc.find("format")) {
+    if (f->as_string() != kFormat) {
+      throw JsonError("unsupported repro format '" + f->as_string() + "'");
+    }
+  }
+  Repro r;
+  r.oracle = doc.at("oracle").as_string();
+  if (const JsonValue* s = doc.find("generator_seed")) {
+    std::uint64_t seed = 0;
+    for (const char c : s->as_string()) {
+      if (c < '0' || c > '9') throw JsonError("malformed generator_seed");
+      seed = seed * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    r.generator_seed = seed;
+  }
+  if (const JsonValue* i = doc.find("generator_index")) {
+    r.generator_index = i->as_uint();
+  }
+  if (const JsonValue* m = doc.find("message")) r.message = m->as_string();
+  r.config = sim::scenario_config_from_value(doc.at("config"));
+  return r;
+}
+
+void save_repro_file(const std::string& path, const Repro& repro) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open '" + path + "' for writing");
+  write_repro(os, repro);
+  if (!os.flush()) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+Repro load_repro_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return repro_from_json(buf.str());
+}
+
+}  // namespace lunule::proptest

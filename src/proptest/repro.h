@@ -1,0 +1,42 @@
+// Replayable repro files.
+//
+// When an oracle fails, the runner shrinks the config and writes a
+// self-describing JSON document: which oracle, which generator coordinates
+// produced the original case, the failure message observed, and the full
+// shrunk ScenarioConfig.  `lunule_proptest --replay <file>` re-checks the
+// oracle against the config; the committed corpus under tests/corpus/ is a
+// set of these files replayed by ctest, so every fixed bug stays fixed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/scenario.h"
+
+namespace lunule::proptest {
+
+struct Repro {
+  /// Oracle to re-check; must name an entry of all_oracles().
+  std::string oracle;
+  /// Generator coordinates of the un-shrunk case (documentation only; the
+  /// embedded config is authoritative).
+  std::uint64_t generator_seed = 0;
+  std::uint64_t generator_index = 0;
+  /// The failure message observed when the repro was written.
+  std::string message;
+  sim::ScenarioConfig config;
+};
+
+void write_repro(std::ostream& os, const Repro& repro);
+[[nodiscard]] std::string repro_to_json(const Repro& repro);
+
+/// Throws JsonError on malformed documents (unknown keys, missing oracle,
+/// bad config).
+[[nodiscard]] Repro repro_from_json(std::string_view text);
+
+/// File helpers; throw std::runtime_error on I/O failure.
+void save_repro_file(const std::string& path, const Repro& repro);
+[[nodiscard]] Repro load_repro_file(const std::string& path);
+
+}  // namespace lunule::proptest

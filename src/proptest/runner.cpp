@@ -1,0 +1,164 @@
+#include "proptest/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <ostream>
+
+#include "proptest/generator.h"
+#include "proptest/oracles.h"
+#include "proptest/repro.h"
+#include "proptest/shrink.h"
+
+namespace lunule::proptest {
+
+namespace {
+
+/// Wraps an oracle as a shrinking predicate: only an outright failure
+/// counts (a config simplified into "skipped" territory no longer
+/// reproduces anything).
+FailurePredicate fails_oracle(const Oracle& oracle) {
+  return [&oracle](const sim::ScenarioConfig& cfg) {
+    const OracleResult r = oracle.check(cfg);
+    return !r.skipped && !r.passed;
+  };
+}
+
+std::string repro_filename(const Oracle& oracle, std::uint64_t seed,
+                           std::uint64_t index) {
+  return "repro-" + std::string(oracle.name) + "-s" + std::to_string(seed) +
+         "-i" + std::to_string(index) + ".json";
+}
+
+}  // namespace
+
+RunSummary run_fuzz(const RunOptions& options, std::ostream& log) {
+  RunSummary summary;
+  const Oracle* only = nullptr;
+  if (!options.oracle_filter.empty()) {
+    only = find_oracle(options.oracle_filter);
+    if (only == nullptr) {
+      throw std::runtime_error("unknown oracle '" + options.oracle_filter +
+                               "' (see --list-oracles)");
+    }
+  }
+  if (!options.out_dir.empty()) {
+    std::filesystem::create_directories(options.out_dir);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget_left = [&] {
+    if (options.budget_seconds <= 0.0) return true;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() < options.budget_seconds;
+  };
+
+  for (std::uint64_t index = 0;; ++index) {
+    if (options.budget_seconds > 0.0) {
+      if (!budget_left()) break;
+    } else if (index >= options.count) {
+      break;
+    }
+    const sim::ScenarioConfig cfg = generate_config(options.seed, index);
+    ++summary.configs;
+    for (const Oracle& oracle : all_oracles()) {
+      if (only != nullptr && &oracle != only) continue;
+      const OracleResult r = oracle.check(cfg);
+      ++summary.checks;
+      if (r.skipped) {
+        ++summary.skips;
+        if (options.verbose) {
+          log << "  [skip] " << oracle.name << " #" << index << ": "
+              << r.message << "\n";
+        }
+        continue;
+      }
+      if (r.passed) {
+        if (options.verbose) {
+          log << "  [ ok ] " << oracle.name << " #" << index << "\n";
+        }
+        continue;
+      }
+      ++summary.failures;
+      log << "FAIL " << oracle.name << " on config #" << index << " (seed "
+          << options.seed << "): " << r.message << "\n";
+
+      sim::ScenarioConfig minimal = cfg;
+      if (!options.no_shrink) {
+        ShrinkStats stats;
+        minimal = shrink_config(cfg, fails_oracle(oracle), &stats);
+        log << "  shrunk in " << stats.passes << " passes ("
+            << stats.candidates_accepted << "/" << stats.candidates_tried
+            << " candidates accepted): n_mds=" << minimal.n_mds
+            << " n_clients=" << minimal.n_clients
+            << " max_ticks=" << minimal.max_ticks
+            << " faults=" << minimal.faults.events.size() << "\n";
+      }
+
+      Repro repro;
+      repro.oracle = std::string(oracle.name);
+      repro.generator_seed = options.seed;
+      repro.generator_index = index;
+      repro.message = oracle.check(minimal).message;
+      repro.config = minimal;
+      const std::filesystem::path path =
+          std::filesystem::path(options.out_dir) /
+          repro_filename(oracle, options.seed, index);
+      save_repro_file(path.string(), repro);
+      summary.repro_paths.push_back(path.string());
+      log << "  repro written: " << path.string() << "\n";
+    }
+    if (!options.verbose && summary.configs % 25 == 0) {
+      log << "... " << summary.configs << " configs, " << summary.checks
+          << " checks, " << summary.failures << " failures\n";
+    }
+  }
+
+  log << "proptest: " << summary.configs << " configs, " << summary.checks
+      << " checks (" << summary.skips << " skipped), " << summary.failures
+      << " failures\n";
+  return summary;
+}
+
+int replay_file(const std::string& path, std::ostream& log) {
+  const Repro repro = load_repro_file(path);
+  const Oracle* oracle = find_oracle(repro.oracle);
+  if (oracle == nullptr) {
+    log << path << ": unknown oracle '" << repro.oracle << "'\n";
+    return 1;
+  }
+  const OracleResult r = oracle->check(repro.config);
+  if (r.skipped) {
+    // A repro that no longer exercises its oracle is a stale corpus entry:
+    // fail loudly so it gets refreshed rather than silently passing.
+    log << path << ": SKIPPED (stale repro?) " << oracle->name << ": "
+        << r.message << "\n";
+    return 1;
+  }
+  if (!r.passed) {
+    log << path << ": FAIL " << oracle->name << ": " << r.message << "\n";
+    return 1;
+  }
+  log << path << ": ok (" << oracle->name << ")\n";
+  return 0;
+}
+
+int replay_dir(const std::string& dir, std::ostream& log) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  int failures = 0;
+  for (const std::string& f : files) {
+    failures += replay_file(f, log);
+  }
+  log << "corpus: " << files.size() << " repro files, " << failures
+      << " failing\n";
+  return failures;
+}
+
+}  // namespace lunule::proptest

@@ -1,0 +1,59 @@
+// Fuzzing campaign orchestration: generate -> check -> shrink -> write repro.
+//
+// run_fuzz drives `count` generated configs (or keeps generating until a
+// wall-clock budget expires) through every registered oracle.  On the first
+// failure of a (config, oracle) pair it shrinks the config against that
+// oracle and writes a replayable repro file into `out_dir`; the campaign
+// then continues with the next config so one bug cannot mask another.
+//
+// replay_file / replay_dir re-check committed repro files — the ctest
+// target over tests/corpus/ and the CLI's --replay path both land here.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lunule::proptest {
+
+struct RunOptions {
+  std::uint64_t seed = 1;
+  /// Number of generated configs (ignored when budget_seconds > 0).
+  std::uint64_t count = 100;
+  /// Wall-clock budget; 0 = use `count`.  The budget is checked between
+  /// configs, so the campaign overruns by at most one config's worth.
+  double budget_seconds = 0.0;
+  /// Restrict the campaign to one oracle (empty = all).
+  std::string oracle_filter;
+  /// Where repro files land ("." by default; created if absent).
+  std::string out_dir = ".";
+  /// Skip shrinking (repro carries the un-shrunk config).
+  bool no_shrink = false;
+  /// Per-check progress lines instead of a per-config summary.
+  bool verbose = false;
+};
+
+struct RunSummary {
+  std::uint64_t configs = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t skips = 0;
+  std::uint64_t failures = 0;
+  std::vector<std::string> repro_paths;
+};
+
+/// Runs the campaign; logs progress to `log`.  Throws JsonError /
+/// std::runtime_error only on repro-file I/O problems — oracle failures are
+/// reported through the summary, not exceptions.
+[[nodiscard]] RunSummary run_fuzz(const RunOptions& options,
+                                  std::ostream& log);
+
+/// Replays one repro file (0 = oracle passes now).
+[[nodiscard]] int replay_file(const std::string& path, std::ostream& log);
+
+/// Replays every *.json under `dir`, in lexicographic order.
+/// Returns the number of failing files (0 = all pass; an empty directory
+/// passes).
+[[nodiscard]] int replay_dir(const std::string& dir, std::ostream& log);
+
+}  // namespace lunule::proptest

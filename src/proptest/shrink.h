@@ -1,0 +1,41 @@
+// Greedy config shrinking: from a failing ScenarioConfig to a minimal
+// reproducer.
+//
+// Given a predicate "does this config still fail?", shrink_config repeatedly
+// proposes simpler candidates — fewer fault events, fewer MDSs / clients /
+// ticks, knobs back at their defaults, the canonical Zipf workload — and
+// keeps any candidate on which the failure persists.  Passes repeat until a
+// full pass accepts nothing (a greedy fixpoint, the classic QuickCheck
+// strategy: not globally minimal, but small enough to read).
+//
+// Every candidate is structurally valid by construction: fault events that
+// a shrunk cluster or horizon can no longer host are dropped or re-clamped
+// before the predicate ever sees the config.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/scenario.h"
+
+namespace lunule::proptest {
+
+/// Returns true when the config still triggers the failure under
+/// investigation.  The predicate must be deterministic; it is typically
+/// "oracle->check(cfg) reports failure" (wrapped to swallow skips).
+using FailurePredicate = std::function<bool(const sim::ScenarioConfig&)>;
+
+struct ShrinkStats {
+  int candidates_tried = 0;
+  int candidates_accepted = 0;
+  int passes = 0;
+};
+
+/// Shrinks `failing` (which must satisfy `still_fails`) to a greedy
+/// fixpoint.  The returned config satisfies `still_fails` and
+/// faults.validate(n_mds, max_ticks).
+[[nodiscard]] sim::ScenarioConfig shrink_config(
+    sim::ScenarioConfig failing, const FailurePredicate& still_fails,
+    ShrinkStats* stats = nullptr);
+
+}  // namespace lunule::proptest

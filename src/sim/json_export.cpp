@@ -1,6 +1,7 @@
 #include "sim/json_export.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
@@ -78,6 +79,16 @@ void JsonWriter::value(double v) {
   separator();
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value_exact(double v) {
+  separator();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
   os_ << buf;
 }
 

@@ -32,6 +32,10 @@ class JsonWriter {
 
   void value(std::string_view s);
   void value(double v);
+  /// Exact round-trip double formatting (shortest of %.15g / %.17g that
+  /// strtod's back to the same bits); config documents use this so that
+  /// save -> load -> save is the identity on every knob.
+  void value_exact(double v);
   void value(std::uint64_t v);
   void value(std::int64_t v);
   void value(bool b);
@@ -41,6 +45,12 @@ class JsonWriter {
   void field(std::string_view name, T v) {
     key(name);
     value(v);
+  }
+
+  /// Key + exact-round-trip double.
+  void field_exact(std::string_view name, double v) {
+    key(name);
+    value_exact(v);
   }
 
  private:

@@ -176,6 +176,26 @@ std::string_view balancer_name(BalancerKind k) {
   return "?";
 }
 
+std::optional<WorkloadKind> workload_kind_from_name(std::string_view name) {
+  for (const WorkloadKind k :
+       {WorkloadKind::kCnn, WorkloadKind::kNlp, WorkloadKind::kWeb,
+        WorkloadKind::kZipf, WorkloadKind::kMd, WorkloadKind::kMixed}) {
+    if (workload_name(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<BalancerKind> balancer_kind_from_name(std::string_view name) {
+  for (const BalancerKind k :
+       {BalancerKind::kVanilla, BalancerKind::kGreedySpill,
+        BalancerKind::kLunule, BalancerKind::kLunuleLight,
+        BalancerKind::kDirHash, BalancerKind::kLunuleHash,
+        BalancerKind::kNone}) {
+    if (balancer_name(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<balancer::Balancer> make_balancer(
     BalancerKind kind, const mds::ClusterParams& cluster_params) {
   switch (kind) {

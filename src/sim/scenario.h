@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -37,6 +38,13 @@ enum class BalancerKind {
 
 [[nodiscard]] std::string_view workload_name(WorkloadKind k);
 [[nodiscard]] std::string_view balancer_name(BalancerKind k);
+
+/// Inverse lookups (exact display-name match, e.g. "Lunule-Light");
+/// std::nullopt on unknown names.  Used by the JSON config loader.
+[[nodiscard]] std::optional<WorkloadKind> workload_kind_from_name(
+    std::string_view name);
+[[nodiscard]] std::optional<BalancerKind> balancer_kind_from_name(
+    std::string_view name);
 
 struct ScenarioConfig {
   WorkloadKind workload = WorkloadKind::kZipf;

@@ -1,0 +1,29 @@
+# Cross-invocation generator determinism: two separate runs of the proptest
+# CLI must print byte-identical generated-config JSON for the same seed.
+# (The in-process variant lives in test_proptest.cpp; this one catches
+# anything process-lifetime-dependent — static init order, locale, ASLR-fed
+# hashing — that an in-process comparison cannot.)
+if(NOT DEFINED PROPTEST_BIN)
+  message(FATAL_ERROR "pass -DPROPTEST_BIN=<path to lunule_proptest>")
+endif()
+
+execute_process(
+  COMMAND ${PROPTEST_BIN} --dump-configs 25 --seed 9
+  OUTPUT_VARIABLE first_run
+  RESULT_VARIABLE first_rc)
+execute_process(
+  COMMAND ${PROPTEST_BIN} --dump-configs 25 --seed 9
+  OUTPUT_VARIABLE second_run
+  RESULT_VARIABLE second_rc)
+
+if(NOT first_rc EQUAL 0 OR NOT second_rc EQUAL 0)
+  message(FATAL_ERROR
+    "lunule_proptest --dump-configs failed (rc ${first_rc} / ${second_rc})")
+endif()
+if(first_run STREQUAL "")
+  message(FATAL_ERROR "lunule_proptest --dump-configs printed nothing")
+endif()
+if(NOT first_run STREQUAL second_run)
+  message(FATAL_ERROR
+    "generated-config JSON differs between two invocations of the same seed")
+endif()

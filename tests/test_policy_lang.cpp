@@ -99,6 +99,88 @@ TEST(PolicyLang, EnvironmentContents) {
   EXPECT_DOUBLE_EQ(env.at("epoch"), 7.0);
 }
 
+// ---- parse-error paths ----------------------------------------------------
+// A malformed policy is an operator configuration mistake; every rejection
+// must carry a byte offset and a specific diagnostic, not just "bad input".
+
+std::string parse_error(const std::string& src) {
+  try {
+    (void)PolicyExpr::parse(src);
+  } catch (const PolicyError& e) {
+    return e.what();
+  }
+  return {};  // parsed fine: the assertion on the message will fail
+}
+
+void expect_error_contains(const std::string& src, const std::string& what) {
+  const std::string msg = parse_error(src);
+  EXPECT_NE(msg.find(what), std::string::npos)
+      << "policy '" << src << "' produced: '" << msg << "'";
+}
+
+TEST(PolicyLangErrors, UnexpectedCharacterWithOffset) {
+  expect_error_contains("1 + #", "unexpected character '#'");
+  expect_error_contains("1 + #", "offset 4");
+  expect_error_contains("1 + + 2", "unexpected character '+'");
+}
+
+TEST(PolicyLangErrors, TrailingInputIsRejected) {
+  expect_error_contains("1 2", "unexpected trailing input");
+  expect_error_contains("max > avg avg", "unexpected trailing input");
+}
+
+TEST(PolicyLangErrors, UnexpectedEndOfInput) {
+  expect_error_contains("", "unexpected end of input");
+  expect_error_contains("max > ", "unexpected end of input");
+  expect_error_contains("max > (", "unexpected end of input");
+  expect_error_contains("1 &&", "unexpected end of input");
+}
+
+TEST(PolicyLangErrors, UnbalancedParentheses) {
+  expect_error_contains("(1 + 2", "expected ')'");
+  expect_error_contains("abs(1", "expected ')'");
+  expect_error_contains("min(1, 2", "expected ')'");
+}
+
+TEST(PolicyLangErrors, MalformedNumbers) {
+  expect_error_contains("1.2.3", "malformed number");
+  expect_error_contains("1e", "malformed number");
+  expect_error_contains("1e+", "malformed number");
+}
+
+TEST(PolicyLangErrors, UnknownFunction) {
+  expect_error_contains("foo(1)", "unknown function 'foo'");
+  expect_error_contains("sin(my)", "unknown function 'sin'");
+}
+
+TEST(PolicyLangErrors, MinAndMaxArity) {
+  expect_error_contains("min(1)", "min takes two arguments");
+  expect_error_contains("max(1)", "max takes two arguments");
+}
+
+TEST(PolicyLangErrors, UnknownVariableSurfacesAtEval) {
+  const PolicyExpr expr = PolicyExpr::parse("bogus + 1");
+  try {
+    (void)expr.eval({});
+    FAIL() << "eval of unknown variable did not throw";
+  } catch (const PolicyError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown policy variable 'bogus'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PolicyLangErrors, PolicyErrorIsARuntimeError) {
+  // Callers that only know std::exception still get the diagnostic.
+  try {
+    (void)PolicyExpr::parse("(");
+    FAIL() << "parse did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("policy parse error"),
+              std::string::npos);
+  }
+}
+
 class PolicyBalancerTest : public ::testing::Test {
  protected:
   PolicyBalancerTest() {

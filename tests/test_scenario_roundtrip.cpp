@@ -1,0 +1,163 @@
+// ScenarioConfig <-> JSON round-trip coverage (sim/scenario_json.h).
+//
+// Every knob — including fault plans, journal parameters and hot-path
+// opts — must survive save -> load exactly, and save -> load -> save must
+// be byte-identical (repro files in tests/corpus/ rely on this).
+#include "sim/scenario_json.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace lunule::sim {
+namespace {
+
+/// A config with every field forced off its default.
+ScenarioConfig full_config() {
+  ScenarioConfig cfg;
+  cfg.workload = WorkloadKind::kMixed;
+  cfg.balancer = BalancerKind::kLunuleHash;
+  cfg.n_mds = 7;
+  cfg.n_clients = 33;
+  cfg.mds_capacity_iops = 1234.5;
+  cfg.client_rate = 99.25;
+  cfg.client_rate_jitter = 0.0625;
+  cfg.client_start_spread = 17;
+  cfg.scale = 0.123456789012345;
+  cfg.max_ticks = 777;
+  cfg.epoch_ticks = 7;
+  cfg.stop_when_done = false;
+  cfg.data_enabled = true;
+  cfg.data_capacity = 45000.5;
+  cfg.sibling_credit_prob = 0.45;
+  cfg.replicate_threshold_iops = 321.75;
+  cfg.faults.crash(2, 100, 40)
+      .lose(3, 200)
+      .slow(1, 50, 30, 0.35)
+      .abort_migrations(120, 4)
+      .journal_stall(0, 60, 25);
+  cfg.journal.enabled = true;
+  cfg.journal.segment_entries = 64;
+  cfg.journal.flush_interval_ticks = 3;
+  cfg.journal.max_unflushed_entries = 500;
+  cfg.journal.append_cost_ops = 0.125;
+  cfg.journal.flush_cost_ops = 2.5;
+  cfg.journal.replay_entries_per_second = 1500.25;
+  cfg.journal.replay_base_seconds = 2.75;
+  cfg.journal.replay_capacity_penalty = 0.4;
+  cfg.journal.history_decay_per_epoch = 0.55;
+  cfg.migration_max_retries = 9;
+  cfg.migration_retry_backoff_ticks = 11;
+  cfg.capture_trace = true;
+  cfg.hot_path_opts = false;
+  cfg.seed = 0xdeadbeefcafef00dULL;  // exercises the > 2^53 seed path
+  return cfg;
+}
+
+TEST(ScenarioRoundtrip, EveryKnobSurvivesSaveLoad) {
+  const ScenarioConfig cfg = full_config();
+  const ScenarioConfig back =
+      scenario_config_from_json(scenario_config_to_json(cfg));
+
+  EXPECT_EQ(back.workload, cfg.workload);
+  EXPECT_EQ(back.balancer, cfg.balancer);
+  EXPECT_EQ(back.n_mds, cfg.n_mds);
+  EXPECT_EQ(back.n_clients, cfg.n_clients);
+  EXPECT_EQ(back.mds_capacity_iops, cfg.mds_capacity_iops);
+  EXPECT_EQ(back.client_rate, cfg.client_rate);
+  EXPECT_EQ(back.client_rate_jitter, cfg.client_rate_jitter);
+  EXPECT_EQ(back.client_start_spread, cfg.client_start_spread);
+  EXPECT_EQ(back.scale, cfg.scale);
+  EXPECT_EQ(back.max_ticks, cfg.max_ticks);
+  EXPECT_EQ(back.epoch_ticks, cfg.epoch_ticks);
+  EXPECT_EQ(back.stop_when_done, cfg.stop_when_done);
+  EXPECT_EQ(back.data_enabled, cfg.data_enabled);
+  EXPECT_EQ(back.data_capacity, cfg.data_capacity);
+  EXPECT_EQ(back.sibling_credit_prob, cfg.sibling_credit_prob);
+  EXPECT_EQ(back.replicate_threshold_iops, cfg.replicate_threshold_iops);
+  EXPECT_EQ(back.faults, cfg.faults);
+  EXPECT_EQ(back.journal.enabled, cfg.journal.enabled);
+  EXPECT_EQ(back.journal.segment_entries, cfg.journal.segment_entries);
+  EXPECT_EQ(back.journal.flush_interval_ticks,
+            cfg.journal.flush_interval_ticks);
+  EXPECT_EQ(back.journal.max_unflushed_entries,
+            cfg.journal.max_unflushed_entries);
+  EXPECT_EQ(back.journal.append_cost_ops, cfg.journal.append_cost_ops);
+  EXPECT_EQ(back.journal.flush_cost_ops, cfg.journal.flush_cost_ops);
+  EXPECT_EQ(back.journal.replay_entries_per_second,
+            cfg.journal.replay_entries_per_second);
+  EXPECT_EQ(back.journal.replay_base_seconds,
+            cfg.journal.replay_base_seconds);
+  EXPECT_EQ(back.journal.replay_capacity_penalty,
+            cfg.journal.replay_capacity_penalty);
+  EXPECT_EQ(back.journal.history_decay_per_epoch,
+            cfg.journal.history_decay_per_epoch);
+  EXPECT_EQ(back.migration_max_retries, cfg.migration_max_retries);
+  EXPECT_EQ(back.migration_retry_backoff_ticks,
+            cfg.migration_retry_backoff_ticks);
+  EXPECT_EQ(back.capture_trace, cfg.capture_trace);
+  EXPECT_EQ(back.hot_path_opts, cfg.hot_path_opts);
+  EXPECT_EQ(back.seed, cfg.seed);
+}
+
+TEST(ScenarioRoundtrip, SaveLoadSaveIsByteIdentical) {
+  for (const ScenarioConfig& cfg : {ScenarioConfig{}, full_config()}) {
+    const std::string once = scenario_config_to_json(cfg);
+    const std::string twice =
+        scenario_config_to_json(scenario_config_from_json(once));
+    EXPECT_EQ(once, twice);
+  }
+}
+
+TEST(ScenarioRoundtrip, DefaultsApplyWhenKeysAreAbsent) {
+  const ScenarioConfig cfg = scenario_config_from_json("{}");
+  const ScenarioConfig def;
+  EXPECT_EQ(cfg.workload, def.workload);
+  EXPECT_EQ(cfg.balancer, def.balancer);
+  EXPECT_EQ(cfg.n_mds, def.n_mds);
+  EXPECT_EQ(cfg.seed, def.seed);
+  EXPECT_TRUE(cfg.faults.empty());
+  EXPECT_FALSE(cfg.journal.enabled);
+
+  // A partial document only overrides what it names.
+  const ScenarioConfig partial =
+      scenario_config_from_json(R"({"n_mds": 3, "seed": 7})");
+  EXPECT_EQ(partial.n_mds, 3u);
+  EXPECT_EQ(partial.seed, 7u);
+  EXPECT_EQ(partial.n_clients, def.n_clients);
+}
+
+TEST(ScenarioRoundtrip, UnknownKeysAreRejected) {
+  EXPECT_THROW(scenario_config_from_json(R"({"n_mdss": 3})"), JsonError);
+  EXPECT_THROW(
+      scenario_config_from_json(R"({"journal": {"enabeld": true}})"),
+      JsonError);
+  EXPECT_THROW(
+      scenario_config_from_json(
+          R"({"faults": [{"kind": "crash", "tick": 3}]})"),
+      JsonError);
+}
+
+TEST(ScenarioRoundtrip, MalformedValuesAreRejected) {
+  EXPECT_THROW(scenario_config_from_json("{"), JsonError);
+  EXPECT_THROW(scenario_config_from_json(R"({"workload": "Quantum"})"),
+               JsonError);
+  EXPECT_THROW(scenario_config_from_json(R"({"balancer": "Random"})"),
+               JsonError);
+  EXPECT_THROW(
+      scenario_config_from_json(R"({"faults": [{"kind": "meteor"}]})"),
+      JsonError);
+  EXPECT_THROW(scenario_config_from_json(R"({"n_mds": -2})"), JsonError);
+  EXPECT_THROW(scenario_config_from_json(R"({"n_mds": 2.5})"), JsonError);
+  EXPECT_THROW(scenario_config_from_json(R"({"seed": "12x"})"), JsonError);
+}
+
+TEST(ScenarioRoundtrip, LoadedFaultPlanStillValidates) {
+  const ScenarioConfig cfg = full_config();
+  const ScenarioConfig back =
+      scenario_config_from_json(scenario_config_to_json(cfg));
+  EXPECT_NO_THROW(back.faults.validate(back.n_mds, back.max_ticks));
+}
+
+}  // namespace
+}  // namespace lunule::sim

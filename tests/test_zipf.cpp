@@ -63,6 +63,36 @@ TEST(Zipf, TopMassEdgeCases) {
   EXPECT_DOUBLE_EQ(z.top_mass(100), 1.0);  // clamped
 }
 
+// Pearson chi-squared goodness-of-fit of the sampler's empirical histogram
+// against the analytic PMF.  With 100 bins (df = 99) the 0.001-quantile
+// critical value is ~148.2; the seeds are fixed, so this is a deterministic
+// regression gate, not a flaky statistical test.
+class ZipfChiSquared : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfChiSquared, EmpiricalHistogramMatchesAnalyticPmf) {
+  constexpr std::uint64_t kBins = 100;
+  constexpr int kDraws = 100000;
+  constexpr double kCritical999 = 148.23;  // chi2inv(0.999, 99)
+  const ZipfSampler z(kBins, GetParam());
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    std::vector<int> observed(kBins, 0);
+    for (int i = 0; i < kDraws; ++i) ++observed[z.sample(rng)];
+    double chi2 = 0.0;
+    for (std::uint64_t k = 0; k < kBins; ++k) {
+      const double expected = z.pmf(k) * kDraws;
+      ASSERT_GT(expected, 5.0) << "bin " << k << " too thin for chi-squared";
+      const double d = observed[k] - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, kCritical999)
+        << "exponent " << GetParam() << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfChiSquared,
+                         ::testing::Values(0.0, 0.8, 1.2));
+
 // Property sweep: for any exponent, higher exponent concentrates more mass
 // on the head.
 class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
