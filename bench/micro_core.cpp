@@ -79,7 +79,7 @@ void BM_SubtreeSelect(benchmark::State& state) {
   const auto dirs = fs::build_imagenet_like(tree, "cnn", 1000, 16);
   Rng rng(3);
   for (const DirId d : dirs) {
-    fs::FragStats& f = tree.dir(d).frag(0);
+    fs::FragStats& f = tree.frag(d, 0);
     const auto v = static_cast<std::uint32_t>(rng.next_below(600));
     f.visits_window.push(v);
     f.recurrent_window.push(v / 2);

@@ -61,7 +61,7 @@ int run(int argc, char** argv) {
     std::uint64_t recurrent = 0;
     std::uint64_t visits = 0;
     for (DirId d = 0; d < s->tree().dir_count(); ++d) {
-      for (const auto& frag : s->tree().dir(d).frags()) {
+      for (const auto& frag : s->tree().frags(d)) {
         visits += frag.total_visits;
         recurrent += frag.recurrent_window.window_sum();
       }

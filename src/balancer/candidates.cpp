@@ -5,8 +5,7 @@ namespace lunule::balancer {
 namespace {
 
 Candidate frag_candidate(fs::NamespaceTree& tree, DirId d, FragId f) {
-  fs::Directory& dir = tree.dir(d);
-  fs::FragStats& fs = dir.frag(f);
+  fs::FragStats& fs = tree.frag(d, f);
   tree.advance_frag_stats(fs);
   Candidate c;
   c.ref = fs::SubtreeRef{.dir = d, .frag = f};
@@ -26,14 +25,13 @@ Candidate frag_candidate(fs::NamespaceTree& tree, DirId d, FragId f) {
 }
 
 Candidate whole_dir_candidate(fs::NamespaceTree& tree, DirId d) {
-  fs::Directory& dir = tree.dir(d);
   Candidate c;
   c.ref = fs::SubtreeRef{.dir = d};
   c.auth = tree.auth_of(d);
   c.inodes = tree.exclusive_inodes(c.ref);
   // One pass over the raw per-frag statistics; no per-frag authority
   // resolution or Candidate materialisation is needed just to sum scalars.
-  for (fs::FragStats& frag : dir.frags()) {
+  for (fs::FragStats& frag : tree.frags(d)) {
     tree.advance_frag_stats(frag);
     c.heat += frag.heat;
     c.visits_w += frag.visits_window.window_sum();
@@ -59,8 +57,8 @@ void collect_dir_if(std::vector<Candidate>& out, fs::NamespaceTree& tree,
                     DirId d, Pred pred) {
   const fs::Directory& dir = tree.dir(d);
   if (d == tree.root() || !is_leaf_unit(dir)) return;
-  if (dir.fragmented()) {
-    for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+  if (tree.fragmented(d)) {
+    for (FragId f = 0; f < static_cast<FragId>(tree.frag_count(d)); ++f) {
       Candidate c = frag_candidate(tree, d, f);
       if (pred(c)) out.push_back(std::move(c));
     }
@@ -70,18 +68,46 @@ void collect_dir_if(std::vector<Candidate>& out, fs::NamespaceTree& tree,
   }
 }
 
+/// Directories per parallel collection chunk; chunk outputs concatenate in
+/// chunk order, so the result equals the serial ascending scan.
+constexpr std::size_t kCollectChunk = 512;
+
 template <typename Pred>
 void collect_if(std::vector<Candidate>& out, fs::NamespaceTree& tree,
-                Pred pred, const std::vector<DirId>* live_dirs) {
+                Pred pred, const std::vector<DirId>* live_dirs,
+                WorkerPool* pool) {
   out.clear();
-  if (live_dirs != nullptr) {
+  const std::size_t n =
+      live_dirs != nullptr ? live_dirs->size() : tree.dir_count();
+  auto dir_at = [&](std::size_t k) {
+    return live_dirs != nullptr ? (*live_dirs)[k] : static_cast<DirId>(k);
+  };
+  if (pool == nullptr || pool->workers() == 0 || n < 2 * kCollectChunk) {
     // `live_dirs` is sorted ascending, so enumeration order matches the
     // whole-namespace scan restricted to the live set.
-    for (const DirId d : *live_dirs) collect_dir_if(out, tree, d, pred);
-  } else {
-    for (DirId d = 0; d < tree.dir_count(); ++d) {
-      collect_dir_if(out, tree, d, pred);
+    for (std::size_t k = 0; k < n; ++k) {
+      collect_dir_if(out, tree, dir_at(k), pred);
     }
+    return;
+  }
+  // Parallel path: chunks of distinct directories touch disjoint fragment
+  // state (lazy advancement is per-dir) and auth_of is concurrency-safe;
+  // concatenating the per-chunk vectors in chunk order reproduces the
+  // serial enumeration byte for byte.
+  const std::size_t chunks = (n + kCollectChunk - 1) / kCollectChunk;
+  std::vector<std::vector<Candidate>> per_chunk(chunks);
+  pool->run_indexed(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * kCollectChunk;
+    const std::size_t hi = std::min(n, lo + kCollectChunk);
+    for (std::size_t k = lo; k < hi; ++k) {
+      collect_dir_if(per_chunk[c], tree, dir_at(k), pred);
+    }
+  });
+  std::size_t total = 0;
+  for (const auto& chunk : per_chunk) total += chunk.size();
+  out.reserve(total);
+  for (auto& chunk : per_chunk) {
+    for (Candidate& c : chunk) out.push_back(std::move(c));
   }
 }
 
@@ -89,25 +115,27 @@ void collect_if(std::vector<Candidate>& out, fs::NamespaceTree& tree,
 
 std::vector<Candidate> collect_candidates(fs::NamespaceTree& tree,
                                           MdsId owner,
-                                          const std::vector<DirId>* live_dirs) {
+                                          const std::vector<DirId>* live_dirs,
+                                          WorkerPool* pool) {
   std::vector<Candidate> out;
-  collect_candidates_into(out, tree, owner, live_dirs);
+  collect_candidates_into(out, tree, owner, live_dirs, pool);
   return out;
 }
 
 void collect_candidates_into(std::vector<Candidate>& out,
                              fs::NamespaceTree& tree, MdsId owner,
-                             const std::vector<DirId>* live_dirs) {
+                             const std::vector<DirId>* live_dirs,
+                             WorkerPool* pool) {
   collect_if(
       out, tree, [owner](const Candidate& c) { return c.auth == owner; },
-      live_dirs);
+      live_dirs, pool);
 }
 
 std::vector<Candidate> collect_all_candidates(fs::NamespaceTree& tree) {
   std::vector<Candidate> out;
   collect_if(
       out, tree, [](const Candidate&) { return true; },
-      /*live_dirs=*/nullptr);
+      /*live_dirs=*/nullptr, /*pool=*/nullptr);
   return out;
 }
 

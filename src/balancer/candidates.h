@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "common/worker_pool.h"
 #include "fs/namespace_tree.h"
 
 namespace lunule::balancer {
@@ -107,16 +108,20 @@ inline constexpr std::uint64_t kTieRankSalt = 0x11ULL;
 /// Units are leaf directories (directories holding files or without
 /// children); fragmented directories contribute one unit per owned frag.
 /// When `live_dirs` is non-null (sorted ascending), only those directories
-/// are considered.
+/// are considered.  When `pool` is non-null the scan is chunked across its
+/// workers; per-chunk outputs concatenate in chunk order, so the candidate
+/// list is identical to the serial scan.
 [[nodiscard]] std::vector<Candidate> collect_candidates(
     fs::NamespaceTree& tree, MdsId owner,
-    const std::vector<DirId>* live_dirs = nullptr);
+    const std::vector<DirId>* live_dirs = nullptr,
+    WorkerPool* pool = nullptr);
 
 /// As collect_candidates, but reuses `out` (cleared first) so per-epoch
 /// callers avoid reallocating the candidate vector.
 void collect_candidates_into(std::vector<Candidate>& out,
                              fs::NamespaceTree& tree, MdsId owner,
-                             const std::vector<DirId>* live_dirs = nullptr);
+                             const std::vector<DirId>* live_dirs = nullptr,
+                             WorkerPool* pool = nullptr);
 
 /// Enumerates the migratable units of the whole namespace regardless of
 /// current authority (used by Dir-Hash static pinning and by reports).

@@ -30,13 +30,13 @@ void DirHashBalancer::setup(mds::MdsCluster& cluster) {
     const bool leaf_unit = dir.file_count() > 0 || dir.children().empty();
     if (!leaf_unit) continue;
     if (dir.file_count() >= params_.fragment_threshold &&
-        dir.frag_bits() < params_.fragment_bits) {
+        tree.frag_bits(d) < params_.fragment_bits) {
       tree.fragment_dir(d, params_.fragment_bits);
     }
     const std::string path = tree.path_of(d);
-    if (tree.dir(d).fragmented()) {
+    if (tree.fragmented(d)) {
       for (FragId f = 0;
-           f < static_cast<FragId>(tree.dir(d).frag_count()); ++f) {
+           f < static_cast<FragId>(tree.frag_count(d)); ++f) {
         const std::uint64_t h =
             hash_path(path + "#" + std::to_string(f));
         tree.set_frag_auth(d, f, static_cast<MdsId>(h % n));

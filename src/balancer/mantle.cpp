@@ -32,7 +32,7 @@ void MantleBalancer::on_epoch(mds::MdsCluster& cluster,
     // exporter's subtrees by heat and queue them until the heat-share
     // estimate covers the requested amount.
     collect_candidates_into(cands_, cluster.tree(), spill.from,
-                            cluster.candidate_dirs());
+                            cluster.candidate_dirs(), cluster.shard_pool());
     const double total_heat = std::accumulate(
         cands_.begin(), cands_.end(), 0.0,
         [](double acc, const Candidate& c) { return acc + c.heat; });

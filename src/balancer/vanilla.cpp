@@ -55,7 +55,7 @@ void VanillaBalancer::on_epoch(mds::MdsCluster& cluster,
     // Rank this exporter's subtrees by heat (inefficiency #3) and estimate
     // each candidate's load as its heat share of the exporter's load.
     collect_candidates_into(cands_, cluster.tree(), exporter,
-                            cluster.candidate_dirs());
+                            cluster.candidate_dirs(), cluster.shard_pool());
     const double total_heat = std::accumulate(
         cands_.begin(), cands_.end(), 0.0,
         [](double acc, const Candidate& c) { return acc + c.heat; });

@@ -1,0 +1,30 @@
+#include "common/concurrency.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace lunule {
+
+ConcurrencyBudget& ConcurrencyBudget::instance() {
+  static ConcurrencyBudget budget(
+      std::max(2u, std::thread::hardware_concurrency()) - 1);
+  return budget;
+}
+
+std::size_t ConcurrencyBudget::acquire(std::size_t want) {
+  std::size_t cur = available_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::size_t grant = std::min(want, cur);
+    if (grant == 0) return 0;
+    if (available_.compare_exchange_weak(cur, cur - grant,
+                                         std::memory_order_relaxed)) {
+      return grant;
+    }
+  }
+}
+
+void ConcurrencyBudget::release(std::size_t n) {
+  available_.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace lunule

@@ -1,0 +1,66 @@
+// Process-wide worker-thread budget.
+//
+// Several layers spawn helper threads: run_scenarios() fans scenario
+// configs out over a pool, and each simulation may itself run a sharded
+// tick engine.  Without coordination, nesting multiplies
+// (hardware_concurrency threads *per caller*) and oversubscribes the
+// machine.  ConcurrencyBudget is a counter of *extra* worker threads (the
+// calling thread is never counted — every caller can always make progress
+// inline): acquire() grants between 0 and the requested number, release()
+// returns them.  Grant size never affects results — every pool in the
+// simulator is required to produce identical output for any worker count —
+// so a starved caller simply runs serially.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace lunule {
+
+class ConcurrencyBudget {
+ public:
+  explicit ConcurrencyBudget(std::size_t total)
+      : total_(total), available_(total) {}
+
+  /// The process-wide budget, sized to hardware_concurrency - 1 extra
+  /// workers (at least 1 so spawning is exercised even on tiny hosts).
+  static ConcurrencyBudget& instance();
+
+  /// Grants up to `want` extra worker threads; returns the number granted
+  /// (possibly 0 — run inline then).
+  [[nodiscard]] std::size_t acquire(std::size_t want);
+
+  /// Returns `n` previously granted workers to the pool.
+  void release(std::size_t n);
+
+  /// Extra workers currently available (diagnostics / tests).
+  [[nodiscard]] std::size_t available() const {
+    return available_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  std::size_t total_;
+  std::atomic<std::size_t> available_;
+};
+
+/// RAII grant: acquires up to `want` workers on construction, releases on
+/// destruction.
+class ConcurrencyGrant {
+ public:
+  explicit ConcurrencyGrant(std::size_t want,
+                            ConcurrencyBudget& budget =
+                                ConcurrencyBudget::instance())
+      : budget_(budget), granted_(budget.acquire(want)) {}
+  ~ConcurrencyGrant() { budget_.release(granted_); }
+  ConcurrencyGrant(const ConcurrencyGrant&) = delete;
+  ConcurrencyGrant& operator=(const ConcurrencyGrant&) = delete;
+
+  [[nodiscard]] std::size_t granted() const { return granted_; }
+
+ private:
+  ConcurrencyBudget& budget_;
+  std::size_t granted_;
+};
+
+}  // namespace lunule

@@ -30,6 +30,37 @@ namespace lunule {
   return splitmix64(s);
 }
 
+/// A draw stream seeded purely from a key: splitmix64 iterated from the
+/// hashed key.  Used where a stochastic decision must depend only on *what*
+/// is being decided (its stable key) and never on how many draws other
+/// decisions consumed before it — e.g. sibling credits, whose draws under
+/// the sharded tick engine would otherwise depend on cross-rank op order.
+class HashStream {
+ public:
+  explicit HashStream(std::uint64_t key) : state_(key) {}
+
+  std::uint64_t next_u64() { return splitmix64(state_); }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via multiply-shift (the negligible
+  /// Lemire bias is acceptable here; determinism is what matters).
+  std::uint64_t next_below(std::uint64_t bound) {
+    LUNULE_CHECK(bound > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next_u64()) * bound) >> 64);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// xoshiro256** deterministic PRNG.
 class Rng {
  public:

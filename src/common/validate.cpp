@@ -1,0 +1,21 @@
+#include "common/validate.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace lunule {
+
+bool validation_enabled() {
+  static const bool enabled = [] {
+#ifndef NDEBUG
+    return true;
+#else
+    const char* env = std::getenv("LUNULE_VALIDATE");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "") != 0;
+#endif
+  }();
+  return enabled;
+}
+
+}  // namespace lunule

@@ -1,0 +1,16 @@
+// Opt-in expensive validation (cross-checks of incremental state against
+// full recomputation, epoch-boundary invariant audits, ...).
+//
+// Release builds enable it with LUNULE_VALIDATE=1 in the environment;
+// builds without NDEBUG validate always.  Lives in lunule_common so even
+// the lowest layers (fs) can guard O(n) cross-checks without depending on
+// the observability library.
+#pragma once
+
+namespace lunule {
+
+/// True when expensive cross-validation should run.  Cached after the
+/// first call.
+[[nodiscard]] bool validation_enabled();
+
+}  // namespace lunule

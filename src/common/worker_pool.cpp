@@ -1,0 +1,97 @@
+#include "common/worker_pool.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lunule {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  round_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::drain_round() {
+  // Claim-and-run until the round's index space is exhausted.  Indices are
+  // claimed under the mutex (the per-index work is orders of magnitude
+  // heavier than the lock), and fn runs outside it.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (next_index_ < round_n_) {
+    const std::size_t i = next_index_++;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err) {
+      errors_.push_back(err);
+      error_indices_.push_back(i);
+    }
+    ++active_workers_;  // reused as the completed-index count per round
+    if (active_workers_ == round_n_) round_done_.notify_all();
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_seq = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      round_start_.wait(
+          lock, [&] { return stop_ || round_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = round_seq_;
+    }
+    drain_round();
+  }
+}
+
+void WorkerPool::run_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LUNULE_CHECK_MSG(fn_ == nullptr, "WorkerPool rounds cannot nest");
+    fn_ = &fn;
+    round_n_ = n;
+    next_index_ = 0;
+    active_workers_ = 0;
+    errors_.clear();
+    error_indices_.clear();
+    ++round_seq_;
+  }
+  round_start_.notify_all();
+  drain_round();  // the calling thread always participates
+  std::exception_ptr first;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    round_done_.wait(lock, [&] { return active_workers_ == round_n_; });
+    fn_ = nullptr;
+    // Rethrow the error of the smallest index so the surfaced failure does
+    // not depend on thread scheduling.
+    std::size_t best = round_n_;
+    for (std::size_t k = 0; k < error_indices_.size(); ++k) {
+      if (error_indices_[k] < best) {
+        best = error_indices_[k];
+        first = errors_[k];
+      }
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace lunule

@@ -61,7 +61,8 @@ void HashRebalancer::on_epoch(mds::MdsCluster& cluster,
     // by their *observed* last-epoch load and re-pin the hottest movable
     // ones until the assigned amounts are covered.
     balancer::collect_candidates_into(shards_, cluster.tree(), exporter,
-                                      cluster.candidate_dirs());
+                                      cluster.candidate_dirs(),
+                                      cluster.shard_pool());
     std::sort(shards_.begin(), shards_.end(),
               balancer::last_epoch_visits_order);
     for (const balancer::Candidate& shard : shards_) {

@@ -95,7 +95,8 @@ void LunuleBalancer::select_workload_aware(
       assignments.begin(), assignments.end(), 0.0,
       [](double acc, const MigrationAssignment& a) { return acc + a.amount; });
   std::vector<Selection> picks = selector_.select(
-      cluster.tree(), exporter, total, inode_budget, cluster.candidate_dirs());
+      cluster.tree(), exporter, total, inode_budget, cluster.candidate_dirs(),
+      cluster.shard_pool());
   // Hand each selected subtree to the importer with the largest remaining
   // demand, decrementing by the subtree's predicted contribution.
   for (const Selection& pick : picks) {
@@ -128,7 +129,8 @@ void LunuleBalancer::select_heat_based(
   // CephFS default selection (used by the -Light variant): rank by decayed
   // heat, estimate each candidate's load as its heat share.
   balancer::collect_candidates_into(heat_cands_, cluster.tree(), exporter,
-                                    cluster.candidate_dirs());
+                                    cluster.candidate_dirs(),
+                                    cluster.shard_pool());
   const double total_heat = std::accumulate(
       heat_cands_.begin(), heat_cands_.end(), 0.0,
       [](double acc, const balancer::Candidate& c) { return acc + c.heat; });

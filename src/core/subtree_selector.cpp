@@ -28,7 +28,7 @@ void check_budget(const std::vector<Selection>& out, std::uint64_t cap) {
 std::vector<Selection> SubtreeSelector::select(
     fs::NamespaceTree& tree, MdsId exporter, double amount_iops,
     std::uint64_t inode_budget_override,
-    const std::vector<DirId>* live_dirs) const {
+    const std::vector<DirId>* live_dirs, WorkerPool* pool) const {
   const std::uint64_t inode_cap = inode_budget_override > 0
                                       ? inode_budget_override
                                       : params_.inode_cap;
@@ -48,7 +48,8 @@ std::vector<Selection> SubtreeSelector::select(
   // A drained candidate (all cutting-window sums zero) always predicts
   // zero and is filtered here either way, so restricting the enumeration
   // to `live_dirs` yields the exact same scored set as a full scan.
-  balancer::collect_candidates_into(cand_scratch_, tree, exporter, live_dirs);
+  balancer::collect_candidates_into(cand_scratch_, tree, exporter, live_dirs,
+                                    pool);
   std::vector<Scored> scored;
   scored.reserve(cand_scratch_.size());
   for (balancer::Candidate& c : cand_scratch_) {
@@ -105,13 +106,13 @@ std::vector<Selection> SubtreeSelector::select(
       }
       if (depth == 0) depth = 1;
       const auto bits = static_cast<std::uint8_t>(
-          std::min<int>(std::max<int>(dir.frag_bits() + 1,
+          std::min<int>(std::max<int>(tree.frag_bits(d) + 1,
                                       depth),
                         10));
       tree.fragment_dir(d, bits);
       double remaining = amount_iops;
       std::uint64_t inode_budget = inode_cap;
-      for (FragId f = 0; f < static_cast<FragId>(tree.dir(d).frag_count());
+      for (FragId f = 0; f < static_cast<FragId>(tree.frag_count(d));
            ++f) {
         if (remaining <= tol || out.size() >= params_.max_subtrees) break;
         const balancer::Candidate fc = balancer::make_candidate(

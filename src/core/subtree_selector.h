@@ -74,10 +74,13 @@ class SubtreeSelector {
   /// restricts candidate enumeration to the recorder's active set; drained
   /// directories have a zero migration index and can never be selected, so
   /// the restriction does not change decisions.
+  /// `pool` (optional) parallelises candidate enumeration; the scored set
+  /// and hence the selection are identical to the serial scan.
   [[nodiscard]] std::vector<Selection> select(
       fs::NamespaceTree& tree, MdsId exporter, double amount_iops,
       std::uint64_t inode_budget_override = 0,
-      const std::vector<DirId>* live_dirs = nullptr) const;
+      const std::vector<DirId>* live_dirs = nullptr,
+      WorkerPool* pool = nullptr) const;
 
   [[nodiscard]] const SelectorParams& params() const { return params_; }
 

@@ -1,10 +1,16 @@
 // A directory node of the simulated namespace.
 //
-// The tree is stored flat (index-based) inside NamespaceTree for cache
-// friendliness; a Directory owns the struct-of-arrays state of its files and
-// its dirfrag statistics.  Subtree authority follows CephFS semantics: a
-// directory either pins an explicit authority (making it a subtree root /
-// subtree bound) or inherits its parent's.
+// The tree is stored flat (index-based) inside NamespaceTree.  Since the
+// struct-of-arrays arena refactor, Directory carries only the *cold* per
+// -directory state (name, children, file states, recorder bookkeeping);
+// everything the hot paths walk — parent links, explicit authority pins,
+// subtree inode counts, fragmentation level, and the per-fragment
+// statistics themselves — lives in flat index-parallel arrays owned by
+// NamespaceTree (see its "hot arenas" section), so authority resolution,
+// epoch close, and candidate collection traverse contiguous memory
+// instead of chasing per-directory heap allocations.  Subtree authority
+// follows CephFS semantics: a directory either pins an explicit authority
+// (making it a subtree root / subtree bound) or inherits its parent's.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +18,6 @@
 #include <vector>
 
 #include "common/types.h"
-#include "fs/dirfrag.h"
 #include "fs/file_state.h"
 
 namespace lunule::fs {
@@ -20,9 +25,11 @@ namespace lunule::fs {
 class Directory {
  public:
   Directory(DirId id, DirId parent, std::string name)
-      : id_(id), parent_(parent), name_(std::move(name)), frags_(1) {}
+      : id_(id), parent_(parent), name_(std::move(name)) {}
 
   [[nodiscard]] DirId id() const { return id_; }
+  /// Parent link (immutable after construction; NamespaceTree keeps the
+  /// copy the hot walks read in its parent arena).
   [[nodiscard]] DirId parent() const { return parent_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::vector<DirId>& children() const {
@@ -35,35 +42,6 @@ class Directory {
 
   [[nodiscard]] const FileState& file(FileIndex i) const { return files_[i]; }
   [[nodiscard]] FileState& file(FileIndex i) { return files_[i]; }
-
-  // -- Fragmentation --------------------------------------------------
-  [[nodiscard]] std::uint8_t frag_bits() const { return frag_bits_; }
-  [[nodiscard]] std::uint32_t frag_count() const { return 1u << frag_bits_; }
-  [[nodiscard]] bool fragmented() const { return frag_bits_ > 0; }
-
-  /// Fragment owning file index `i` (hash-like interleaved mapping).
-  [[nodiscard]] FragId frag_of(FileIndex i) const {
-    return static_cast<FragId>(i & (frag_count() - 1));
-  }
-
-  [[nodiscard]] const FragStats& frag(FragId f) const {
-    return frags_[static_cast<std::size_t>(f)];
-  }
-  [[nodiscard]] FragStats& frag(FragId f) {
-    return frags_[static_cast<std::size_t>(f)];
-  }
-  [[nodiscard]] const std::vector<FragStats>& frags() const { return frags_; }
-  [[nodiscard]] std::vector<FragStats>& frags() { return frags_; }
-
-  // -- Authority ------------------------------------------------------
-  /// Explicit authority pin (kNoMds = inherit from parent).
-  [[nodiscard]] MdsId explicit_auth() const { return explicit_auth_; }
-
-  /// Total inodes in this subtree: this directory + all descendant
-  /// directories + all files (maintained incrementally by NamespaceTree).
-  [[nodiscard]] std::uint64_t subtree_inodes() const {
-    return subtree_inodes_;
-  }
 
   // -- Epoch bookkeeping (used by the access recorder) -----------------
   [[nodiscard]] EpochId touched_epoch() const { return touched_epoch_; }
@@ -89,10 +67,6 @@ class Directory {
   std::string name_;
   std::vector<DirId> children_;
   std::vector<FileState> files_;
-  std::vector<FragStats> frags_;
-  std::uint8_t frag_bits_ = 0;
-  MdsId explicit_auth_ = kNoMds;
-  std::uint64_t subtree_inodes_ = 1;  // this directory itself
   EpochId touched_epoch_ = -1;
   EpochId stats_dead_epoch_ = 0;
   std::uint32_t frag_pin_count_ = 0;

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/assert.h"
 #include "common/ring_buffer.h"
 #include "common/types.h"
 
@@ -26,6 +27,12 @@ namespace lunule::fs {
 /// windows (the paper's "last N cutting windows").
 inline constexpr std::size_t kCuttingWindows = 6;
 
+/// Replica masks are a fixed-width bitmask over MDS ranks, so read
+/// replication supports at most this many ranks.  MdsCluster validates the
+/// cap whenever replication is enabled (a clear error instead of a silent
+/// shift past the mask width).
+inline constexpr std::size_t kMaxReplicaRanks = 64;
+
 struct FragStats {
   /// Authority pin; kNoMds means "inherit the owning directory's authority".
   MdsId auth_pin = kNoMds;
@@ -33,10 +40,12 @@ struct FragStats {
   /// Read-replica holders (bitmask over MDS ranks, bit i = MDS-i).  CephFS
   /// replicates hot dirfrags to peers so reads spread without migration
   /// (mds_bal_replicate_threshold); writes still go to the authority.
-  std::uint32_t replica_mask = 0;
+  std::uint64_t replica_mask = 0;
 
   [[nodiscard]] bool replicated() const { return replica_mask != 0; }
   [[nodiscard]] bool replicated_on(MdsId m) const {
+    LUNULE_CHECK(m >= 0 &&
+                 static_cast<std::size_t>(m) < kMaxReplicaRanks);
     return (replica_mask >> static_cast<unsigned>(m)) & 1u;
   }
 

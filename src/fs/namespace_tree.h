@@ -4,12 +4,27 @@
 // Authority resolution: a directory with an explicit authority pin is a
 // *subtree root*; every other directory inherits the authority of its
 // nearest pinned ancestor.  Fragmented directories may additionally pin
-// individual dirfrags.  Resolution results are cached in a flat per-dir
-// array and invalidated wholesale by bumping a generation counter whenever
-// a *directory-level* pin changes (migrations are rare relative to reads,
-// so this trade is heavily in favour of reads; dirfrag pins never touch
-// the dir-level cache because they cannot change what a directory
-// inherits).
+// individual dirfrags.
+//
+// Hot arenas (struct-of-arrays): the fields the hot paths touch —
+// parent links, explicit pins, subtree inode counts, fragmentation
+// level, and the per-fragment statistics — are stored in flat arrays
+// indexed by DirId rather than inside Directory, so authority
+// resolution, epoch close, and candidate collection walk contiguous
+// memory.  All fragments live in one global arena: frag_base_[d] is the
+// offset of d's 2^frag_bits_[d] contiguous FragStats; a split appends a
+// fresh block and abandons the old one (splits are rare and bounded, so
+// the holes are cheap and ids stay stable).
+//
+// Resolved authorities are cached in a flat array of relaxed-atomic
+// packed entries ((generation << 16) | uint16(auth + 1)), invalidated
+// wholesale by bumping the generation whenever a *directory-level* pin
+// changes (migrations are rare relative to reads; dirfrag pins never
+// touch the dir-level cache because they cannot change what a directory
+// inherits).  The atomic packing makes concurrent auth_of() calls from
+// the sharded tick engine safe: racing fills compute identical values,
+// and a torn generation/value pair cannot exist because both live in
+// the same 64-bit word.
 //
 // The tree also carries the statistics clock for lazy cutting-window
 // advancement: AccessRecorder::close_epoch() ticks it, and any reader of a
@@ -20,10 +35,13 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/atomic_array.h"
 #include "common/types.h"
+#include "fs/dirfrag.h"
 #include "fs/directory.h"
 
 namespace lunule::fs {
@@ -49,6 +67,15 @@ class NamespaceTree {
   void add_files(DirId d, std::uint32_t count);
   /// Creates one file at runtime (MDtest-create path); returns its index.
   FileIndex create_file(DirId d);
+  /// Shard-phase create: appends the file and bumps its fragment's count,
+  /// but defers the ancestor subtree_inodes walk and the census update
+  /// (both touch state shared across ranks).  The engine settles the debt
+  /// at merge with account_created_files().  Only legal for directories
+  /// without fragment pins (those creates are deferred wholesale).
+  FileIndex create_file_deferred(DirId d);
+  /// Settles `count` deferred creates into `d`: ancestor inode counts and
+  /// the placement census.  Serial-phase only.
+  void account_created_files(DirId d, std::uint64_t count);
   /// Splits `d` into 2^bits fragments, redistributing per-frag file counts.
   /// Only legal to grow the fragmentation (bits >= current frag_bits).
   void fragment_dir(DirId d, std::uint8_t bits);
@@ -68,7 +95,8 @@ class NamespaceTree {
   void clear_auth(DirId d);
   void set_frag_auth(DirId d, FragId f, MdsId m);
 
-  /// Resolved authority of directory `d` (cached).
+  /// Resolved authority of directory `d` (cached).  Safe to call
+  /// concurrently during the sharded tick phase (no pin may change then).
   [[nodiscard]] MdsId auth_of(DirId d) const;
   /// Resolved authority of file `i` within `d` (respects frag pins).
   [[nodiscard]] MdsId auth_of_file(DirId d, FileIndex i) const;
@@ -110,7 +138,7 @@ class NamespaceTree {
   }
   /// Rolls every fragment of `d` forward to the statistics clock.
   void advance_dir_stats(DirId d) {
-    for (FragStats& frag : dirs_[d].frags_) advance_frag_stats(frag);
+    for (FragStats& frag : frags(d)) advance_frag_stats(frag);
   }
 
   // -- Queries ---------------------------------------------------------
@@ -118,7 +146,42 @@ class NamespaceTree {
   [[nodiscard]] Directory& dir(DirId d) { return dirs_[d]; }
   [[nodiscard]] std::size_t dir_count() const { return dirs_.size(); }
   [[nodiscard]] std::uint64_t total_inodes() const {
-    return dirs_[0].subtree_inodes();
+    return subtree_inodes_[0];
+  }
+
+  // -- Hot arena accessors ----------------------------------------------
+  [[nodiscard]] DirId parent(DirId d) const { return parent_[d]; }
+  /// Explicit authority pin (kNoMds = inherit); kNoMds for everything but
+  /// subtree roots.
+  [[nodiscard]] MdsId explicit_auth(DirId d) const {
+    return explicit_auth_[d];
+  }
+  /// Inodes (dirs + files) in the subtree rooted at `d`, pins ignored.
+  [[nodiscard]] std::uint64_t subtree_inodes(DirId d) const {
+    return subtree_inodes_[d];
+  }
+  [[nodiscard]] std::uint8_t frag_bits(DirId d) const { return frag_bits_[d]; }
+  [[nodiscard]] std::uint32_t frag_count(DirId d) const {
+    return 1u << frag_bits_[d];
+  }
+  [[nodiscard]] bool fragmented(DirId d) const { return frag_bits_[d] != 0; }
+  /// Fragment owning file index `i` of `d` (interleaved mapping).
+  [[nodiscard]] FragId frag_of(DirId d, FileIndex i) const {
+    return static_cast<FragId>(i & (frag_count(d) - 1));
+  }
+  [[nodiscard]] const FragStats& frag(DirId d, FragId f) const {
+    return frag_arena_[frag_base_[d] + static_cast<std::uint32_t>(f)];
+  }
+  [[nodiscard]] FragStats& frag(DirId d, FragId f) {
+    return frag_arena_[frag_base_[d] + static_cast<std::uint32_t>(f)];
+  }
+  /// All fragments of `d`, contiguous in the arena.  Invalidated by any
+  /// split or add_dir (arena growth) — do not hold across mutations.
+  [[nodiscard]] std::span<const FragStats> frags(DirId d) const {
+    return {frag_arena_.data() + frag_base_[d], frag_count(d)};
+  }
+  [[nodiscard]] std::span<FragStats> frags(DirId d) {
+    return {frag_arena_.data() + frag_base_[d], frag_count(d)};
   }
 
   /// Inodes in the subtree of `ref`, excluding descendants that are pinned
@@ -132,8 +195,13 @@ class NamespaceTree {
   [[nodiscard]] bool is_ancestor(DirId ancestor, DirId d) const;
 
   /// Census of inode placement: inodes currently authoritative on each of
-  /// `n_mds` servers (Figure 14a).
+  /// `n_mds` servers (Figure 14a).  Maintained incrementally by every
+  /// mutation (a copy of the running counters, O(n_mds)); cross-checked
+  /// against the full scan when validation is enabled.
   [[nodiscard]] std::vector<std::uint64_t> inodes_per_mds(
+      std::size_t n_mds) const;
+  /// The full-scan oracle for inodes_per_mds (every dir + every frag).
+  [[nodiscard]] std::vector<std::uint64_t> inodes_per_mds_scan(
       std::size_t n_mds) const;
 
   /// All directories that are currently subtree roots (explicitly pinned),
@@ -159,21 +227,37 @@ class NamespaceTree {
   void add_inodes_to_ancestors(DirId d, std::uint64_t count);
   void index_explicit_auth(DirId d, MdsId old_pin, MdsId new_pin);
   void count_frag_pin(DirId d, MdsId old_pin, MdsId new_pin);
+  void census_add(MdsId m, std::uint64_t n);
+  void census_sub(MdsId m, std::uint64_t n);
+  void census_move(MdsId from, MdsId to, std::uint64_t n);
 
   std::vector<Directory> dirs_;
+
+  // Hot arenas, index-parallel with dirs_.
+  std::vector<DirId> parent_;
+  std::vector<MdsId> explicit_auth_;
+  std::vector<std::uint64_t> subtree_inodes_;
+  std::vector<std::uint8_t> frag_bits_;
+  /// Offset of each directory's fragment block in frag_arena_.
+  std::vector<std::uint32_t> frag_base_;
+  /// Global fragment arena; splits append a new block (the refined block
+  /// becomes a hole).
+  std::vector<FragStats> frag_arena_;
+
   std::uint64_t auth_gen_ = 1;
   /// Invalidation clock of the flat cache; bumped only by directory-level
   /// pin changes (frag pins never alter what a directory inherits).
   std::uint64_t dir_auth_gen_ = 1;
   bool auth_cache_enabled_ = true;
-  /// Flat resolution cache: auth_cache_[d] is valid while
-  /// auth_cache_gen_[d] == dir_auth_gen_.
-  mutable std::vector<MdsId> auth_cache_;
-  mutable std::vector<std::uint64_t> auth_cache_gen_;
-  /// Scratch for the iterative uncached walk (avoids per-call allocation).
-  mutable std::vector<DirId> auth_walk_;
-  /// Scratch stack for iterative subtree traversals.
+  /// Flat resolution cache, one packed entry per directory:
+  /// (generation << 16) | uint16(resolved auth + 1); valid while the
+  /// generation field equals dir_auth_gen_.  Zero (generation 0) is never
+  /// valid because dir_auth_gen_ starts at 1.
+  AtomicU64Array auth_cache_;
+  /// Scratch stack for iterative subtree traversals (serial phases only).
   mutable std::vector<DirId> dir_stack_;
+  /// Running inode-placement census, indexed by MdsId; grown on demand.
+  std::vector<std::uint64_t> census_;
   std::set<DirId> pinned_dirs_;
   std::set<DirId> frag_pinned_dirs_;
   EpochId stats_clock_ = 0;

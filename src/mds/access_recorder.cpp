@@ -7,9 +7,37 @@
 
 namespace lunule::mds {
 
+namespace {
+
+/// Directories folded per parallel work unit; coarse enough to amortise
+/// the claim lock, fine enough to balance skewed fold costs.
+constexpr std::size_t kFoldChunk = 256;
+
+/// Runs per_item(0..n-1), chunked across the pool when it pays; the
+/// per-item work must be index-disjoint so any worker count (including
+/// none) produces identical state.
+void parallel_chunks(WorkerPool* pool, std::size_t n,
+                     const std::function<void(std::size_t)>& per_item) {
+  if (pool == nullptr || pool->workers() == 0 || n < 2 * kFoldChunk) {
+    for (std::size_t k = 0; k < n; ++k) per_item(k);
+    return;
+  }
+  const std::size_t chunks = (n + kFoldChunk - 1) / kFoldChunk;
+  pool->run_indexed(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * kFoldChunk;
+    const std::size_t hi = std::min(n, lo + kFoldChunk);
+    for (std::size_t k = lo; k < hi; ++k) per_item(k);
+  });
+}
+
+}  // namespace
+
 AccessRecorder::AccessRecorder(fs::NamespaceTree& tree, RecorderParams params,
                                Rng rng, bool lazy)
-    : tree_(tree), params_(params), rng_(rng), lazy_(lazy) {
+    : tree_(tree),
+      params_(params),
+      credit_seed_(rng.next_u64()),
+      lazy_(lazy) {
   LUNULE_CHECK(params_.heat_decay > 0.0 && params_.heat_decay < 1.0);
   LUNULE_CHECK(params_.sibling_credit_prob >= 0.0 &&
                params_.sibling_credit_prob <= 1.0);
@@ -18,9 +46,9 @@ AccessRecorder::AccessRecorder(fs::NamespaceTree& tree, RecorderParams params,
   tree_.set_heat_decay(params_.heat_decay);
 }
 
-AccessOutcome AccessRecorder::record(DirId d, FileIndex i, EpochId epoch) {
-  fs::Directory& dir = tree_.dir(d);
-  fs::FileState& file = dir.file(i);
+AccessOutcome AccessRecorder::record(DirId d, FileIndex i, EpochId epoch,
+                                     RecorderLane* lane) {
+  fs::FileState& file = tree_.dir(d).file(i);
 
   AccessOutcome out;
   // Only the first op on a file per epoch is a logical visit; the rest of
@@ -33,7 +61,7 @@ AccessOutcome AccessRecorder::record(DirId d, FileIndex i, EpochId epoch) {
       !out.first_visit && file.recurrent_at(epoch, params_.recurrence_window);
   file.last_access_epoch = static_cast<std::uint32_t>(epoch);
 
-  fs::FragStats& frag = dir.frag(dir.frag_of(i));
+  fs::FragStats& frag = tree_.frag(d, tree_.frag_of(d, i));
   tree_.advance_frag_stats(frag);
   ++frag.visits_epoch;
   ++frag.total_visits;
@@ -42,19 +70,19 @@ AccessOutcome AccessRecorder::record(DirId d, FileIndex i, EpochId epoch) {
   if (out.first_visit) {
     ++frag.first_visits_epoch;
     ++frag.visited_files;
-    credit_sibling(d);
+    credit_sibling(d, i, lane);
   }
   if (logical_visit && out.recurrent) ++frag.recurrent_epoch;
-  mark_touched(dir);
+  mark_touched(d, lane);
   return out;
 }
 
-void AccessRecorder::record_create(DirId d, FileIndex i, EpochId epoch) {
-  fs::Directory& dir = tree_.dir(d);
-  fs::FileState& file = dir.file(i);
+void AccessRecorder::record_create(DirId d, FileIndex i, EpochId epoch,
+                                   RecorderLane* lane) {
+  fs::FileState& file = tree_.dir(d).file(i);
   file.last_access_epoch = static_cast<std::uint32_t>(epoch);
 
-  fs::FragStats& frag = dir.frag(dir.frag_of(i));
+  fs::FragStats& frag = tree_.frag(d, tree_.frag_of(d, i));
   tree_.advance_frag_stats(frag);
   ++frag.visits_epoch;
   ++frag.file_visits_epoch;
@@ -63,18 +91,25 @@ void AccessRecorder::record_create(DirId d, FileIndex i, EpochId epoch) {
   ++frag.first_visits_epoch;
   ++frag.creates_epoch;
   ++frag.visited_files;
-  mark_touched(dir);
+  mark_touched(d, lane);
 }
 
-void AccessRecorder::credit_sibling(DirId d) {
+void AccessRecorder::credit_sibling(DirId d, FileIndex i,
+                                    RecorderLane* lane) {
   if (params_.sibling_credit_prob <= 0.0) return;
-  if (!rng_.next_bool(params_.sibling_credit_prob)) return;
-  const fs::Directory& dir = tree_.dir(d);
-  if (dir.parent() == kNoDir) return;
-  const auto& siblings = tree_.dir(dir.parent()).children();
+  // A first visit to (d, i) happens once per file lifetime, so the key is
+  // consumed exactly once and the draws are independent of every other
+  // access (and of the engine's op order).
+  HashStream draws(credit_seed_ ^
+                   mix64((static_cast<std::uint64_t>(d) << 32) |
+                         static_cast<std::uint64_t>(i)));
+  if (!draws.next_bool(params_.sibling_credit_prob)) return;
+  const DirId parent = tree_.parent(d);
+  if (parent == kNoDir) return;
+  const auto& siblings = tree_.dir(parent).children();
   if (siblings.size() < 2) return;
   DirId sibling;
-  if (rng_.next_bool(params_.sibling_adjacent_fraction)) {
+  if (draws.next_bool(params_.sibling_adjacent_fraction)) {
     // Namespace-order adjacency: credit the next sibling, the most likely
     // continuation of a directory-order scan.
     const auto it = std::find(siblings.begin(), siblings.end(), d);
@@ -83,22 +118,50 @@ void AccessRecorder::credit_sibling(DirId d) {
     if (sibling == d) return;
   } else {
     // Uniformly random sibling other than `d` itself.
-    const auto pick = static_cast<std::size_t>(
-        rng_.next_below(siblings.size() - 1));
+    const auto pick =
+        static_cast<std::size_t>(draws.next_below(siblings.size() - 1));
     sibling = siblings[pick];
     if (sibling == d) sibling = siblings.back();
   }
-  fs::Directory& sib = tree_.dir(sibling);
+  // The fragment is picked here (tree structure is stable during a shard
+  // phase) but a foreign sibling's counters may not be touched; escrow and
+  // let merge_lane apply it.  The pick stays valid because lanes merge
+  // before any deferred split re-fragments the sibling.
   const auto frag_pick =
-      static_cast<FragId>(rng_.next_below(sib.frag_count()));
-  fs::FragStats& frag = sib.frag(frag_pick);
+      static_cast<FragId>(draws.next_below(tree_.frag_count(sibling)));
+  if (lane != nullptr) {
+    lane->credits.push_back({sibling, frag_pick});
+    return;
+  }
+  fs::FragStats& frag = tree_.frag(sibling, frag_pick);
   tree_.advance_frag_stats(frag);
   frag.sibling_credit_epoch += 1.0;
-  mark_touched(sib);
+  mark_touched(sibling, nullptr);
 }
 
-void AccessRecorder::mark_touched(fs::Directory& dir) {
-  const DirId d = dir.id();
+void AccessRecorder::merge_lane(RecorderLane& lane) {
+  for (const DirId d : lane.touched) mark_touched(d, nullptr);
+  for (const RecorderLane::Credit& c : lane.credits) {
+    fs::FragStats& frag = tree_.frag(c.sibling, c.frag);
+    tree_.advance_frag_stats(frag);
+    frag.sibling_credit_epoch += 1.0;
+    mark_touched(c.sibling, nullptr);
+  }
+  lane.touched.clear();
+  lane.credits.clear();
+}
+
+void AccessRecorder::mark_touched(DirId d, RecorderLane* lane) {
+  if (lane != nullptr) {
+    // Dup-tolerant escrow: consecutive marks for the same directory (the
+    // common case — a client hammering one dir) are elided, the rest are
+    // deduplicated by the serial path at merge.
+    if (lane->touched.empty() || lane->touched.back() != d) {
+      lane->touched.push_back(d);
+    }
+    return;
+  }
+  fs::Directory& dir = tree_.dir(d);
   const EpochId clock = tree_.stats_clock();
   if (dir.touched_epoch() != clock) {
     dir.set_touched_epoch(clock);
@@ -111,7 +174,36 @@ void AccessRecorder::mark_touched(fs::Directory& dir) {
   }
 }
 
-void AccessRecorder::close_epoch() {
+void AccessRecorder::fold_dir(DirId d, EpochId closing) {
+  fs::Directory& dir = tree_.dir(d);
+  EpochId dead = dir.stats_dead_epoch();
+  for (fs::FragStats& frag : tree_.frags(d)) {
+    if (frag.stats_epoch == closing) {
+      frag.advance_to(closing + 1, params_.heat_decay);
+      frag.dead_epoch = frag.compute_dead_epoch(params_.heat_decay);
+    }
+    // A lagging fragment's prediction (made at its last fold) is still
+    // valid; the directory keeps the running max so expiry can only be
+    // postponed, never hastened.
+    dead = std::max(dead, frag.dead_epoch);
+  }
+  dir.set_stats_dead_epoch(dead);
+}
+
+bool AccessRecorder::advance_dir_eager(DirId d, EpochId closing) {
+  bool live = false;
+  for (fs::FragStats& frag : tree_.frags(d)) {
+    frag.advance_to(closing + 1, params_.heat_decay);
+    if (frag.heat > 0.0 || frag.visits_window.window_sum() > 0 ||
+        frag.first_visits_window.window_sum() > 0 ||
+        frag.sibling_credit_window.window_sum() > 0.0) {
+      live = true;
+    }
+  }
+  return live;
+}
+
+void AccessRecorder::close_epoch(WorkerPool* pool) {
   const EpochId closing = tree_.stats_clock();
   keep_scratch_.clear();
   keep_scratch_.reserve(active_.size());
@@ -120,22 +212,10 @@ void AccessRecorder::close_epoch() {
     // Fold only the directories touched this epoch.  Any fragment at the
     // clock carries this epoch's accumulators (writers always advance
     // before accumulating); lagging fragments stay lagging and catch up by
-    // delta on first read.
-    for (const DirId d : dirty_) {
-      fs::Directory& dir = tree_.dir(d);
-      EpochId dead = dir.stats_dead_epoch();
-      for (fs::FragStats& frag : dir.frags()) {
-        if (frag.stats_epoch == closing) {
-          frag.advance_to(closing + 1, params_.heat_decay);
-          frag.dead_epoch = frag.compute_dead_epoch(params_.heat_decay);
-        }
-        // A lagging fragment's prediction (made at its last fold) is still
-        // valid; the directory keeps the running max so expiry can only be
-        // postponed, never hastened.
-        dead = std::max(dead, frag.dead_epoch);
-      }
-      dir.set_stats_dead_epoch(dead);
-    }
+    // delta on first read.  dirty_ entries are unique (touched-epoch
+    // stamp), so the parallel folds touch disjoint state.
+    parallel_chunks(pool, dirty_.size(),
+                    [&](std::size_t k) { fold_dir(dirty_[k], closing); });
     dirty_.clear();
     tree_.tick_stats_clock();
     const EpochId clock = tree_.stats_clock();
@@ -150,22 +230,18 @@ void AccessRecorder::close_epoch() {
     // Eager mode: roll every fragment of every active directory and keep
     // the directory iff any fragment still carries signal — the original
     // scan-the-active-set behaviour, kept as the equivalence oracle.
+    // Survival is recorded in flags and compacted serially in index order,
+    // so the surviving set is identical for any worker count.
     dirty_.clear();
-    for (const DirId d : active_) {
-      fs::Directory& dir = tree_.dir(d);
-      bool live = false;
-      for (fs::FragStats& frag : dir.frags()) {
-        frag.advance_to(closing + 1, params_.heat_decay);
-        if (frag.heat > 0.0 || frag.visits_window.window_sum() > 0 ||
-            frag.first_visits_window.window_sum() > 0 ||
-            frag.sibling_credit_window.window_sum() > 0.0) {
-          live = true;
-        }
-      }
-      if (live) {
-        keep_scratch_.push_back(d);
+    keep_flags_.assign(active_.size(), 0);
+    parallel_chunks(pool, active_.size(), [&](std::size_t k) {
+      keep_flags_[k] = advance_dir_eager(active_[k], closing) ? 1 : 0;
+    });
+    for (std::size_t k = 0; k < active_.size(); ++k) {
+      if (keep_flags_[k]) {
+        keep_scratch_.push_back(active_[k]);
       } else {
-        is_active_[d] = 0;
+        is_active_[active_[k]] = 0;
       }
     }
     tree_.tick_stats_clock();

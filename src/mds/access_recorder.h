@@ -10,6 +10,20 @@
 //     l_s credit with a configurable probability, implementing the paper's
 //     "strong access correlations between sibling subtrees" heuristic.
 //
+// Sibling-credit randomness is *stateless*: the draws for a first visit to
+// (dir, file) come from a HashStream keyed on (seed, dir, file).  A first
+// visit fires exactly once per file lifetime, so the key is consumed once,
+// and the outcome never depends on how many draws other accesses made —
+// which is what lets the sharded tick engine evaluate credits on any rank
+// in any order and still produce one canonical result.
+//
+// Sharded operation: during a shard phase each rank records into its own
+// RecorderLane — counter updates on the owning fragment are applied
+// in place (the fragment is rank-local), while sibling credits and
+// touched-directory marks (which touch foreign dirs / shared recorder
+// state) are escrowed in the lane and applied by merge_lane() in rank
+// order during the serial merge.
+//
 // At each epoch boundary close_epoch() folds the open-epoch accumulators
 // into the cutting-window rings and applies the exponential heat decay that
 // the CephFS-Vanilla balancer relies on.  In the (default) lazy mode only
@@ -19,6 +33,10 @@
 // prediction instead of being rescanned every close.  The eager mode rolls
 // every fragment of every active directory at each close — the two modes
 // are observationally identical (the equivalence suite asserts it).
+// Both folds can run on a WorkerPool: directories are chunked and folded
+// in parallel (per-directory state is disjoint), with the surviving set
+// compacted serially in index order, so the result is identical for any
+// worker count.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +44,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "common/worker_pool.h"
 #include "fs/namespace_tree.h"
 
 namespace lunule::mds {
@@ -49,20 +68,42 @@ struct AccessOutcome {
   bool recurrent = false;
 };
 
+/// Per-rank escrow of recorder effects that touch shared state; filled
+/// during a shard phase, drained by merge_lane() in rank order.
+struct RecorderLane {
+  struct Credit {
+    DirId sibling;
+    FragId frag;
+  };
+  /// Escrowed sibling credits (the target may live on a foreign rank).
+  std::vector<Credit> credits;
+  /// Directories touched by this rank (consecutive duplicates elided; the
+  /// serial mark_touched dedups the rest via the touched-epoch stamp).
+  std::vector<DirId> touched;
+};
+
 class AccessRecorder {
  public:
   AccessRecorder(fs::NamespaceTree& tree, RecorderParams params, Rng rng,
                  bool lazy = true);
 
-  /// Records a read/lookup access to file `i` of directory `d`.
-  AccessOutcome record(DirId d, FileIndex i, EpochId epoch);
+  /// Records a read/lookup access to file `i` of directory `d`.  With a
+  /// lane, shared-state effects are escrowed instead of applied.
+  AccessOutcome record(DirId d, FileIndex i, EpochId epoch,
+                       RecorderLane* lane = nullptr);
 
   /// Records a create of file `i` (always a first visit).
-  void record_create(DirId d, FileIndex i, EpochId epoch);
+  void record_create(DirId d, FileIndex i, EpochId epoch,
+                     RecorderLane* lane = nullptr);
+
+  /// Applies one rank's escrowed effects; call once per lane, in ascending
+  /// rank order, from the serial merge.
+  void merge_lane(RecorderLane& lane);
 
   /// Folds open-epoch accumulators into the windows, decays heat, and ticks
-  /// the tree's statistics clock.
-  void close_epoch();
+  /// the tree's statistics clock.  With a pool, the per-directory folds run
+  /// chunked across its workers (result identical for any worker count).
+  void close_epoch(WorkerPool* pool = nullptr);
 
   /// Directories with any live statistics (hot set; shrinks as stats age),
   /// sorted ascending after every close.
@@ -79,19 +120,26 @@ class AccessRecorder {
   [[nodiscard]] const RecorderParams& params() const { return params_; }
 
  private:
-  void mark_touched(fs::Directory& dir);
-  void credit_sibling(DirId d);
+  void mark_touched(DirId d, RecorderLane* lane);
+  void credit_sibling(DirId d, FileIndex i, RecorderLane* lane);
+  /// Folds one directory's fragments for the closing epoch (lazy mode).
+  void fold_dir(DirId d, EpochId closing);
+  /// Eager-mode advance of one active directory; returns whether it still
+  /// carries signal.
+  bool advance_dir_eager(DirId d, EpochId closing);
 
   fs::NamespaceTree& tree_;
   RecorderParams params_;
-  Rng rng_;
+  /// Key base of the stateless sibling-credit streams.
+  std::uint64_t credit_seed_;
   bool lazy_;
   std::vector<DirId> active_;
   std::vector<std::uint8_t> is_active_;  // indexed by DirId, lazily grown
   /// Directories touched during the open epoch (deduplicated via
   /// Directory::touched_epoch); the lazy close folds exactly these.
   std::vector<DirId> dirty_;
-  std::vector<DirId> keep_scratch_;  // reused across closes
+  std::vector<DirId> keep_scratch_;       // reused across closes
+  std::vector<std::uint8_t> keep_flags_;  // parallel-fold survival marks
 };
 
 }  // namespace lunule::mds

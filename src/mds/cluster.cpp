@@ -29,6 +29,13 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
     : tree_(tree), params_(params) {
   LUNULE_CHECK(params_.n_mds >= 1);
   LUNULE_CHECK(params_.epoch_ticks >= 1);
+  // Replica masks are a fixed-width rank bitmask; fail loudly instead of
+  // shifting past the mask width on big clusters.
+  if (params_.replicate_threshold_iops > 0.0) {
+    LUNULE_CHECK_MSG(params_.n_mds <= fs::kMaxReplicaRanks,
+                     "read replication supports at most kMaxReplicaRanks "
+                     "(64) MDS ranks");
+  }
   servers_.reserve(params_.n_mds);
   for (std::size_t i = 0; i < params_.n_mds; ++i) {
     servers_.emplace_back(static_cast<MdsId>(i), params_.mds_capacity_iops);
@@ -119,7 +126,7 @@ std::vector<Load> MdsCluster::close_epoch() {
                                                   last_epoch_served_),
                   .v0 = aggregate});
   last_epoch_served_ = served_total;
-  recorder_->close_epoch();
+  recorder_->close_epoch(shard_pool_);
   audit_.on_epoch_close(tree_, epoch_);
   if (params_.replicate_threshold_iops > 0.0) update_replicas();
   if (journaling()) journal_checkpoint();
@@ -131,13 +138,16 @@ std::vector<Load> MdsCluster::close_epoch() {
 void MdsCluster::update_replicas() {
   const double epoch_secs = epoch_seconds();
   // All *alive* peers hold a replica of a hot fragment (a down rank cannot
-  // cache anything); the authority's bit is redundant but harmless.
-  std::uint32_t all_mask = 0;
-  for (std::size_t r = 0; r < servers_.size() && r < 32; ++r) {
-    if (servers_[r].up()) all_mask |= 1u << r;
+  // cache anything); the authority's bit is redundant but harmless.  The
+  // rank cap is validated at construction/add_server, so the shift is
+  // always in range.
+  LUNULE_CHECK(servers_.size() <= fs::kMaxReplicaRanks);
+  std::uint64_t all_mask = 0;
+  for (std::size_t r = 0; r < servers_.size(); ++r) {
+    if (servers_[r].up()) all_mask |= std::uint64_t{1} << r;
   }
   for (const DirId d : recorder_->active_dirs()) {
-    for (fs::FragStats& frag : tree_.dir(d).frags()) {
+    for (fs::FragStats& frag : tree_.frags(d)) {
       tree_.advance_frag_stats(frag);
       const double rate =
           frag.visits_window.empty()
@@ -170,14 +180,15 @@ std::vector<fs::SubtreeRef> MdsCluster::owned_units(MdsId m) const {
     } else {
       d = *fi;
     }
-    const fs::Directory& dir = tree_.dir(d);
     if (pi != pinned.end() && *pi == d) {
-      if (dir.explicit_auth() == m) owned.push_back(fs::SubtreeRef{.dir = d});
+      if (tree_.explicit_auth(d) == m) {
+        owned.push_back(fs::SubtreeRef{.dir = d});
+      }
       ++pi;
     }
     if (fi != frag_pinned.end() && *fi == d) {
-      for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
-        if (dir.frag(f).auth_pin == m) {
+      for (FragId f = 0; f < static_cast<FragId>(tree_.frag_count(d)); ++f) {
+        if (tree_.frag(d, f).auth_pin == m) {
           owned.push_back(fs::SubtreeRef{.dir = d, .frag = f});
         }
       }
@@ -268,24 +279,26 @@ std::uint64_t MdsCluster::replicated_frags() const {
   if (params_.replicate_threshold_iops <= 0.0) return 0;
   std::uint64_t count = 0;
   for (DirId d = 0; d < tree_.dir_count(); ++d) {
-    for (const fs::FragStats& frag : tree_.dir(d).frags()) {
+    for (const fs::FragStats& frag : tree_.frags(d)) {
       if (frag.replicated()) ++count;
     }
   }
   return count;
 }
 
-ServeResult MdsCluster::try_serve(DirId d, FileIndex i) {
+ServeResult MdsCluster::try_serve(DirId d, FileIndex i, TickLane* lane) {
   if (migration_->is_frozen(d, i)) return ServeResult::kFrozen;
   MdsId m = tree_.auth_of_file(d, i);
   LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
 
   // Hot-dirfrag read replication: when the target fragment is replicated,
   // any holder can serve the read — pick the one with the fewest ops this
-  // epoch (the authority remains a holder).
-  const fs::Directory& dir = tree_.dir(d);
-  const fs::FragStats& frag = dir.frag(dir.frag_of(i));
+  // epoch (the authority remains a holder).  The pick reads every rank's
+  // open-epoch tally, so the sharded engine routes these ops through the
+  // serial deferred pass — a lane must never see one.
+  const fs::FragStats& frag = tree_.frag(d, tree_.frag_of(d, i));
   if (frag.replicated()) {
+    LUNULE_CHECK(lane == nullptr);
     MdsId best = m;
     std::uint64_t best_served =
         servers_[static_cast<std::size_t>(m)].served_in_open_epoch();
@@ -301,23 +314,28 @@ ServeResult MdsCluster::try_serve(DirId d, FileIndex i) {
     m = best;
   }
 
+  LUNULE_CHECK(lane == nullptr || m == lane->rank);
   if (!servers_[static_cast<std::size_t>(m)].try_serve()) {
     return ServeResult::kSaturated;
   }
-  ++ops_tallied_;
-  recorder_->record(d, i, epoch_);
+  if (lane != nullptr) {
+    ++lane->ops_tallied;
+  } else {
+    ++ops_tallied_;
+  }
+  recorder_->record(d, i, epoch_, lane != nullptr ? &lane->recorder : nullptr);
   return ServeResult::kServed;
 }
 
-ServeResult MdsCluster::try_create(DirId d) {
+ServeResult MdsCluster::try_create(DirId d, TickLane* lane) {
   const FileIndex idx = tree_.dir(d).file_count();
   if (migration_->is_frozen(d, idx)) return ServeResult::kFrozen;
   // The create lands in the fragment the new dentry hashes to.
-  const fs::Directory& dir = tree_.dir(d);
-  const FragId frag = dir.frag_of(idx);
-  const MdsId pin = dir.frag(frag).auth_pin;
+  const FragId frag = tree_.frag_of(d, idx);
+  const MdsId pin = tree_.frag(d, frag).auth_pin;
   const MdsId m = pin != kNoMds ? pin : tree_.auth_of(d);
   LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  LUNULE_CHECK(lane == nullptr || m == lane->rank);
   // Journal-full backpressure: a mutation cannot proceed until the backlog
   // of un-flushed entries drains (only reachable under a journal stall).
   if (journaling() && journals_[static_cast<std::size_t>(m)].full()) {
@@ -326,10 +344,25 @@ ServeResult MdsCluster::try_create(DirId d) {
   if (!servers_[static_cast<std::size_t>(m)].try_serve()) {
     return ServeResult::kSaturated;
   }
-  ++ops_tallied_;
-  const FileIndex created = tree_.create_file(d);
+  FileIndex created;
+  if (lane != nullptr) {
+    ++lane->ops_tallied;
+    // The file lands in place (the directory is rank-local: creates into
+    // frag-pinned directories are deferred), but the ancestor inode walk
+    // and the placement census touch shared state — settle at merge.
+    created = tree_.create_file_deferred(d);
+    if (!lane->created.empty() && lane->created.back().first == d) {
+      ++lane->created.back().second;
+    } else {
+      lane->created.emplace_back(d, 1);
+    }
+  } else {
+    ++ops_tallied_;
+    created = tree_.create_file(d);
+  }
   LUNULE_CHECK(created == idx);
-  recorder_->record_create(d, created, epoch_);
+  recorder_->record_create(d, created, epoch_,
+                           lane != nullptr ? &lane->recorder : nullptr);
   if (journaling()) {
     journals_[static_cast<std::size_t>(m)].append(
         make_entry(journal::EntryType::kUpdate, now_, epoch_, d, frag,
@@ -339,25 +372,88 @@ ServeResult MdsCluster::try_create(DirId d) {
   }
 
   // CephFS-style auto-split: fragment one level deeper whenever the
-  // per-fragment population crosses the threshold.
+  // per-fragment population crosses the threshold.  Splits mutate the
+  // shared fragment arena, so a lane only requests one; the merge applies
+  // it after every lane's recorder effects have drained.
   if (params_.dirfrag_split_threshold > 0) {
-    const fs::Directory& grown = tree_.dir(d);
-    if (grown.frag_bits() < params_.dirfrag_split_max_bits &&
-        grown.file_count() >=
-            params_.dirfrag_split_threshold * grown.frag_count()) {
-      tree_.fragment_dir(d, static_cast<std::uint8_t>(grown.frag_bits() + 1));
+    if (lane != nullptr) {
+      if (tree_.frag_bits(d) < params_.dirfrag_split_max_bits &&
+          tree_.dir(d).file_count() >=
+              params_.dirfrag_split_threshold * tree_.frag_count(d)) {
+        if (lane->split_requests.empty() ||
+            lane->split_requests.back() != d) {
+          lane->split_requests.push_back(d);
+        }
+      }
+    } else {
+      maybe_autosplit(d);
     }
   }
   return ServeResult::kServed;
 }
 
-void MdsCluster::charge_forward(MdsId m) {
+void MdsCluster::maybe_autosplit(DirId d) {
+  if (tree_.frag_bits(d) < params_.dirfrag_split_max_bits &&
+      tree_.dir(d).file_count() >=
+          params_.dirfrag_split_threshold * tree_.frag_count(d)) {
+    tree_.fragment_dir(d, static_cast<std::uint8_t>(tree_.frag_bits(d) + 1));
+  }
+}
+
+void MdsCluster::apply_split_request(DirId d) {
+  // Batched creates can overshoot by more than one level; keep splitting
+  // until the threshold clears (or the depth cap is hit).
+  while (params_.dirfrag_split_threshold > 0 &&
+         tree_.frag_bits(d) < params_.dirfrag_split_max_bits &&
+         tree_.dir(d).file_count() >=
+             params_.dirfrag_split_threshold * tree_.frag_count(d)) {
+    tree_.fragment_dir(d, static_cast<std::uint8_t>(tree_.frag_bits(d) + 1));
+  }
+}
+
+void MdsCluster::charge_forward(MdsId m, TickLane* lane) {
   LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  if (lane != nullptr && m != lane->rank) {
+    // A foreign rank's budget may not be touched mid-phase; the merge
+    // applies the charges in bulk (the clamp-at-zero makes a contiguous
+    // batch equal to the per-call sequence).
+    ++lane->forwards[static_cast<std::size_t>(m)];
+    return;
+  }
   servers_[static_cast<std::size_t>(m)].charge_forward(1.0);
+}
+
+void MdsCluster::merge_lanes(std::span<TickLane> lanes) {
+  // Phase 1: per-rank effects, ascending rank order.
+  for (TickLane& lane : lanes) {
+    ops_tallied_ += lane.ops_tallied;
+    for (std::size_t r = 0; r < lane.forwards.size(); ++r) {
+      for (std::uint32_t k = 0; k < lane.forwards[r]; ++k) {
+        servers_[r].charge_forward(1.0);
+      }
+    }
+    recorder_->merge_lane(lane.recorder);
+    trace_->merge_shard_events(lane.events);
+    for (const auto& [d, count] : lane.created) {
+      tree_.account_created_files(d, count);
+    }
+    lane.created.clear();
+  }
+  // Phase 2: deferred auto-splits, after every escrowed fragment pick has
+  // been applied against the pre-split layout.
+  for (TickLane& lane : lanes) {
+    for (const DirId d : lane.split_requests) apply_split_request(d);
+    lane.split_requests.clear();
+  }
 }
 
 MdsId MdsCluster::add_server() {
   const auto id = static_cast<MdsId>(servers_.size());
+  if (params_.replicate_threshold_iops > 0.0) {
+    LUNULE_CHECK_MSG(servers_.size() < fs::kMaxReplicaRanks,
+                     "read replication supports at most kMaxReplicaRanks "
+                     "(64) MDS ranks");
+  }
   servers_.emplace_back(id, params_.mds_capacity_iops);
   if (journaling()) journals_.emplace_back(id, params_.journal);
   return id;
@@ -423,7 +519,7 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
                    frag_pinned.end(), std::back_inserter(pinned_snapshot));
   }
   for (const DirId d : pinned_snapshot) {
-    if (tree_.dir(d).explicit_auth() == m) {
+    if (tree_.explicit_auth(d) == m) {
       const MdsId to = pick_survivor();
       const std::uint64_t moved =
           tree_.exclusive_inodes(fs::SubtreeRef{.dir = d});
@@ -444,9 +540,8 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
                       .n1 = kWholeDir,
                       .v0 = static_cast<double>(moved)});
     }
-    fs::Directory& dir = tree_.dir(d);
-    for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
-      if (dir.frag(f).auth_pin != m) continue;
+    for (FragId f = 0; f < static_cast<FragId>(tree_.frag_count(d)); ++f) {
+      if (tree_.frag(d, f).auth_pin != m) continue;
       const MdsId to = pick_survivor();
       const std::uint64_t moved =
           tree_.exclusive_inodes(fs::SubtreeRef{.dir = d, .frag = f});
@@ -474,9 +569,11 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
   // replication disabled no mask can ever be non-zero (update_replicas is
   // the only setter), so the scan is skipped entirely.
   if (params_.replicate_threshold_iops > 0.0) {
-    const std::uint32_t dead_bit = 1u << static_cast<std::uint32_t>(m);
+    LUNULE_CHECK(static_cast<std::size_t>(m) < fs::kMaxReplicaRanks);
+    const std::uint64_t dead_bit = std::uint64_t{1}
+                                   << static_cast<std::uint32_t>(m);
     for (DirId d = 0; d < tree_.dir_count(); ++d) {
-      for (fs::FragStats& frag : tree_.dir(d).frags()) {
+      for (fs::FragStats& frag : tree_.frags(d)) {
         frag.replica_mask &= ~dead_bit;
       }
     }

@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "common/worker_pool.h"
 #include "fs/namespace_tree.h"
 #include "journal/journal.h"
 #include "journal/replay.h"
@@ -77,6 +78,46 @@ enum class ServeResult {
   kFrozen,     // target subtree frozen by an in-flight migration
 };
 
+/// Per-rank effect buffer for the sharded tick engine.  During a shard
+/// phase every operation bound to rank r applies rank-local effects (r's
+/// server budget, r's journal, the target fragment's counters) in place
+/// and escrows everything that touches shared or foreign state here; the
+/// serial merge drains the lanes in ascending rank order, so the result
+/// is one canonical outcome independent of how ranks were grouped into
+/// shards or scheduled onto workers.
+struct TickLane {
+  /// The rank whose operation stream fills this lane.
+  MdsId rank = kNoMds;
+  /// Ops served by this rank during the phase (flushed into the cluster's
+  /// epoch tally at merge).
+  std::uint64_t ops_tallied = 0;
+  /// Cross-rank forward charges, indexed by target rank.
+  std::vector<std::uint32_t> forwards;
+  /// Escrowed recorder effects (sibling credits, touched marks).
+  RecorderLane recorder;
+  /// Escrowed flight-recorder events (the shared rings may not be pushed
+  /// into from concurrent rank streams).
+  obs::ShardEventBuffer events;
+  /// Deferred create accounting per directory: ancestor inode counts and
+  /// the placement census are settled at merge (consecutive creates into
+  /// the same directory coalesce).
+  std::vector<std::pair<DirId, std::uint32_t>> created;
+  /// Directories whose auto-split threshold tripped during the phase;
+  /// re-checked and applied at merge (splits mutate the shared arena).
+  std::vector<DirId> split_requests;
+
+  void reset(MdsId r, std::size_t n_ranks) {
+    rank = r;
+    ops_tallied = 0;
+    forwards.assign(n_ranks, 0);
+    recorder.credits.clear();
+    recorder.touched.clear();
+    events.clear();
+    created.clear();
+    split_requests.clear();
+  }
+};
+
 class MdsCluster {
  public:
   MdsCluster(fs::NamespaceTree& tree, ClusterParams params);
@@ -90,12 +131,26 @@ class MdsCluster {
   std::vector<Load> close_epoch();
 
   // -- Request service ------------------------------------------------------
-  /// Serves a lookup/read of file `i` in directory `d`.
-  ServeResult try_serve(DirId d, FileIndex i);
+  /// Serves a lookup/read of file `i` in directory `d`.  With a lane, the
+  /// op must be bound to the lane's rank and shared-state effects are
+  /// escrowed for the merge.
+  ServeResult try_serve(DirId d, FileIndex i, TickLane* lane = nullptr);
   /// Serves a create in directory `d`; on success the file exists afterwards.
-  ServeResult try_create(DirId d);
-  /// Charges a path-traversal forward (redirect) to MDS `m`.
-  void charge_forward(MdsId m);
+  ServeResult try_create(DirId d, TickLane* lane = nullptr);
+  /// Charges a path-traversal forward (redirect) to MDS `m`; buffered in
+  /// the lane when `m` is not the lane's own rank.
+  void charge_forward(MdsId m, TickLane* lane = nullptr);
+
+  /// Drains per-rank lanes in ascending rank order (serial phase of the
+  /// sharded engine): counters, forwards, recorder effects, and create
+  /// accounting first for every lane, then deferred splits — escrowed
+  /// fragment picks reference pre-split fragment ids.
+  void merge_lanes(std::span<TickLane> lanes);
+
+  /// Worker pool for intra-tick parallel phases (epoch-close fold,
+  /// candidate collection); null means run serially.
+  void set_shard_pool(WorkerPool* pool) { shard_pool_ = pool; }
+  [[nodiscard]] WorkerPool* shard_pool() const { return shard_pool_; }
 
   // -- Topology -------------------------------------------------------------
   /// Adds one MDS at runtime (cluster-expansion experiments, Fig. 12a).
@@ -204,6 +259,11 @@ class MdsCluster {
  private:
   /// Replica management at epoch close (replicate hot frags, drop cold).
   void update_replicas();
+  /// One-level auto-split check after a legacy-path create.
+  void maybe_autosplit(DirId d);
+  /// Merge-time auto-split: re-checks the threshold and splits until it
+  /// clears (batched creates can overshoot by more than one level).
+  void apply_split_request(DirId d);
   /// Everything rank `m` is authoritative for (explicit dir pins + dirfrag
   /// pins), in deterministic namespace order — the ESubtreeMap payload.
   [[nodiscard]] std::vector<fs::SubtreeRef> owned_units(MdsId m) const;
@@ -233,6 +293,7 @@ class MdsCluster {
   MigrationAudit audit_;
   EpochId epoch_ = 0;
   Tick now_ = 0;  // last tick opened by begin_tick
+  WorkerPool* shard_pool_ = nullptr;
 };
 
 }  // namespace lunule::mds

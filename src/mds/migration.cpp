@@ -52,7 +52,6 @@ bool MigrationEngine::submit(const fs::SubtreeRef& ref, MdsId to) {
 }
 
 double MigrationEngine::subtree_rate(const fs::SubtreeRef& ref) const {
-  fs::Directory& dir = tree_.dir(ref.dir);
   auto frag_visits = [this](fs::FragStats& f) -> double {
     tree_.advance_frag_stats(f);
     return f.visits_window.empty()
@@ -61,15 +60,15 @@ double MigrationEngine::subtree_rate(const fs::SubtreeRef& ref) const {
   };
   double visits = 0.0;
   if (ref.is_frag()) {
-    visits = frag_visits(dir.frag(ref.frag));
+    visits = frag_visits(tree_.frag(ref.dir, ref.frag));
   } else {
     // Leaf-unit candidates hold their files directly; include any unpinned
     // descendants for completeness (namespaces are shallow).
-    for (fs::FragStats& f : dir.frags()) {
+    for (fs::FragStats& f : tree_.frags(ref.dir)) {
       if (f.auth_pin == kNoMds) visits += frag_visits(f);
     }
-    for (const DirId c : dir.children()) {
-      if (tree_.dir(c).explicit_auth() == kNoMds) {
+    for (const DirId c : tree_.dir(ref.dir).children()) {
+      if (tree_.explicit_auth(c) == kNoMds) {
         visits += subtree_rate(fs::SubtreeRef{.dir = c}) *
                   params_.epoch_seconds;
       }
@@ -216,8 +215,7 @@ bool MigrationEngine::is_frozen(DirId d, FileIndex i) const {
   for (const ExportTask& t : tasks_) {
     if (!t.frozen(params_.freeze_fraction)) continue;
     if (t.subtree.is_frag()) {
-      if (t.subtree.dir == d &&
-          tree_.dir(d).frag_of(i) == t.subtree.frag) {
+      if (t.subtree.dir == d && tree_.frag_of(d, i) == t.subtree.frag) {
         return true;
       }
     } else if (tree_.is_ancestor(t.subtree.dir, d)) {

@@ -9,7 +9,7 @@ void MigrationAudit::on_commit(const fs::NamespaceTree& tree,
                                std::uint64_t inodes, EpochId epoch) {
   open_.push_back(Entry{
       .ref = ref,
-      .frag_count_at_commit = tree.dir(ref.dir).frag_count(),
+      .frag_count_at_commit = tree.frag_count(ref.dir),
       .inodes = inodes,
       .committed = epoch,
   });
@@ -18,13 +18,12 @@ void MigrationAudit::on_commit(const fs::NamespaceTree& tree,
 namespace {
 
 std::uint64_t subtree_last_epoch_visits(fs::NamespaceTree& tree, DirId d) {
-  fs::Directory& dir = tree.dir(d);
   std::uint64_t visits = 0;
-  for (fs::FragStats& f : dir.frags()) {
+  for (fs::FragStats& f : tree.frags(d)) {
     tree.advance_frag_stats(f);
     visits += f.visits_window.empty() ? 0 : f.visits_window.at(0);
   }
-  for (const DirId c : dir.children()) {
+  for (const DirId c : tree.dir(d).children()) {
     visits += subtree_last_epoch_visits(tree, c);
   }
   return visits;
@@ -34,16 +33,16 @@ std::uint64_t subtree_last_epoch_visits(fs::NamespaceTree& tree, DirId d) {
 
 std::uint64_t MigrationAudit::last_epoch_visits(fs::NamespaceTree& tree,
                                                 const Entry& entry) {
-  fs::Directory& dir = tree.dir(entry.ref.dir);
+  const DirId d = entry.ref.dir;
   if (entry.ref.is_frag()) {
     // Later splits refine fragments: with the interleaved mapping, every
     // current fragment f refines commit-time fragment (f & (count-1)).
     const std::uint32_t commit_mask = entry.frag_count_at_commit - 1;
     std::uint64_t visits = 0;
-    for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
+    for (FragId f = 0; f < static_cast<FragId>(tree.frag_count(d)); ++f) {
       if ((static_cast<std::uint32_t>(f) & commit_mask) ==
           static_cast<std::uint32_t>(entry.ref.frag)) {
-        fs::FragStats& fs = dir.frag(f);
+        fs::FragStats& fs = tree.frag(d, f);
         tree.advance_frag_stats(fs);
         visits += fs.visits_window.empty() ? 0 : fs.visits_window.at(0);
       }

@@ -102,8 +102,8 @@ std::vector<std::string> InvariantChecker::check_epoch(
     }
     ++billed_inodes;  // the directory inode itself
     std::uint64_t frag_files = 0;
-    for (std::size_t f = 0; f < dir.frags().size(); ++f) {
-      const fs::FragStats& frag = dir.frags()[f];
+    for (std::size_t f = 0; f < tree.frags(d).size(); ++f) {
+      const fs::FragStats& frag = tree.frags(d)[f];
       const MdsId a = frag.auth_pin != kNoMds ? frag.auth_pin : dir_auth;
       if (a < 0 || static_cast<std::size_t>(a) >= n) {
         v.add("dirfrag ", d, "/", f, " resolves to invalid authority ", a);
@@ -188,12 +188,11 @@ std::vector<std::string> InvariantChecker::check_epoch(
       // newest retained checkpoint.
       std::vector<fs::SubtreeRef> owned;
       for (DirId d = 0; d < tree.dir_count(); ++d) {
-        const fs::Directory& dir = tree.dir(d);
-        if (dir.explicit_auth() == static_cast<MdsId>(m)) {
+        if (tree.explicit_auth(d) == static_cast<MdsId>(m)) {
           owned.push_back(fs::SubtreeRef{.dir = d});
         }
-        for (FragId f = 0; f < static_cast<FragId>(dir.frag_count()); ++f) {
-          if (dir.frag(f).auth_pin == static_cast<MdsId>(m)) {
+        for (FragId f = 0; f < static_cast<FragId>(tree.frag_count(d)); ++f) {
+          if (tree.frag(d, f).auth_pin == static_cast<MdsId>(m)) {
             owned.push_back(fs::SubtreeRef{.dir = d, .frag = f});
           }
         }
@@ -235,10 +234,9 @@ std::vector<std::string> InvariantChecker::check_epoch(
         v.add("dir ", d, " cached authority ", cached,
               " != recomputed authority ", oracle);
       }
-      const fs::Directory& dir = tree.dir(d);
       const bool active = recorder.is_active(d);
-      for (std::size_t f = 0; f < dir.frags().size(); ++f) {
-        const fs::FragStats& frag = dir.frags()[f];
+      for (std::size_t f = 0; f < tree.frags(d).size(); ++f) {
+        const fs::FragStats& frag = tree.frags(d)[f];
         if (frag.stats_epoch > clock) {
           v.add("dirfrag ", d, "/", f, " stats epoch ", frag.stats_epoch,
                 " is ahead of the statistics clock ", clock);

@@ -1,7 +1,6 @@
 #include "obs/trace_recorder.h"
 
-#include <cstdlib>
-#include <cstring>
+#include "common/validate.h"
 
 namespace lunule::obs {
 
@@ -22,17 +21,6 @@ TraceRecorder::TraceRecorder(std::size_t ring_capacity)
              TraceRing(ring_capacity), TraceRing(ring_capacity),
              TraceRing(ring_capacity), TraceRing(ring_capacity)} {}
 
-bool validation_enabled() {
-  static const bool enabled = [] {
-#ifndef NDEBUG
-    return true;
-#else
-    const char* env = std::getenv("LUNULE_VALIDATE");
-    return env != nullptr && std::strcmp(env, "0") != 0 &&
-           std::strcmp(env, "") != 0;
-#endif
-  }();
-  return enabled;
-}
+bool validation_enabled() { return lunule::validation_enabled(); }
 
 }  // namespace lunule::obs

@@ -20,6 +20,8 @@
 #include <array>
 #include <cstdint>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "obs/counter_registry.h"
 #include "obs/trace_ring.h"
@@ -38,6 +40,29 @@ enum class Component : std::uint8_t {
 inline constexpr std::size_t kComponentCount = 6;
 
 [[nodiscard]] std::string_view component_name(Component c);
+
+/// Escrow buffer for events produced inside a shard phase of the sharded
+/// tick engine.  The recorder itself is share-nothing per cluster, so
+/// concurrent rank streams must not push into its rings directly; they
+/// append here instead, and the serial merge drains the buffers in
+/// ascending rank order — the ring then holds one canonical event sequence
+/// independent of shard count or worker scheduling.
+class ShardEventBuffer {
+ public:
+  void record(Component component, const TraceEvent& event) {
+    items_.emplace_back(component, event);
+  }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  void clear() { items_.clear(); }
+  [[nodiscard]] const std::vector<std::pair<Component, TraceEvent>>& items()
+      const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<Component, TraceEvent>> items_;
+};
 
 class TraceRecorder {
  public:
@@ -65,6 +90,16 @@ class TraceRecorder {
     rings_[static_cast<std::size_t>(component)].push(event);
   }
 
+  /// Drains a shard phase's escrowed events into the rings, stamping them
+  /// with the recorder's (serial-phase) clock.  Callers drain buffers in
+  /// ascending rank order to keep the merged sequence canonical.
+  void merge_shard_events(ShardEventBuffer& buffer) {
+    for (const auto& [component, event] : buffer.items()) {
+      record(component, event);
+    }
+    buffer.clear();
+  }
+
   [[nodiscard]] const TraceRing& ring(Component c) const {
     return rings_[static_cast<std::size_t>(c)];
   }
@@ -79,9 +114,9 @@ class TraceRecorder {
   bool enabled_ = true;
 };
 
-/// True when epoch-boundary invariant checking should run: release builds
-/// opt in with LUNULE_VALIDATE=1 in the environment; builds without NDEBUG
-/// validate always.  Cached after the first call.
+/// True when epoch-boundary invariant checking should run (forwards to
+/// lunule::validation_enabled in common/validate.h: release builds opt in
+/// with LUNULE_VALIDATE=1, builds without NDEBUG validate always).
 [[nodiscard]] bool validation_enabled();
 
 }  // namespace lunule::obs

@@ -117,6 +117,10 @@ sim::ScenarioConfig generate_config(std::uint64_t seed, std::uint64_t index) {
   cfg.migration_retry_backoff_ticks =
       static_cast<Tick>(2 + rng.next_below(7));
   cfg.hot_path_opts = !rng.next_bool(0.25);
+  // Half the cases run the sharded tick engine (1..4 shards) so every
+  // oracle — not just shard_equivalence — fuzzes both engines.
+  cfg.sharded_ticks =
+      rng.next_bool(0.5) ? 0 : static_cast<int>(1 + rng.next_below(4));
   random_fault_plan(rng, cfg);
   cfg.seed = rng.next_u64();
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "balancer/policy_lang.h"
@@ -182,6 +183,33 @@ OracleResult check_hot_path_equivalence(const sim::ScenarioConfig& cfg) {
   return OracleResult::ok();
 }
 
+OracleResult check_shard_equivalence(const sim::ScenarioConfig& cfg) {
+  // The sharded tick engine's canonical schedule is fixed at S = 1;
+  // higher shard counts only change how many workers execute it, so the
+  // trace and the result must be byte-identical.  (S = 0, the legacy
+  // rotation engine, is a *different* schedule and deliberately not
+  // compared.)
+  sim::ScenarioConfig one = cfg;
+  one.sharded_ticks = 1;
+  sim::ScenarioConfig many = cfg;
+  many.sharded_ticks = 2 + static_cast<int>(cfg.seed % 3);  // 2..4
+  const RunFingerprint a = fingerprint(one);
+  const RunFingerprint b = fingerprint(many);
+  if (a.result.trace_json != b.result.trace_json) {
+    return OracleResult::fail(
+        "sharded S=1 vs S=" + std::to_string(many.sharded_ticks) +
+        " diverged: trace " + hex(a.trace_digest) + " vs " +
+        hex(b.trace_digest));
+  }
+  if (a.result_json != b.result_json) {
+    return OracleResult::fail(
+        "sharded S=1 vs S=" + std::to_string(many.sharded_ticks) +
+        " diverged: result " + hex(a.result_digest) + " vs " +
+        hex(b.result_digest));
+  }
+  return OracleResult::ok();
+}
+
 OracleResult check_journal_overhead_bounded(const sim::ScenarioConfig& cfg) {
   // Without crashes (nothing to replay, nothing to lose) the journal is
   // pure overhead, and a *bounded* one: the journaled run must still serve
@@ -299,6 +327,9 @@ constexpr Oracle kOracles[] = {
     {"hot_path_equivalence",
      "hot-path optimisations on vs off trace byte-identically",
      &check_hot_path_equivalence},
+    {"shard_equivalence",
+     "sharded tick engine traces byte-identically for any shard count",
+     &check_shard_equivalence},
     {"journal_overhead_bounded",
      "crash-free journaling conserves completed work at bounded overhead",
      &check_journal_overhead_bounded},

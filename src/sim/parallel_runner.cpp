@@ -1,10 +1,12 @@
 #include "sim/parallel_runner.h"
 
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <thread>
 
 #include "common/assert.h"
+#include "common/concurrency.h"
 
 namespace lunule::sim {
 
@@ -13,16 +15,22 @@ std::vector<ScenarioResult> run_scenarios(
   std::vector<ScenarioResult> results(configs.size());
   if (configs.empty()) return results;
 
-  std::size_t workers = max_threads != 0
-                            ? max_threads
-                            : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, configs.size());
+  // Extra workers come out of the process-wide budget, so nested callers
+  // (a scenario fanning out scenarios, or sharded engines inside each
+  // scenario) share one machine-wide cap instead of multiplying it.  The
+  // calling thread always participates, so a zero grant degrades to a
+  // serial run rather than a deadlock.
+  std::size_t want = max_threads != 0
+                         ? max_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  want = std::min(want, configs.size());
+  ConcurrencyGrant grant(want > 0 ? want - 1 : 0);
 
   // Work-stealing by atomic counter: each worker claims the next index.
   // An exception escaping a worker thread would call std::terminate, so
-  // each scenario's exception is captured per index, every worker drains
-  // its remaining claims, and the first failure (by config order, so the
-  // choice does not depend on thread scheduling) rethrows after the join.
+  // each scenario's exception is captured per index and every worker
+  // drains its remaining claims — one failing config must not silently
+  // discard the others' finished work or leave threads unjoined.
   std::atomic<std::size_t> next{0};
   std::vector<std::exception_ptr> errors(configs.size());
   auto work = [&] {
@@ -38,11 +46,44 @@ std::vector<ScenarioResult> run_scenarios(
   };
 
   std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  pool.reserve(grant.granted());
+  for (std::size_t w = 0; w < grant.granted(); ++w) pool.emplace_back(work);
+  work();  // the calling thread is always a worker
   for (std::thread& t : pool) t.join();
-  for (const std::exception_ptr& err : errors) {
-    if (err) std::rethrow_exception(err);
+
+  // Multi-failure aggregation: rethrow the first failure by config order
+  // (scheduling-independent), but log the others first — a batch where
+  // three configs failed should not masquerade as a single bad config.
+  std::size_t failures = 0;
+  std::size_t first_failed = configs.size();
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (!errors[i]) continue;
+    ++failures;
+    if (first_failed == configs.size()) {
+      first_failed = i;
+      continue;
+    }
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "run_scenarios: config %zu also failed: %s\n", i,
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "run_scenarios: config %zu also failed (non-standard "
+                   "exception)\n",
+                   i);
+    }
+  }
+  if (failures > 1) {
+    std::fprintf(stderr,
+                 "run_scenarios: %zu of %zu configs failed; rethrowing the "
+                 "first (config %zu)\n",
+                 failures, configs.size(), first_failed);
+  }
+  if (first_failed != configs.size()) {
+    std::rethrow_exception(errors[first_failed]);
   }
   return results;
 }

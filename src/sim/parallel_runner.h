@@ -16,7 +16,12 @@
 namespace lunule::sim {
 
 /// Runs every config (in parallel, up to `max_threads` at once; 0 = use
-/// the hardware concurrency) and returns results in input order.
+/// the hardware concurrency) and returns results in input order.  Extra
+/// worker threads are drawn from the process-wide ConcurrencyBudget, so
+/// nested calls (and sharded tick engines inside scenarios) share one
+/// machine-wide cap; the calling thread always participates.  When several
+/// configs fail, the failure with the smallest config index rethrows and
+/// the others are counted and logged to stderr.
 [[nodiscard]] std::vector<ScenarioResult> run_scenarios(
     const std::vector<ScenarioConfig>& configs, std::size_t max_threads = 0);
 

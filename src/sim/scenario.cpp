@@ -274,6 +274,7 @@ std::unique_ptr<Simulation> make_scenario_with_balancer(
   opts.max_ticks = cfg.max_ticks;
   opts.epoch_ticks = cfg.epoch_ticks;
   opts.stop_when_done = cfg.stop_when_done;
+  opts.sharded_ticks = cfg.sharded_ticks;
 
   core::IfParams if_params;
   if_params.mds_capacity = cfg.mds_capacity_iops;

@@ -113,6 +113,13 @@ struct ScenarioConfig {
   /// flips this off and asserts byte-identical traces either way.
   bool hot_path_opts = true;
 
+  /// Sharded tick engine: 0 (default) keeps the legacy serial client loop;
+  /// S >= 1 partitions each tick's clients by the rank their next op binds
+  /// to and runs the rank streams on up to S threads with deterministic
+  /// lane merging.  Results and traces are byte-identical for every
+  /// S >= 1 (the sharded schedule itself differs from the legacy one).
+  int sharded_ticks = 0;
+
   std::uint64_t seed = 42;
 };
 

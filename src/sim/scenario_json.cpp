@@ -160,6 +160,7 @@ void write_scenario_config(std::ostream& os, const ScenarioConfig& cfg) {
           static_cast<std::int64_t>(cfg.migration_retry_backoff_ticks));
   w.field("capture_trace", cfg.capture_trace);
   w.field("hot_path_opts", cfg.hot_path_opts);
+  w.field("sharded_ticks", static_cast<std::int64_t>(cfg.sharded_ticks));
   // Seeds use the full 64-bit space; JSON numbers are doubles (exact only up
   // to 2^53), so the seed travels as a decimal string.  The loader accepts
   // small numeric seeds too, for hand-written configs.
@@ -182,7 +183,7 @@ ScenarioConfig scenario_config_from_value(const JsonValue& v) {
        "data_capacity", "sibling_credit_prob", "replicate_threshold_iops",
        "faults", "journal", "migration_max_retries",
        "migration_retry_backoff_ticks", "capture_trace", "hot_path_opts",
-       "seed"});
+       "sharded_ticks", "seed"});
   ScenarioConfig cfg;
   if (const JsonValue* x = v.find("workload")) {
     const auto k = workload_kind_from_name(x->as_string());
@@ -249,6 +250,9 @@ ScenarioConfig scenario_config_from_value(const JsonValue& v) {
   }
   if (const JsonValue* x = v.find("hot_path_opts")) {
     cfg.hot_path_opts = x->as_bool();
+  }
+  if (const JsonValue* x = v.find("sharded_ticks")) {
+    cfg.sharded_ticks = static_cast<int>(x->as_int());
   }
   if (const JsonValue* x = v.find("seed")) {
     if (x->kind() == JsonValue::Kind::kString) {

@@ -1,8 +1,10 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/assert.h"
+#include "common/concurrency.h"
 
 namespace lunule::sim {
 
@@ -52,8 +54,71 @@ std::vector<double> Simulation::job_completion_seconds() const {
   return out;
 }
 
+void Simulation::run_clients_sharded(WorkerPool& pool) {
+  const std::size_t n = clients_.size();
+  const std::size_t n_ranks = cluster_->size();
+
+  // Binding (serial): each client with a fetched op binds to the rank that
+  // op resolves to; everything else routes through the deferred pass.  The
+  // rotation offset keeps the legacy engine's fairness property — within a
+  // rank stream and within the deferred pass, clients run in the same
+  // rotated order the serial engine would visit them in.
+  by_rank_.resize(n_ranks);
+  for (auto& bucket : by_rank_) bucket.clear();
+  deferred_.assign(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t idx = (k + static_cast<std::size_t>(now_)) % n;
+    const MdsId r = clients_[idx]->shard_rank(*cluster_, now_);
+    if (r == kNoMds) {
+      deferred_[idx] = 1;
+    } else {
+      by_rank_[static_cast<std::size_t>(r)].push_back(idx);
+    }
+  }
+
+  // Parallel rank streams.  Streams touch disjoint state: client objects
+  // are partitioned, rank-local server/journal/fragment effects apply in
+  // place, and anything shared escrows into the rank's lane.  A client
+  // whose stream leaves its bound rank pauses and flags itself deferred —
+  // its own slot in deferred_, so no synchronization is needed.
+  lanes_.resize(n_ranks);
+  pool.run_indexed(n_ranks, [&](std::size_t r) {
+    lanes_[r].reset(static_cast<MdsId>(r), n_ranks);
+    workloads::ShardBinding binding{static_cast<MdsId>(r), &lanes_[r]};
+    for (const std::size_t idx : by_rank_[r]) {
+      bool paused = false;
+      clients_[idx]->run_tick(*cluster_, data_.get(), now_, &binding,
+                              &paused);
+      if (paused) deferred_[idx] = 1;
+    }
+  });
+
+  // Serial merge in ascending rank order, then the deferred pass in
+  // rotated order — both independent of S and worker scheduling.
+  cluster_->merge_lanes(lanes_);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t idx = (k + static_cast<std::size_t>(now_)) % n;
+    if (deferred_[idx] != 0) {
+      clients_[idx]->run_tick(*cluster_, data_.get(), now_);
+    }
+  }
+}
+
 void Simulation::run() {
   balancer_->setup(*cluster_);
+
+  // Sharded engine: one persistent pool for the whole run, sized by the
+  // process-wide budget (a starved grant degrades to inline execution with
+  // identical results).  The cluster shares the pool for its own parallel
+  // phases (epoch-close fold, candidate collection).
+  std::optional<ConcurrencyGrant> grant;
+  std::unique_ptr<WorkerPool> pool;
+  if (options_.sharded_ticks >= 1) {
+    grant.emplace(static_cast<std::size_t>(options_.sharded_ticks) - 1);
+    pool = std::make_unique<WorkerPool>(grant->granted());
+    cluster_->set_shard_pool(pool.get());
+  }
+
   for (now_ = 0; now_ < options_.max_ticks; ++now_) {
     // Fire events scheduled for this tick.
     auto range = events_.equal_range(now_);
@@ -69,12 +134,16 @@ void Simulation::run() {
     cluster_->begin_tick(now_);
     if (data_) data_->begin_tick();
 
-    // Rotate the service order so early clients do not permanently win
-    // the race for the bottleneck MDS's capacity.
-    const std::size_t n = clients_.size();
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t idx = (k + static_cast<std::size_t>(now_)) % n;
-      clients_[idx]->run_tick(*cluster_, data_.get(), now_);
+    if (pool != nullptr && !clients_.empty()) {
+      run_clients_sharded(*pool);
+    } else {
+      // Rotate the service order so early clients do not permanently win
+      // the race for the bottleneck MDS's capacity.
+      const std::size_t n = clients_.size();
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t idx = (k + static_cast<std::size_t>(now_)) % n;
+        clients_[idx]->run_tick(*cluster_, data_.get(), now_);
+      }
     }
     cluster_->end_tick();
 
@@ -114,6 +183,8 @@ void Simulation::run() {
     }
   }
   end_tick_ = now_;
+  // The pool dies with this frame; the cluster must not keep the pointer.
+  if (pool != nullptr) cluster_->set_shard_pool(nullptr);
   // A run that gets here survived every epoch audit; say so when auditing
   // was requested, so "validation on and silent" is distinguishable from
   // "validation never ran".

@@ -42,6 +42,15 @@ class Simulation {
     /// ended after ~15 minutes.
     bool stop_on_memory_limit = false;
     mds::MemoryParams memory;
+    /// Tick-engine selection.  0 (default) runs the legacy serial client
+    /// loop.  S >= 1 runs the sharded engine: clients are partitioned by
+    /// the rank their next operation binds to, rank streams execute on up
+    /// to S threads with per-rank effect lanes, lanes merge in ascending
+    /// rank order, and clients the binding could not place (or that paused
+    /// mid-stream) finish in a serial deferred pass.  The schedule is
+    /// canonical — results and traces are byte-identical for every S >= 1
+    /// and any number of actually-granted worker threads.
+    int sharded_ticks = 0;
   };
 
   Simulation(std::unique_ptr<fs::NamespaceTree> tree,
@@ -87,6 +96,10 @@ class Simulation {
   [[nodiscard]] std::vector<double> job_completion_seconds() const;
 
  private:
+  /// One tick of client execution under the sharded engine (binding,
+  /// parallel rank streams, lane merge, serial deferred pass).
+  void run_clients_sharded(WorkerPool& pool);
+
   std::unique_ptr<fs::NamespaceTree> tree_;
   std::unique_ptr<mds::MdsCluster> cluster_;
   std::unique_ptr<mds::DataPath> data_;
@@ -97,6 +110,10 @@ class Simulation {
   std::multimap<Tick, std::function<void(Simulation&)>> events_;
   std::unique_ptr<faults::FaultInjector> injector_;
   obs::InvariantChecker invariants_;
+  /// Sharded-engine scratch, reused across ticks.
+  std::vector<mds::TickLane> lanes_;
+  std::vector<std::vector<std::size_t>> by_rank_;
+  std::vector<std::uint8_t> deferred_;
   Tick now_ = 0;
   Tick end_tick_ = 0;
   bool stopped_on_memory_ = false;

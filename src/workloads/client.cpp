@@ -13,8 +13,32 @@ Client::Client(std::uint32_t id, ClientParams params,
   LUNULE_CHECK(params_.max_ops_per_tick > 0.0);
 }
 
+MdsId Client::op_rank(const mds::MdsCluster& cluster, const Op& op) const {
+  const fs::NamespaceTree& tree = cluster.tree();
+  if (op.kind == OpKind::kCreate) {
+    // Deferred create accounting settles ancestor counts against the
+    // directory's resolved authority, which only matches per-file
+    // placement while no fragment of the directory is pinned.
+    if (tree.dir(op.dir).frag_pin_count() > 0) return kNoMds;
+    return tree.auth_of(op.dir);
+  }
+  // A replicated fragment is served by the least-loaded holder — a pick
+  // that reads every rank's open-epoch tally, so it cannot run inside a
+  // rank-restricted phase.
+  if (tree.frag(op.dir, tree.frag_of(op.dir, op.file)).replicated()) {
+    return kNoMds;
+  }
+  return tree.auth_of_file(op.dir, op.file);
+}
+
+MdsId Client::shard_rank(const mds::MdsCluster& cluster, Tick now) const {
+  if (done_ || now < params_.start_tick) return kNoMds;
+  if (pending_data_ || !have_op_) return kNoMds;
+  return op_rank(cluster, op_);
+}
+
 MdsId Client::resolve_with_forwards(mds::MdsCluster& cluster, const Op& op,
-                                    Tick now) {
+                                    Tick now, mds::TickLane* lane) {
   const fs::NamespaceTree& tree = cluster.tree();
   if (auth_cache_.size() < tree.dir_count()) {
     auth_cache_.resize(tree.dir_count(), kNoMds);
@@ -22,9 +46,8 @@ MdsId Client::resolve_with_forwards(mds::MdsCluster& cluster, const Op& op,
   }
   MdsId target;
   if (op.kind == OpKind::kCreate) {
-    const fs::Directory& dir = tree.dir(op.dir);
-    const FileIndex idx = dir.file_count();
-    const MdsId pin = dir.frag(dir.frag_of(idx)).auth_pin;
+    const FileIndex idx = tree.dir(op.dir).file_count();
+    const MdsId pin = tree.frag(op.dir, tree.frag_of(op.dir, idx)).auth_pin;
     target = pin != kNoMds ? pin : tree.auth_of(op.dir);
   } else {
     target = tree.auth_of_file(op.dir, op.file);
@@ -44,7 +67,7 @@ MdsId Client::resolve_with_forwards(mds::MdsCluster& cluster, const Op& op,
   // Collect the root path (depths are small: <= 4 in all our namespaces).
   DirId chain[16];
   int depth = 0;
-  for (DirId d = op.dir; d != tree.root(); d = tree.dir(d).parent()) {
+  for (DirId d = op.dir; d != tree.root(); d = tree.parent(d)) {
     LUNULE_CHECK(depth < 16);
     chain[depth++] = d;
   }
@@ -52,14 +75,14 @@ MdsId Client::resolve_with_forwards(mds::MdsCluster& cluster, const Op& op,
     const MdsId a = tree.auth_of(chain[i]);
     if (a != prev) {
       ++forwards_;
-      cluster.charge_forward(prev);  // the redirecting MDS does the bounce
+      cluster.charge_forward(prev, lane);  // the redirecting MDS bounces
       prev = a;
     }
   }
   if (target != prev) {
     // One extra hop when the file's dirfrag is pinned away from its dir.
     ++forwards_;
-    cluster.charge_forward(prev);
+    cluster.charge_forward(prev, lane);
   }
   auth_cache_[op.dir] = dir_auth;
   lease_until_[op.dir] = now + params_.lease_ticks;
@@ -72,16 +95,27 @@ MdsId Client::resolve_with_forwards(mds::MdsCluster& cluster, const Op& op,
 }
 
 std::uint32_t Client::run_tick(mds::MdsCluster& cluster, mds::DataPath* data,
-                               Tick now) {
+                               Tick now, const ShardBinding* shard,
+                               bool* paused) {
   if (done_ || now < params_.start_tick) return 0;
-  started_ = true;
-  ++active_;
-
-  budget_ = std::min(budget_ + params_.max_ops_per_tick,
-                     2.0 * params_.max_ops_per_tick);
+  // Per-tick bookkeeping runs once even when the sharded engine calls this
+  // twice (shard phase, then the deferred continuation after a pause).
+  if (refill_tick_ != now) {
+    refill_tick_ = now;
+    started_ = true;
+    ++active_;
+    tick_served_ = 0;
+    budget_ = std::min(budget_ + params_.max_ops_per_tick,
+                       2.0 * params_.max_ops_per_tick);
+  }
   std::uint32_t served = 0;
+  bool pause = false;
   while (budget_ >= 1.0) {
     if (pending_data_) {
+      if (shard != nullptr) {
+        pause = true;  // the data path is shared across ranks
+        break;
+      }
       LUNULE_CHECK(data != nullptr);
       if (!data->try_serve()) break;  // data path saturated: stall
       pending_data_ = false;
@@ -90,6 +124,10 @@ std::uint32_t Client::run_tick(mds::MdsCluster& cluster, mds::DataPath* data,
       continue;
     }
     if (!have_op_) {
+      if (shard != nullptr) {
+        pause = true;  // fetching may end the job: finalize serially
+        break;
+      }
       if (!program_->next(op_)) {
         done_ = true;
         completion_tick_ = now;
@@ -97,11 +135,18 @@ std::uint32_t Client::run_tick(mds::MdsCluster& cluster, mds::DataPath* data,
       }
       have_op_ = true;
     }
+    if (shard != nullptr && op_rank(cluster, op_) != shard->rank) {
+      pause = true;  // the stream moved off this rank mid-tick
+      break;
+    }
     if (op_first_attempt_ < 0) op_first_attempt_ = now;
-    resolve_with_forwards(cluster, op_, now);
+    resolve_with_forwards(cluster, op_, now,
+                          shard != nullptr ? shard->lane : nullptr);
+    mds::TickLane* lane = shard != nullptr ? shard->lane : nullptr;
     const mds::ServeResult res =
-        op_.kind == OpKind::kCreate ? cluster.try_create(op_.dir)
-                                    : cluster.try_serve(op_.dir, op_.file);
+        op_.kind == OpKind::kCreate
+            ? cluster.try_create(op_.dir, lane)
+            : cluster.try_serve(op_.dir, op_.file, lane);
     if (res != mds::ServeResult::kServed) break;  // head-of-line blocking
     budget_ -= 1.0;
     ++meta_ops_;
@@ -121,7 +166,14 @@ std::uint32_t Client::run_tick(mds::MdsCluster& cluster, mds::DataPath* data,
       }
     }
   }
-  if (served == 0 && !done_) ++stalled_;
+  tick_served_ += served;
+  if (pause) {
+    // The client still has budget and work but must leave the rank stream;
+    // stall accounting waits for the deferred continuation.
+    if (paused != nullptr) *paused = true;
+    return served;
+  }
+  if (tick_served_ == 0 && !done_) ++stalled_;
   return served;
 }
 

@@ -28,6 +28,15 @@
 
 namespace lunule::workloads {
 
+/// Binding of a client onto one rank's operation stream during a shard
+/// phase of the sharded tick engine: the client may only issue operations
+/// whose authoritative MDS is `rank`, and shared-state effects route
+/// through `lane`.
+struct ShardBinding {
+  MdsId rank = kNoMds;
+  mds::TickLane* lane = nullptr;
+};
+
 struct ClientParams {
   /// Maximal metadata operations issued per simulated second.
   double max_ops_per_tick = 150.0;
@@ -45,8 +54,22 @@ class Client {
          std::unique_ptr<WorkloadProgram> program);
 
   /// Runs one simulation tick; returns the metadata ops served.
+  ///
+  /// Under the sharded engine the same tick may call this twice: once with
+  /// a `shard` binding (rank-restricted stream, shared effects escrowed in
+  /// the lane) and — when that call sets `*paused` — once more without a
+  /// binding in the serial deferred pass.  The per-tick budget refill and
+  /// the stall/active accounting fire exactly once per tick either way.
   std::uint32_t run_tick(mds::MdsCluster& cluster, mds::DataPath* data,
-                         Tick now);
+                         Tick now, const ShardBinding* shard = nullptr,
+                         bool* paused = nullptr);
+
+  /// The rank this client's next operation binds to for a shard phase, or
+  /// kNoMds when the client must run in the serial deferred pass (no
+  /// fetched op yet, pending data-path work, a serve that may be routed to
+  /// a replica holder, or a create into a frag-pinned directory).
+  [[nodiscard]] MdsId shard_rank(const mds::MdsCluster& cluster,
+                                 Tick now) const;
 
   [[nodiscard]] std::uint32_t id() const { return id_; }
   [[nodiscard]] bool done() const { return done_; }
@@ -77,7 +100,12 @@ class Client {
   /// Resolves the op's authoritative MDS, counting and charging forwards
   /// when this client's location cache is stale along the path.
   MdsId resolve_with_forwards(mds::MdsCluster& cluster, const Op& op,
-                              Tick now);
+                              Tick now, mds::TickLane* lane);
+
+  /// Rank that would serve `op` right now, or kNoMds when serving it needs
+  /// shared state a shard phase must not touch.
+  [[nodiscard]] MdsId op_rank(const mds::MdsCluster& cluster,
+                              const Op& op) const;
 
   std::uint32_t id_;
   ClientParams params_;
@@ -98,6 +126,11 @@ class Client {
   bool pending_data_ = false;
   Tick op_first_attempt_ = -1;
   Histogram latency_;
+  /// Last tick whose budget refill / active accounting already ran
+  /// (guards against double-refill when a tick calls run_tick twice).
+  Tick refill_tick_ = -1;
+  /// Ops served so far in the current tick, across both calls.
+  std::uint32_t tick_served_ = 0;
 
   // Location cache: last known authority per directory (kNoMds = unknown)
   // plus the tick the lease on that knowledge expires.

@@ -43,7 +43,7 @@ TEST_F(AccessRecorderTest, FragCountersAccumulate) {
   rec.record(dirs[0], 0, 0);
   rec.record(dirs[0], 0, 0);
   rec.record(dirs[0], 1, 0);
-  const fs::FragStats& f = tree.dir(dirs[0]).frag(0);
+  const fs::FragStats& f = tree.frag(dirs[0], 0);
   EXPECT_EQ(f.visits_epoch, 3u);
   EXPECT_EQ(f.file_visits_epoch, 2u);  // same-epoch re-op is not a visit
   EXPECT_EQ(f.first_visits_epoch, 2u);
@@ -60,7 +60,7 @@ TEST_F(AccessRecorderTest, CloseEpochRollsWindowsAndDecaysHeat) {
   rec.record(dirs[0], 0, 0);
   rec.record(dirs[0], 1, 0);
   rec.close_epoch();
-  const fs::FragStats& f = tree.dir(dirs[0]).frag(0);
+  const fs::FragStats& f = tree.frag(dirs[0], 0);
   EXPECT_EQ(f.visits_epoch, 0u);
   EXPECT_EQ(f.visits_window.at(0), 2u);
   EXPECT_EQ(f.first_visits_window.at(0), 2u);
@@ -84,10 +84,10 @@ TEST_F(AccessRecorderTest, SiblingCreditFlowsToSiblings) {
   for (FileIndex i = 0; i < 10; ++i) rec.record(dirs[0], i, 0);
   double credits = 0.0;
   for (std::size_t d = 0; d < dirs.size(); ++d) {
-    credits += tree.dir(dirs[d]).frag(0).sibling_credit_epoch;
+    credits += tree.frag(dirs[d], 0).sibling_credit_epoch;
     // The visited dir must never credit itself.
     if (d == 0) {
-      EXPECT_DOUBLE_EQ(tree.dir(dirs[0]).frag(0).sibling_credit_epoch, 0.0);
+      EXPECT_DOUBLE_EQ(tree.frag(dirs[0], 0).sibling_credit_epoch, 0.0);
     }
   }
   EXPECT_DOUBLE_EQ(credits, 10.0);
@@ -98,7 +98,7 @@ TEST_F(AccessRecorderTest, SiblingCreditRespectsProbability) {
   for (FileIndex i = 0; i < 32; ++i) rec.record(dirs[1], i, 0);
   double credits = 0.0;
   for (const DirId d : dirs) {
-    credits += tree.dir(d).frag(0).sibling_credit_epoch;
+    credits += tree.frag(d, 0).sibling_credit_epoch;
   }
   EXPECT_GT(credits, 1.0);
   EXPECT_LT(credits, 17.0);  // ~8 expected at p=0.25
@@ -108,7 +108,7 @@ TEST_F(AccessRecorderTest, CreatesAreFirstVisits) {
   AccessRecorder rec(tree, params_with(0.0), Rng(4));
   const FileIndex idx = tree.create_file(dirs[2]);
   rec.record_create(dirs[2], idx, 5);
-  const fs::FragStats& f = tree.dir(dirs[2]).frag(0);
+  const fs::FragStats& f = tree.frag(dirs[2], 0);
   EXPECT_EQ(f.first_visits_epoch, 1u);
   EXPECT_EQ(f.visits_epoch, 1u);
   EXPECT_TRUE(tree.dir(dirs[2]).file(idx).visited());

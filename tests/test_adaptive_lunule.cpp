@@ -41,7 +41,7 @@ TEST(AdaptiveLunule, DelegatesBalancingToTheInnerLunule) {
   AdaptiveLunuleBalancer balancer(params_for(cp));
   // A harmful one-hot load must trigger migrations via the wrapped Lunule.
   for (const DirId d : dirs) {
-    fs::FragStats& f = tree.dir(d).frag(0);
+    fs::FragStats& f = tree.frag(d, 0);
     tree.advance_frag_stats(f);  // keep the poked samples newest on read
     for (std::size_t e = 0; e < fs::kCuttingWindows; ++e) {
       f.visits_window.push(900);

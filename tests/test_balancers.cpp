@@ -26,7 +26,7 @@ class BalancerTest : public ::testing::Test {
   }
 
   /// Gives a directory some heat (vanilla's selection signal).
-  void set_heat(DirId d, double heat) { tree.dir(d).frag(0).heat = heat; }
+  void set_heat(DirId d, double heat) { tree.frag(d, 0).heat = heat; }
 
   fs::NamespaceTree tree;
   mds::ClusterParams params;
@@ -51,7 +51,7 @@ TEST_F(BalancerTest, CandidatesPerFragWhenFragmented) {
 }
 
 TEST_F(BalancerTest, CandidateAggregatesWindowSums) {
-  fs::FragStats& f = tree.dir(dirs[1]).frag(0);
+  fs::FragStats& f = tree.frag(dirs[1], 0);
   f.visits_window.push(10);
   f.visits_window.push(20);
   f.first_visits_window.push(5);
@@ -187,7 +187,7 @@ TEST_F(BalancerTest, DirHashFragmentsHugeDirectories) {
   hp.fragment_bits = 3;
   DirHashBalancer hash(hp);
   hash.setup(cluster);
-  EXPECT_TRUE(tree.dir(big).fragmented());
+  EXPECT_TRUE(tree.fragmented(big));
   // Its 8 frags must not all land on one MDS.
   std::set<MdsId> owners;
   for (FragId f = 0; f < 8; ++f) {

@@ -113,19 +113,19 @@ TEST_F(ClusterTest, AutoSplitFragmentsGrowingDirectories) {
   for (int i = 0; i < 100; ++i) {
     ASSERT_EQ(cluster.try_create(d), ServeResult::kServed);
     if (i + 1 == 8) {
-      EXPECT_EQ(tree.dir(d).frag_count(), 2u);
+      EXPECT_EQ(tree.frag_count(d), 2u);
     }
     if (i + 1 == 16) {
-      EXPECT_EQ(tree.dir(d).frag_count(), 4u);
+      EXPECT_EQ(tree.frag_count(d), 4u);
     }
     if (i + 1 == 32) {
-      EXPECT_EQ(tree.dir(d).frag_count(), 8u);
+      EXPECT_EQ(tree.frag_count(d), 8u);
     }
   }
-  EXPECT_EQ(tree.dir(d).frag_count(), 8u);  // max_bits = 3
+  EXPECT_EQ(tree.frag_count(d), 8u);  // max_bits = 3
   // Fragment file counts still partition the directory.
   std::uint32_t total = 0;
-  for (const auto& frag : tree.dir(d).frags()) total += frag.file_count;
+  for (const auto& frag : tree.frags(d)) total += frag.file_count;
   EXPECT_EQ(total, 100u);
 }
 
@@ -134,7 +134,7 @@ TEST_F(ClusterTest, AutoSplitDisabledByDefault) {
   const DirId d = tree.add_dir(tree.root(), "grow");
   cluster.begin_tick(0);
   for (int i = 0; i < 10; ++i) cluster.try_create(d);
-  EXPECT_FALSE(tree.dir(d).fragmented());
+  EXPECT_FALSE(tree.fragmented(d));
 }
 
 TEST_F(ClusterTest, TotalsAggregateAcrossServers) {

@@ -50,7 +50,7 @@ TEST_P(FuzzSweep, NamespaceInvariantsUnderRandomOperations) {
         tree.set_auth(leaf, static_cast<MdsId>(rng.next_below(kMds)));
         break;
       case 1:  // unpin (only if pinned; root stays pinned)
-        if (tree.dir(leaf).explicit_auth() != kNoMds) {
+        if (tree.explicit_auth(leaf) != kNoMds) {
           tree.clear_auth(leaf);
         }
         break;
@@ -59,16 +59,16 @@ TEST_P(FuzzSweep, NamespaceInvariantsUnderRandomOperations) {
         ++created;
         break;
       case 3:  // fragment (grow only)
-        if (tree.dir(leaf).frag_bits() < 4 &&
+        if (tree.frag_bits(leaf) < 4 &&
             tree.dir(leaf).file_count() > 8) {
           tree.fragment_dir(
-              leaf, static_cast<std::uint8_t>(tree.dir(leaf).frag_bits() + 1));
+              leaf, static_cast<std::uint8_t>(tree.frag_bits(leaf) + 1));
         }
         break;
       case 4:  // pin a random frag
         tree.set_frag_auth(
             leaf,
-            static_cast<FragId>(rng.next_below(tree.dir(leaf).frag_count())),
+            static_cast<FragId>(rng.next_below(tree.frag_count(leaf))),
             static_cast<MdsId>(rng.next_below(kMds)));
         break;
     }
@@ -84,7 +84,7 @@ TEST_P(FuzzSweep, NamespaceInvariantsUnderRandomOperations) {
 
     // Invariant 3: per-frag file counts partition each directory.
     std::uint32_t frag_files = 0;
-    for (const auto& frag : tree.dir(leaf).frags()) {
+    for (const auto& frag : tree.frags(leaf)) {
       frag_files += frag.file_count;
     }
     ASSERT_EQ(frag_files, tree.dir(leaf).file_count());
@@ -119,9 +119,9 @@ TEST_P(FuzzSweep, MigrationEngineConservesInodes) {
     if (rng.next_bool(0.3)) {
       const DirId leaf = leaves[rng.next_below(leaves.size())];
       fs::SubtreeRef ref{.dir = leaf};
-      if (tree.dir(leaf).fragmented() && rng.next_bool(0.5)) {
+      if (tree.fragmented(leaf) && rng.next_bool(0.5)) {
         ref.frag =
-            static_cast<FragId>(rng.next_below(tree.dir(leaf).frag_count()));
+            static_cast<FragId>(rng.next_below(tree.frag_count(leaf)));
       }
       if (engine.submit(ref, static_cast<MdsId>(rng.next_below(kMds)))) {
         ++accepted;
@@ -170,7 +170,7 @@ TEST_P(FuzzSweep, RecorderInvariantsUnderRandomAccesses) {
 
   std::uint64_t visits = 0;
   for (const DirId leaf : std::set<DirId>(leaves.begin(), leaves.end())) {
-    for (const auto& frag : tree.dir(leaf).frags()) {
+    for (const auto& frag : tree.frags(leaf)) {
       visits += frag.total_visits;
       // Visited census never exceeds the population.
       ASSERT_LE(frag.visited_files, frag.file_count);

@@ -25,7 +25,7 @@ class HashRebalancerTest : public ::testing::Test {
   /// Catches the frag up to the stats clock first so the hand-poked sample
   /// stays the newest window entry when a reader advances the frag.
   void set_observed_load(DirId d, double iops) {
-    fs::FragStats& f = tree.dir(d).frag(0);
+    fs::FragStats& f = tree.frag(d, 0);
     tree.advance_frag_stats(f);
     f.visits_window.push(static_cast<std::uint32_t>(iops * 10.0));
   }

@@ -143,7 +143,7 @@ TEST(DeepChain, IterativeAuthorityResolutionHandlesDeepTrees) {
   // Re-pinning the leaf to what it would inherit anyway must simplify away.
   tree.migrate_subtree({.dir = leaf}, 3);
   tree.simplify_auth();
-  EXPECT_EQ(tree.dir(leaf).explicit_auth(), kNoMds);
+  EXPECT_EQ(tree.explicit_auth(leaf), kNoMds);
   EXPECT_EQ(tree.auth_of(leaf), 3);
 }
 

@@ -28,7 +28,7 @@ class LunuleBalancerTest : public ::testing::Test {
   /// Gives a directory a steady temporal load signal, spread over the full
   /// cutting window so the observed per-epoch rate equals `iops`.
   void set_temporal_load(DirId d, double iops, double window_seconds) {
-    fs::FragStats& f = tree.dir(d).frag(0);
+    fs::FragStats& f = tree.frag(d, 0);
     tree.advance_frag_stats(f);  // keep the poked samples newest on read
     const double epoch_seconds =
         window_seconds / static_cast<double>(fs::kCuttingWindows);
@@ -113,9 +113,8 @@ TEST_F(LunuleBalancerTest, LightVariantUsesHeatSelection) {
   // variant (heat-driven) still exports them — that is its known weakness.
   // Spread the heat so the estimates fit the per-importer amounts.
   for (const DirId dd : dirs) {
-    fs::Directory& d = tree.dir(dd);
-    d.frag(0).heat = dd == dirs[0] ? 150.0 : 100.0;
-    d.frag(0).visited_files = d.frag(0).file_count;
+    tree.frag(dd, 0).heat = dd == dirs[0] ? 150.0 : 100.0;
+    tree.frag(dd, 0).visited_files = tree.frag(dd, 0).file_count;
   }
   light.on_epoch(cluster, std::vector<Load>{900, 10, 10, 10, 10});
   EXPECT_GT(cluster.migration().migrations_submitted(), 0u);
@@ -128,8 +127,8 @@ TEST_F(LunuleBalancerTest, FullVariantSkipsExhaustedSubtrees) {
   LunuleBalancer lunule(LunuleParams::for_cluster(cp));
   // Same setup as above: stale heat, zero mIndex, nothing else to pick.
   fs::Directory& d = tree.dir(dirs[0]);
-  d.frag(0).heat = 1000.0;
-  d.frag(0).visited_files = d.frag(0).file_count;
+  tree.frag(dirs[0], 0).heat = 1000.0;
+  tree.frag(dirs[0], 0).visited_files = tree.frag(dirs[0], 0).file_count;
   for (FileIndex i = 0; i < d.file_count(); ++i) {
     d.file(i).last_access_epoch = 0;
   }

@@ -17,7 +17,7 @@ class MigrationAuditTest : public ::testing::Test {
 
   /// Pushes one epoch's visits into a directory's window.
   void push_epoch_visits(DirId d, std::uint32_t visits) {
-    tree.dir(d).frag(0).visits_window.push(visits);
+    tree.frag(d, 0).visits_window.push(visits);
   }
 
   fs::NamespaceTree tree;
@@ -68,9 +68,9 @@ TEST_F(MigrationAuditTest, FragMigrationAuditedThroughLaterSplits) {
   audit.on_commit(tree, {.dir = dirs[3], .frag = 1}, 32, 0);
   // Refine further after the commit: frags 1 and 3 now refine old frag 1.
   tree.fragment_dir(dirs[3], 2);  // 4 frags
-  tree.dir(dirs[3]).frag(1).visits_window.push(6);
-  tree.dir(dirs[3]).frag(3).visits_window.push(6);
-  tree.dir(dirs[3]).frag(0).visits_window.push(100);  // other half: ignored
+  tree.frag(dirs[3], 1).visits_window.push(6);
+  tree.frag(dirs[3], 3).visits_window.push(6);
+  tree.frag(dirs[3], 0).visits_window.push(100);  // other half: ignored
   audit.on_epoch_close(tree, 1);
   audit.on_epoch_close(tree, 2);
   audit.on_epoch_close(tree, 3);

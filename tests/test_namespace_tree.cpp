@@ -51,8 +51,8 @@ TEST_F(NamespaceTreeTest, SubtreeInodeAccounting) {
   tree.add_files(b, 10);
   // root + a + b + 10 files.
   EXPECT_EQ(tree.total_inodes(), 13u);
-  EXPECT_EQ(tree.dir(a).subtree_inodes(), 12u);
-  EXPECT_EQ(tree.dir(b).subtree_inodes(), 11u);
+  EXPECT_EQ(tree.subtree_inodes(a), 12u);
+  EXPECT_EQ(tree.subtree_inodes(b), 11u);
 }
 
 TEST_F(NamespaceTreeTest, CreateFileGrowsCounts) {
@@ -62,7 +62,7 @@ TEST_F(NamespaceTreeTest, CreateFileGrowsCounts) {
   EXPECT_EQ(f0, 0u);
   EXPECT_EQ(f1, 1u);
   EXPECT_EQ(tree.dir(a).file_count(), 2u);
-  EXPECT_EQ(tree.dir(a).frag(0).file_count, 2u);
+  EXPECT_EQ(tree.frag(a, 0).file_count, 2u);
   EXPECT_EQ(tree.total_inodes(), 4u);
 }
 
@@ -114,8 +114,8 @@ TEST_F(NamespaceTreeTest, SimplifyDropsRedundantPins) {
   tree.set_auth(a, 2);
   tree.set_auth(b, 2);  // redundant: would inherit 2 anyway
   tree.simplify_auth();
-  EXPECT_EQ(tree.dir(b).explicit_auth(), kNoMds);
-  EXPECT_EQ(tree.dir(a).explicit_auth(), 2);
+  EXPECT_EQ(tree.explicit_auth(b), kNoMds);
+  EXPECT_EQ(tree.explicit_auth(a), 2);
   EXPECT_EQ(tree.auth_of(b), 2);
 }
 

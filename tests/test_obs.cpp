@@ -170,7 +170,7 @@ TEST_F(InvariantCheckerTest, FlagsInvalidFragAuthority) {
   InvariantChecker checker;
   run_epoch(5);
   // Pin a dirfrag to a rank that does not exist.
-  tree_.dir(dir_).frags()[0].auth_pin = 99;
+  tree_.frags(dir_)[0].auth_pin = 99;
   const auto violations =
       checker.check_epoch(*cluster_, cluster_->current_loads());
   ASSERT_FALSE(violations.empty());
@@ -203,8 +203,8 @@ TEST_F(InvariantCheckerTest, FragFileCountDriftIsFlagged) {
   run_epoch(5);
   // Lose a file from the frag-level books only; the directory still
   // reports the true total, so the partition no longer tiles.
-  ASSERT_GE(tree_.dir(dir_).frags()[0].file_count, 1u);
-  tree_.dir(dir_).frags()[0].file_count -= 1;
+  ASSERT_GE(tree_.frags(dir_)[0].file_count, 1u);
+  tree_.frags(dir_)[0].file_count -= 1;
   const auto violations =
       checker.check_epoch(*cluster_, cluster_->current_loads());
   EXPECT_FALSE(violations.empty());

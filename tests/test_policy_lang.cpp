@@ -192,7 +192,7 @@ class PolicyBalancerTest : public ::testing::Test {
     // recorder-driven live-set filter must be off.
     cp.hot_path.candidate_filter = false;
     // Spread heat so estimates fit the policy amounts.
-    for (const DirId d : dirs) tree.dir(d).frag(0).heat = 10.0;
+    for (const DirId d : dirs) tree.frag(d, 0).heat = 10.0;
   }
 
   fs::NamespaceTree tree;

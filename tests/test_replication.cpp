@@ -34,16 +34,16 @@ class ReplicationTest : public ::testing::Test {
 
 TEST_F(ReplicationTest, HotFragmentGetsReplicated) {
   MdsCluster cluster(tree, params);
-  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+  EXPECT_FALSE(tree.frag(dirs[0], 0).replicated());
   drive_epoch(cluster, 80);  // 80 IOPS > threshold 50
-  EXPECT_TRUE(tree.dir(dirs[0]).frag(0).replicated());
+  EXPECT_TRUE(tree.frag(dirs[0], 0).replicated());
   EXPECT_EQ(cluster.replicated_frags(), 1u);
 }
 
 TEST_F(ReplicationTest, ColdFragmentStaysUnreplicated) {
   MdsCluster cluster(tree, params);
   drive_epoch(cluster, 20);  // below threshold
-  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+  EXPECT_FALSE(tree.frag(dirs[0], 0).replicated());
 }
 
 TEST_F(ReplicationTest, ReplicasSpreadReadLoad) {
@@ -63,24 +63,57 @@ TEST_F(ReplicationTest, ReplicasSpreadReadLoad) {
 TEST_F(ReplicationTest, CoolingDropsReplicas) {
   MdsCluster cluster(tree, params);
   drive_epoch(cluster, 80);
-  EXPECT_TRUE(tree.dir(dirs[0]).frag(0).replicated());
+  EXPECT_TRUE(tree.frag(dirs[0], 0).replicated());
   drive_epoch(cluster, 2);  // below the unreplicate threshold
-  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+  EXPECT_FALSE(tree.frag(dirs[0], 0).replicated());
 }
 
 TEST_F(ReplicationTest, MigrationDropsReplicas) {
   MdsCluster cluster(tree, params);
   drive_epoch(cluster, 80);
-  ASSERT_TRUE(tree.dir(dirs[0]).frag(0).replicated());
+  ASSERT_TRUE(tree.frag(dirs[0], 0).replicated());
   tree.migrate_subtree({.dir = dirs[0]}, 2);
-  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+  EXPECT_FALSE(tree.frag(dirs[0], 0).replicated());
 }
 
 TEST_F(ReplicationTest, DisabledByDefault) {
   params.replicate_threshold_iops = 0.0;
   MdsCluster cluster(tree, params);
   drive_epoch(cluster, 90);
-  EXPECT_FALSE(tree.dir(dirs[0]).frag(0).replicated());
+  EXPECT_FALSE(tree.frag(dirs[0], 0).replicated());
+}
+
+TEST_F(ReplicationTest, ReplicaMaskCoversRanksPastThirtyTwo) {
+  // Regression: replica_mask was uint32_t and the shift by the raw rank
+  // was UB past rank 31; rank 33 must be representable and distinct.
+  fs::FragStats f;
+  f.replica_mask = std::uint64_t{1} << 33;
+  EXPECT_TRUE(f.replicated());
+  EXPECT_TRUE(f.replicated_on(33));
+  EXPECT_FALSE(f.replicated_on(32));
+  EXPECT_FALSE(f.replicated_on(1));
+  f.replica_mask |= std::uint64_t{1} << 63;
+  EXPECT_TRUE(f.replicated_on(63));
+}
+
+TEST_F(ReplicationTest, ReplicationWorksAtRankThirtyThree) {
+  // A 34-rank cluster replicates hot fragments onto rank 33 (bit 33 of
+  // the mask), which the old 32-bit mask silently dropped.
+  params.n_mds = 34;
+  MdsCluster cluster(tree, params);
+  drive_epoch(cluster, 80);
+  ASSERT_TRUE(tree.frag(dirs[0], 0).replicated());
+  EXPECT_TRUE(tree.frag(dirs[0], 0).replicated_on(33));
+}
+
+TEST_F(ReplicationTest, RankCapValidatedWhenReplicationEnabled) {
+  params.n_mds = fs::kMaxReplicaRanks + 1;
+  EXPECT_DEATH(MdsCluster cluster(tree, params), "kMaxReplicaRanks");
+  // Without replication the mask is never consulted, so larger clusters
+  // stay legal.
+  params.replicate_threshold_iops = 0.0;
+  MdsCluster big(tree, params);
+  EXPECT_EQ(big.size(), fs::kMaxReplicaRanks + 1);
 }
 
 TEST_F(ReplicationTest, CreatesStillGoToTheAuthority) {

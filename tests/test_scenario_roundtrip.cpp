@@ -50,6 +50,7 @@ ScenarioConfig full_config() {
   cfg.migration_retry_backoff_ticks = 11;
   cfg.capture_trace = true;
   cfg.hot_path_opts = false;
+  cfg.sharded_ticks = 3;
   cfg.seed = 0xdeadbeefcafef00dULL;  // exercises the > 2^53 seed path
   return cfg;
 }
@@ -97,6 +98,7 @@ TEST(ScenarioRoundtrip, EveryKnobSurvivesSaveLoad) {
             cfg.migration_retry_backoff_ticks);
   EXPECT_EQ(back.capture_trace, cfg.capture_trace);
   EXPECT_EQ(back.hot_path_opts, cfg.hot_path_opts);
+  EXPECT_EQ(back.sharded_ticks, cfg.sharded_ticks);
   EXPECT_EQ(back.seed, cfg.seed);
 }
 

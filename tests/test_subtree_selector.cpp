@@ -18,7 +18,7 @@ class SelectorTest : public ::testing::Test {
   /// spread over the full 60-second / 6-epoch window so the observed
   /// last-epoch rate equals `iops` too.
   void set_temporal_load(DirId d, double iops) {
-    fs::FragStats& f = tree.dir(d).frag(0);
+    fs::FragStats& f = tree.frag(d, 0);
     const auto per_epoch = static_cast<std::uint32_t>(iops * 10.0);
     for (std::size_t e = 0; e < fs::kCuttingWindows; ++e) {
       f.visits_window.push(per_epoch);
@@ -63,7 +63,7 @@ TEST_F(SelectorTest, PathTwoSplitsOversizedDirectory) {
   const SubtreeSelector sel(params());
   const auto picks = sel.select(tree, 0, 200.0);
   ASSERT_FALSE(picks.empty());
-  EXPECT_TRUE(tree.dir(dirs[0]).fragmented());
+  EXPECT_TRUE(tree.fragmented(dirs[0]));
   double total = 0.0;
   for (const Selection& s : picks) {
     EXPECT_TRUE(s.ref.is_frag());
@@ -122,8 +122,8 @@ TEST_F(SelectorTest, OnlySelectsFromRequestedExporter) {
 TEST_F(SelectorTest, ExhaustedSubtreesNeverSelected) {
   // Visited-out directory with stale heat but zero migration index.
   fs::Directory& d = tree.dir(dirs[0]);
-  d.frag(0).heat = 9999.0;
-  d.frag(0).visited_files = d.frag(0).file_count;
+  tree.frag(dirs[0], 0).heat = 9999.0;
+  tree.frag(dirs[0], 0).visited_files = tree.frag(dirs[0], 0).file_count;
   for (FileIndex i = 0; i < d.file_count(); ++i) {
     d.file(i).last_access_epoch = 0;
   }
