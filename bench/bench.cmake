@@ -40,3 +40,4 @@ lunule_bench(ext_replication)
 lunule_bench(ext_fault_recovery)
 lunule_bench(table_journal_overhead)
 lunule_bench(micro_hotpath)
+lunule_bench(ext_elasticity)

@@ -212,7 +212,15 @@ void write_json(const std::string& path, const std::vector<SizeResult>& rs) {
     std::cerr << "cannot write " << path << "\n";
     return;
   }
-  out << "{\n  \"bench\": \"micro_hotpath\",\n  \"sizes\": [\n";
+  // The shard_scaling rows only mean anything on a host with real cores:
+  // on a 1-thread machine the pool's workers time-slice one CPU and
+  // speedup_vs_1 hovers around 1.0 (or below — context-switch overhead).
+  // Stamp the host's thread count and whether the [SHAPE-CHECK] gate was
+  // armed, so a committed JSON can't be misread as a scaling regression.
+  const unsigned hw = std::thread::hardware_concurrency();
+  out << "{\n  \"bench\": \"micro_hotpath\",\n  \"hw_threads\": " << hw
+      << ",\n  \"shard_gate_armed\": " << (hw >= 4 ? "true" : "false")
+      << ",\n  \"sizes\": [\n";
   for (std::size_t i = 0; i < rs.size(); ++i) {
     const SizeResult& r = rs[i];
     out << "    {\"dirs\": " << r.dirs << ", \"hot_dirs\": " << r.hot_dirs

@@ -1,6 +1,7 @@
 #include "balancer/dir_hash.h"
 
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "fs/namespace_tree.h"
@@ -23,7 +24,19 @@ std::uint64_t hash_path(const std::string& path) {
 
 void DirHashBalancer::setup(mds::MdsCluster& cluster) {
   fs::NamespaceTree& tree = cluster.tree();
-  const auto n = static_cast<std::uint64_t>(cluster.size());
+  // Pin onto the serving set, not the configured pool: with an elastic
+  // pool, ranks past initial_active are cold standbys at setup time and a
+  // hash slot landing on one would strand its subtree on a rank that serves
+  // nothing.  When every rank is up this is the identity mapping
+  // (alive[h % n] == h % n), so fixed-pool traces are unchanged.
+  std::vector<MdsId> alive;
+  alive.reserve(cluster.size());
+  for (std::size_t r = 0; r < cluster.size(); ++r) {
+    if (cluster.is_up(static_cast<MdsId>(r))) {
+      alive.push_back(static_cast<MdsId>(r));
+    }
+  }
+  const auto n = static_cast<std::uint64_t>(alive.size());
 
   for (DirId d = 1; d < tree.dir_count(); ++d) {
     fs::Directory& dir = tree.dir(d);
@@ -39,10 +52,10 @@ void DirHashBalancer::setup(mds::MdsCluster& cluster) {
            f < static_cast<FragId>(tree.frag_count(d)); ++f) {
         const std::uint64_t h =
             hash_path(path + "#" + std::to_string(f));
-        tree.set_frag_auth(d, f, static_cast<MdsId>(h % n));
+        tree.set_frag_auth(d, f, alive[h % n]);
       }
     } else {
-      tree.set_auth(d, static_cast<MdsId>(hash_path(path) % n));
+      tree.set_auth(d, alive[hash_path(path) % n]);
     }
   }
 }

@@ -35,6 +35,10 @@ void VanillaBalancer::on_epoch(mds::MdsCluster& cluster,
   std::vector<Importer> importers;
   for (std::size_t j = 0; j < loads.size(); ++j) {
     if (!cluster.is_up(static_cast<MdsId>(j))) continue;
+    // A draining rank is being emptied by the autoscaler; its low load is
+    // not spare room, and the migration engine would refuse the import
+    // anyway.
+    if (cluster.is_draining(static_cast<MdsId>(j))) continue;
     if (loads[j] < avg) {
       importers.push_back(
           {static_cast<MdsId>(j), avg - loads[j]});

@@ -21,8 +21,10 @@ std::vector<MdsLoadStat> LoadMonitor::collect(const mds::MdsCluster& cluster,
     const auto id = static_cast<MdsId>(i);
     // A down rank sends no ImbalanceState message; omitting it here keeps
     // every downstream consumer (IF, decide_roles, the selector) scoped to
-    // the alive cluster without each one re-checking liveness.
-    if (!cluster.is_up(id)) continue;
+    // the alive cluster without each one re-checking liveness.  A draining
+    // rank is excluded the same way: it is retiring, so the balancer must
+    // neither assign it imports nor fight the autoscaler for its exports.
+    if (!cluster.is_up(id) || cluster.is_draining(id)) continue;
     MdsLoadStat s;
     s.id = id;
     s.cld = loads[i];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace lunule::journal {
 
@@ -77,6 +78,16 @@ ReplayResult replay_journal(const MdsJournal& j, EpochId now_epoch,
     for (double& v : r.load_history) v *= scale;
   }
   return r;
+}
+
+Tick replay_window_ticks(double replay_seconds) {
+  if (replay_seconds <= 0.0) return 0;
+  // Tolerate representation noise just above an integer boundary: a value
+  // like 3.0000000000000004 is an exact 3-tick window, not a 4-tick one.
+  const double eps = 4.0 * std::numeric_limits<double>::epsilon() *
+                     std::max(1.0, replay_seconds);
+  const auto ticks = static_cast<Tick>(std::ceil(replay_seconds - eps));
+  return std::max<Tick>(ticks, 1);
 }
 
 }  // namespace lunule::journal

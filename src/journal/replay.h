@@ -46,4 +46,16 @@ struct ReplayResult {
                                           EpochId now_epoch,
                                           const JournalParams& p);
 
+/// Converts a modeled replay wall time into a whole-tick penalty window.
+///
+/// Boundary semantics the adoption path relies on:
+///   * `replay_seconds <= 0` charges zero ticks — a journal that never went
+///     durable has nothing to open, so the adopter pays no penalty window;
+///   * exact-integer durations (including ones reconstructed through float
+///     arithmetic, e.g. `1.0 + 2000/2000.0`) map to exactly that many ticks
+///     and never round up an extra tick on representation noise;
+///   * any strictly positive duration charges at least one tick (a nonzero
+///     replay cannot complete mid-tick in the discrete-time model).
+[[nodiscard]] Tick replay_window_ticks(double replay_seconds);
+
 }  // namespace lunule::journal

@@ -36,10 +36,19 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
                      "read replication supports at most kMaxReplicaRanks "
                      "(64) MDS ranks");
   }
+  LUNULE_CHECK(params_.initial_active <= params_.n_mds);
   servers_.reserve(params_.n_mds);
   for (std::size_t i = 0; i < params_.n_mds; ++i) {
     servers_.emplace_back(static_cast<MdsId>(i), params_.mds_capacity_iops);
+    // Ranks past `initial_active` start as cold standbys: down (zero
+    // budget, no checkpoints, invisible to balancers) until `activate`.
+    // Marked silently — a standby never existed as far as the fault
+    // counters and trace are concerned.
+    if (params_.initial_active != 0 && i >= params_.initial_active) {
+      servers_.back().set_up(false);
+    }
   }
+  draining_.assign(params_.n_mds, 0);
   tree_.set_auth_cache_enabled(params_.hot_path.auth_cache);
   recorder_ = std::make_unique<AccessRecorder>(
       tree_, params_.recorder, Rng(params_.seed).fork(/*stream=*/1),
@@ -49,6 +58,9 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
   migration_ = std::make_unique<MigrationEngine>(tree_, mig);
   migration_->set_liveness_probe([this](MdsId m) {
     return static_cast<std::size_t>(m) < servers_.size() && is_up(m);
+  });
+  migration_->set_import_probe([this](MdsId m) {
+    return static_cast<std::size_t>(m) < servers_.size() && is_importable(m);
   });
   migration_->set_commit_hook([this](const fs::SubtreeRef& ref, MdsId from,
                                      MdsId to, std::uint64_t moved) {
@@ -455,8 +467,75 @@ MdsId MdsCluster::add_server() {
                      "(64) MDS ranks");
   }
   servers_.emplace_back(id, params_.mds_capacity_iops);
+  draining_.push_back(0);
   if (journaling()) journals_.emplace_back(id, params_.journal);
   return id;
+}
+
+void MdsCluster::activate(MdsId m) {
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  MdsServer& s = servers_[static_cast<std::size_t>(m)];
+  if (s.up()) return;
+  s.set_up(true);
+  s.reset_history();
+  draining_[static_cast<std::size_t>(m)] = 0;
+  // Cold-start hydration: the newcomer opens a fresh journal and replays
+  // its (empty) durable prefix before serving at full capacity — the base
+  // replay cost, with no per-entry component.  Free when journaling is off.
+  Tick window = 0;
+  double hydration_seconds = 0.0;
+  if (journaling()) {
+    journals_[static_cast<std::size_t>(m)].reset();
+    hydration_seconds = params_.journal.replay_base_seconds;
+    window = journal::replay_window_ticks(hydration_seconds);
+    s.begin_replay(window, params_.journal.replay_capacity_penalty);
+  }
+  ++elasticity_.activations;
+  trace_->counters().counter("autoscaler.scale_ups").add();
+  trace_->record(obs::Component::kCluster,
+                 {.kind = obs::EventKind::kMdsActivate,
+                  .a = m,
+                  .n0 = static_cast<std::int64_t>(window),
+                  .v0 = hydration_seconds});
+}
+
+void MdsCluster::begin_drain(MdsId m) {
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  LUNULE_CHECK(is_up(m));
+  if (is_draining(m)) return;
+  draining_[static_cast<std::size_t>(m)] = 1;
+  // Queued imports into the leaving rank are pointless work: cancel them.
+  // Active imports run to completion (the rank is still up) and are
+  // re-exported by the drain sweep afterwards.
+  migration_->abort_queued_imports(m);
+  ++elasticity_.drains_started;
+  trace_->counters().counter("autoscaler.drains").add();
+  trace_->record(obs::Component::kCluster,
+                 {.kind = obs::EventKind::kDrainStart,
+                  .a = m,
+                  .n0 = static_cast<std::int64_t>(owned_units(m).size())});
+}
+
+void MdsCluster::cancel_drain(MdsId m) {
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  draining_[static_cast<std::size_t>(m)] = 0;
+}
+
+bool MdsCluster::retire(MdsId m) {
+  LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
+  LUNULE_CHECK(is_up(m));
+  LUNULE_CHECK(alive_count() >= 2);
+  // Not drained yet: still authoritative for something, or a migration
+  // (either direction) would be orphaned by its disappearance.
+  if (!owned_units(m).empty() || migration_->touches(m)) return false;
+  MdsServer& s = servers_[static_cast<std::size_t>(m)];
+  s.set_up(false);
+  draining_[static_cast<std::size_t>(m)] = 0;
+  ++elasticity_.retirements;
+  trace_->counters().counter("autoscaler.scale_downs").add();
+  trace_->record(obs::Component::kCluster,
+                 {.kind = obs::EventKind::kMdsRetire, .a = m});
+  return true;
 }
 
 std::size_t MdsCluster::alive_count() const {
@@ -472,6 +551,8 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
   LUNULE_CHECK(is_up(m));
   LUNULE_CHECK(alive_count() >= 2);  // the last rank cannot crash
   servers_[static_cast<std::size_t>(m)].set_up(false);
+  // A crash supersedes any scale-down in progress: the rank is gone now.
+  draining_[static_cast<std::size_t>(m)] = 0;
 
   FailoverStats stats;
   // Abort transfers first: an in-flight export whose endpoint died never
@@ -494,13 +575,19 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
 
   // Deterministic survivor choice: each orphaned unit goes to the alive
   // rank with the smallest takeover tally so far, ties to the lowest rank.
+  // Ranks draining for scale-down are passed over while any other survivor
+  // exists — handing them orphans would only grow the drain sweep's work.
   std::vector<std::uint64_t> taken(servers_.size(), 0);
   auto pick_survivor = [&]() -> MdsId {
     MdsId best = kNoMds;
-    for (std::size_t r = 0; r < servers_.size(); ++r) {
-      if (!servers_[r].up()) continue;
-      if (best == kNoMds || taken[r] < taken[static_cast<std::size_t>(best)]) {
-        best = static_cast<MdsId>(r);
+    for (int pass = 0; pass < 2 && best == kNoMds; ++pass) {
+      for (std::size_t r = 0; r < servers_.size(); ++r) {
+        if (!servers_[r].up()) continue;
+        if (pass == 0 && draining_[r] != 0) continue;
+        if (best == kNoMds ||
+            taken[r] < taken[static_cast<std::size_t>(best)]) {
+          best = static_cast<MdsId>(r);
+        }
       }
     }
     LUNULE_CHECK(best != kNoMds);
@@ -591,7 +678,7 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
         primary = static_cast<MdsId>(r);
       }
     }
-    const Tick window = static_cast<Tick>(std::ceil(replay.replay_seconds));
+    const Tick window = journal::replay_window_ticks(replay.replay_seconds);
     for (std::size_t r = 0; r < servers_.size(); ++r) {
       if (!servers_[r].up() || taken[r] == 0) continue;
       servers_[r].begin_replay(window,

@@ -41,6 +41,11 @@ struct HotPathOpts {
 
 struct ClusterParams {
   std::size_t n_mds = 5;
+  /// Ranks serving at construction; the rest start as cold standbys (down,
+  /// owning nothing) that an autoscaler can `activate` later.  0 — the
+  /// default — means all `n_mds` ranks start active, which reproduces the
+  /// fixed-pool behavior byte for byte.
+  std::size_t initial_active = 0;
   /// Theoretical per-MDS capacity C in IOPS (Eq. 2 of the paper).
   double mds_capacity_iops = 2500.0;
   /// Ticks (simulated seconds) per balancer epoch; the paper's default
@@ -155,6 +160,51 @@ class MdsCluster {
   // -- Topology -------------------------------------------------------------
   /// Adds one MDS at runtime (cluster-expansion experiments, Fig. 12a).
   MdsId add_server();
+
+  // -- Elasticity -----------------------------------------------------------
+  /// Scale-up: joins standby rank `m` to the serving set via the journal
+  /// cold-start path.  Unlike `set_up` (crash recovery) this is a planned
+  /// membership change: it bumps the autoscaler counters, records
+  /// `mds_activate`, and — when journaling is on — charges the base replay
+  /// window (the newcomer must open a journal and rejoin the MDS map before
+  /// serving at full capacity).  A no-op when `m` is already up.
+  void activate(MdsId m);
+  /// Scale-down step 1: marks `m` as leaving the serving set.  The rank
+  /// stays up and keeps serving, but the migration engine refuses new
+  /// imports into it and its queued imports are cancelled; the caller then
+  /// drains its subtrees via normal migration submits.
+  void begin_drain(MdsId m);
+  /// Aborts an in-progress drain (the autoscaler reverses a scale-down when
+  /// load returns before the rank empties).
+  void cancel_drain(MdsId m);
+  /// Scale-down step 2: retires a drained rank.  Succeeds (returns true)
+  /// only once `m` owns no subtree units and no migration task touches it;
+  /// the rank then leaves the serving set without a failover.  Requires
+  /// another rank to be up.
+  bool retire(MdsId m);
+  [[nodiscard]] bool is_draining(MdsId m) const {
+    return draining_[static_cast<std::size_t>(m)] != 0;
+  }
+  /// True when `m` may accept migration imports: up and not draining.
+  [[nodiscard]] bool is_importable(MdsId m) const {
+    return is_up(m) && !is_draining(m);
+  }
+  /// Everything rank `m` is currently authoritative for (public view of the
+  /// ESubtreeMap payload; the autoscaler drains exactly this set).
+  [[nodiscard]] std::vector<fs::SubtreeRef> owned_subtrees(MdsId m) const {
+    return owned_units(m);
+  }
+
+  /// Lifetime totals of planned membership changes (the invariant checker
+  /// audits that the autoscaler.* counters agree with these).
+  struct ElasticityTotals {
+    std::uint64_t activations = 0;
+    std::uint64_t drains_started = 0;
+    std::uint64_t retirements = 0;
+  };
+  [[nodiscard]] const ElasticityTotals& elasticity() const {
+    return elasticity_;
+  }
 
   // -- Faults ---------------------------------------------------------------
   /// What a fail-over moved, for reporting and trace events.
@@ -277,6 +327,9 @@ class MdsCluster {
   fs::NamespaceTree& tree_;
   ClusterParams params_;
   std::vector<MdsServer> servers_;
+  /// Per-rank drain flag (scale-down in progress); parallel to `servers_`.
+  std::vector<std::uint8_t> draining_;
+  ElasticityTotals elasticity_;
   /// One journal per rank; empty when `params_.journal.enabled` is false.
   std::vector<journal::MdsJournal> journals_;
   std::unique_ptr<AccessRecorder> recorder_;

@@ -39,6 +39,9 @@ void MdsServer::begin_tick(double capacity_factor) {
 void MdsServer::begin_replay(Tick ticks, double penalty) {
   LUNULE_CHECK(ticks >= 0);
   LUNULE_CHECK(penalty >= 0.0 && penalty < 1.0);
+  // A zero-tick window charges nothing: installing its penalty would let a
+  // no-op call pollute a later, weaker replay window via the max-merge.
+  if (ticks == 0) return;
   replay_ticks_ = std::max(replay_ticks_, ticks);
   replay_penalty_ = std::max(replay_penalty_, penalty);
 }

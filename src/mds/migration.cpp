@@ -25,6 +25,9 @@ bool MigrationEngine::submit(const fs::SubtreeRef& ref, MdsId to) {
   // Refuse endpoints the cluster reports as down: a balancer holding a
   // stale view of the MDS set must not queue exports into a crashed rank.
   if (liveness_ && (!liveness_(to) || !liveness_(from))) return false;
+  // Refuse imports into ranks leaving the serving set (draining for
+  // scale-down): their queue is being emptied, not refilled.
+  if (import_ok_ && !import_ok_(to)) return false;
   const std::uint64_t inodes = tree_.exclusive_inodes(ref);
   if (inodes == 0) return false;
   for (const ExportTask& t : tasks_) {
@@ -92,6 +95,20 @@ void MigrationEngine::record_abort(const ExportTask& t, double rate) {
   }
 }
 
+void MigrationEngine::record_terminal_drop(const ExportTask& t) {
+  ++retries_exhausted_;
+  if (tracer_) {
+    tracer_->counters().counter("migration.retries_exhausted").add();
+    tracer_->record(obs::Component::kMigration,
+                    {.kind = obs::EventKind::kMigrationRetriesExhausted,
+                     .a = t.from,
+                     .b = t.to,
+                     .n0 = static_cast<std::int64_t>(t.subtree.dir),
+                     .n1 = t.retries,
+                     .v0 = static_cast<double>(t.inodes)});
+  }
+}
+
 std::size_t MigrationEngine::abort_involving(MdsId m) {
   std::size_t dropped = 0;
   std::erase_if(tasks_, [this, m, &dropped](const ExportTask& t) {
@@ -114,17 +131,7 @@ std::size_t MigrationEngine::force_abort_active(MdsId exporter) {
       // Retries exhausted: the task is dropped for good.  Say so — a
       // silently vanishing plan looks like a migration that never existed,
       // and the balancer's operator deserves a terminal event to grep for.
-      ++retries_exhausted_;
-      if (tracer_) {
-        tracer_->counters().counter("migration.retries_exhausted").add();
-        tracer_->record(obs::Component::kMigration,
-                        {.kind = obs::EventKind::kMigrationRetriesExhausted,
-                         .a = t.from,
-                         .b = t.to,
-                         .n0 = static_cast<std::int64_t>(t.subtree.dir),
-                         .n1 = t.retries,
-                         .v0 = static_cast<double>(t.inodes)});
-      }
+      record_terminal_drop(t);
       return true;
     }
     // Roll back and requeue with exponential backoff: the two-phase
@@ -158,6 +165,20 @@ void MigrationEngine::tick() {
     record_abort(t, rate);
     return true;
   });
+  // Re-validate endpoint liveness for tasks that have not started streaming
+  // yet: a rank taken down or scaled away *after* a requeue (the submit-time
+  // probe only ran once) must not be restarted against when the backoff
+  // window expires.  The drop is terminal — the endpoint is gone, so this
+  // is `migration_retries_exhausted`, not another retry.
+  if (liveness_) {
+    std::erase_if(tasks_, [this](const ExportTask& t) {
+      if (t.active) return false;
+      if (liveness_(t.from) && liveness_(t.to)) return false;
+      record_abort(t, 0.0);
+      record_terminal_drop(t);
+      return true;
+    });
+  }
   // Activate queued tasks while their exporter has a free slot (requeued
   // tasks additionally wait out their backoff window).
   for (ExportTask& t : tasks_) {
@@ -240,6 +261,23 @@ std::size_t MigrationEngine::pending_exports(MdsId m) const {
 void MigrationEngine::drop_queued(MdsId m) {
   std::erase_if(tasks_, [m](const ExportTask& t) {
     return t.from == m && !t.active;
+  });
+}
+
+std::size_t MigrationEngine::abort_queued_imports(MdsId to) {
+  std::size_t dropped = 0;
+  std::erase_if(tasks_, [this, to, &dropped](const ExportTask& t) {
+    if (t.to != to || t.active) return false;
+    record_abort(t, 0.0);
+    ++dropped;
+    return true;
+  });
+  return dropped;
+}
+
+bool MigrationEngine::touches(MdsId m) const {
+  return std::any_of(tasks_.begin(), tasks_.end(), [m](const ExportTask& t) {
+    return t.from == m || t.to == m;
   });
 }
 

@@ -120,11 +120,34 @@ class MigrationEngine {
 
   /// Liveness probe installed by the owning cluster: submissions whose
   /// endpoints are down are refused, so balancers chasing a stale target
-  /// fail closed.  Null (the default) accepts every rank.
+  /// fail closed.  The same probe re-validates both endpoints whenever a
+  /// queued task (fresh or in its retry-backoff window) is about to start
+  /// streaming: a rank taken down or scaled away *after* the requeue must
+  /// not be restarted against — such tasks are dropped for good with
+  /// `migration_retries_exhausted` semantics.  Null (the default) accepts
+  /// every rank.
   using LivenessProbe = std::function<bool(MdsId)>;
   void set_liveness_probe(LivenessProbe probe) {
     liveness_ = std::move(probe);
   }
+
+  /// Import-eligibility probe: refuses *new* submissions into ranks that
+  /// are alive but leaving the serving set (draining for scale-down).
+  /// Unlike the liveness probe it is only consulted at submit time — tasks
+  /// already queued into a rank when its drain begins are cancelled
+  /// explicitly via `abort_queued_imports`.  Null accepts every rank.
+  void set_import_probe(LivenessProbe probe) {
+    import_ok_ = std::move(probe);
+  }
+
+  /// Drain support: aborts every task importing into `to` that has not
+  /// started streaming yet (active imports are allowed to finish — the
+  /// rank is still up).  Returns the number of tasks dropped.
+  std::size_t abort_queued_imports(MdsId to);
+
+  /// True when any task (queued or active) has `m` as an endpoint; a
+  /// draining rank may only retire once this is false.
+  [[nodiscard]] bool touches(MdsId m) const;
 
   /// Inodes still to stream across all queued + active tasks (a measure of
   /// the migration backlog; lag-aware balancers consult this before
@@ -175,6 +198,10 @@ class MigrationEngine {
 
   void record_abort(const ExportTask& t, double rate);
 
+  /// Emits the terminal `migration_retries_exhausted` counter + event for a
+  /// task dropped for good (retry budget spent, or its endpoint is gone).
+  void record_terminal_drop(const ExportTask& t);
+
   fs::NamespaceTree& tree_;
   MigrationParams params_;
   std::deque<ExportTask> tasks_;
@@ -186,6 +213,7 @@ class MigrationEngine {
   std::uint64_t retries_exhausted_ = 0;
   CommitHook commit_hook_;
   LivenessProbe liveness_;
+  LivenessProbe import_ok_;
   obs::TraceRecorder* tracer_ = nullptr;
 };
 

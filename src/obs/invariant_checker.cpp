@@ -261,6 +261,41 @@ std::vector<std::string> InvariantChecker::check_epoch(
     }
   }
 
+  // 7. Elasticity.  Membership changes must conserve the serving model:
+  //    a rank outside the serving set (cold standby or retired) owns
+  //    nothing (section 3 already flags any unit resolving to it), serves
+  //    nothing, and carries zero load; a draining rank is still a serving
+  //    member and must be up; and the autoscaler.* counters agree with the
+  //    cluster's own membership-change totals.  Completed-op conservation
+  //    across scale events is covered by section 1: total_served is
+  //    monotone and every epoch's delta is billed to sampled loads, so a
+  //    retirement that lost ops would trip the conservation check above.
+  if (was_down_.size() != n) was_down_.assign(n, false);
+  for (std::size_t m = 0; m < n; ++m) {
+    const auto id = static_cast<MdsId>(m);
+    if (!cluster.is_up(id)) {
+      if (cluster.is_draining(id)) {
+        v.add("mds.", m, " is down but still marked draining");
+      }
+      // A rank that crashed mid-epoch closed this epoch with whatever it
+      // served before dying — only a rank down for the *whole* epoch
+      // (cold standby, retired, or still mid-outage) must carry zero.
+      if (was_down_[m] && cluster.server(id).current_load() != 0.0) {
+        v.add("mds.", m, " was down for the whole epoch but closed it "
+              "with load ", cluster.server(id).current_load());
+      }
+    }
+    was_down_[m] = !cluster.is_up(id);
+  }
+  const mds::MdsCluster::ElasticityTotals& elastic = cluster.elasticity();
+  if (elastic.activations != 0 || elastic.retirements != 0 ||
+      elastic.drains_started != 0) {
+    check_counter(v, counters, "autoscaler.scale_ups", elastic.activations);
+    check_counter(v, counters, "autoscaler.scale_downs",
+                  elastic.retirements);
+    check_counter(v, counters, "autoscaler.drains", elastic.drains_started);
+  }
+
   ++epochs_checked_;
   return v.take();
 }

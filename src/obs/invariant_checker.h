@@ -59,6 +59,11 @@ class InvariantChecker {
  private:
   std::uint64_t last_served_total_ = 0;
   std::uint64_t epochs_checked_ = 0;
+  /// Per-rank up/down state at the previous check: a rank that went down
+  /// mid-epoch (crash) legitimately closes that epoch with the load it
+  /// served before dying, so zero-load is only demanded of ranks that
+  /// were already down when the previous epoch closed.
+  std::vector<bool> was_down_;
 };
 
 }  // namespace lunule::obs

@@ -27,6 +27,9 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kJournalStall:    return "journal_stall";
     case EventKind::kMigrationRetriesExhausted:
       return "migration_retries_exhausted";
+    case EventKind::kMdsActivate:     return "mds_activate";
+    case EventKind::kDrainStart:      return "drain_start";
+    case EventKind::kMdsRetire:       return "mds_retire";
   }
   return "?";
 }

@@ -57,6 +57,10 @@ enum class EventKind : std::uint8_t {
   kJournalStall,     // a=mds, n0=stall-until tick, v0=unflushed backlog
   kMigrationRetriesExhausted,  // a=from, b=to, n0=dir, n1=retries spent,
                      //   v0=inodes (task dropped for good)
+  kMdsActivate,      // a=mds, n0=replay window ticks, v0=hydration seconds
+                     //   (standby rank joined the serving set)
+  kDrainStart,       // a=mds, n0=owned subtree units at drain start
+  kMdsRetire,        // a=mds, n0=epochs spent draining
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind kind);

@@ -124,6 +124,21 @@ sim::ScenarioConfig generate_config(std::uint64_t seed, std::uint64_t index) {
   random_fault_plan(rng, cfg);
   cfg.seed = rng.next_u64();
 
+  // Autoscaler knobs are drawn *after* the scenario seed so every config
+  // pinned in tests/corpus/ before elasticity existed is reproduced
+  // byte-for-byte; only the (previously unused) tail of the stream moves.
+  if (rng.next_bool(0.3)) {
+    cfg.autoscaler.enabled = true;
+    cfg.autoscaler.initial_active =
+        static_cast<std::size_t>(1 + rng.next_below(cfg.n_mds));
+    cfg.autoscaler.min_ranks = 1;
+    cfg.autoscaler.max_ranks = 0;  // whole pool
+    cfg.autoscaler.scale_up_utilization = 0.55 + 0.35 * rng.next_double();
+    cfg.autoscaler.scale_down_utilization = 0.05 + 0.30 * rng.next_double();
+    cfg.autoscaler.hysteresis_epochs = static_cast<int>(1 + rng.next_below(3));
+    cfg.autoscaler.cooldown_epochs = static_cast<int>(rng.next_below(5));
+  }
+
   // Belt and braces: a generated plan must always pass scenario validation.
   cfg.faults.validate(cfg.n_mds, cfg.max_ticks);
   return cfg;

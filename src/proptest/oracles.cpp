@@ -250,6 +250,55 @@ OracleResult check_journal_overhead_bounded(const sim::ScenarioConfig& cfg) {
   return OracleResult::ok();
 }
 
+OracleResult check_elasticity_conserves_completed_ops(
+    const sim::ScenarioConfig& cfg) {
+  // Elasticity changes *when* capacity exists, never *what* the clients
+  // get done: a workload that completes on the full fixed pool and also
+  // completes on the elastic pool must have been served exactly once
+  // either way — no ops lost in a drain handoff, none double-counted
+  // across an activation's replay window.
+  sim::ScenarioConfig off = cfg;
+  off.autoscaler = {};
+  sim::ScenarioConfig on = off;
+  on.autoscaler = cfg.autoscaler;
+  if (!on.autoscaler.enabled) {
+    // The generator only arms the autoscaler on a fraction of configs;
+    // synthesize an agile policy (seed-derived floor, short streaks) so
+    // the oracle bites on every config it is pointed at.
+    on.autoscaler.enabled = true;
+    on.autoscaler.initial_active = 1 + cfg.seed % cfg.n_mds;
+    on.autoscaler.min_ranks = 1;
+    on.autoscaler.hysteresis_epochs = 1;
+    on.autoscaler.cooldown_epochs = 1;
+  }
+
+  const sim::ScenarioResult r_off = sim::run_scenario(off);
+  const sim::ScenarioResult r_on = sim::run_scenario(on);
+  if (r_off.scale_up_events != 0 || r_off.scale_down_events != 0) {
+    std::ostringstream os;
+    os << "autoscaler-disabled run scaled anyway: " << r_off.scale_up_events
+       << " up / " << r_off.scale_down_events << " down";
+    return OracleResult::fail(os.str());
+  }
+  if (r_on.total_served == 0) {
+    return OracleResult::fail("elastic run served nothing");
+  }
+  const bool off_done = r_off.clients_done == r_off.n_clients;
+  const bool on_done = r_on.clients_done == r_on.n_clients;
+  if (!off_done || !on_done) {
+    // A smaller starting pool may legitimately still be catching up when
+    // max_ticks lands; conservation is only defined over completed work.
+    return OracleResult::skip("workload did not complete on both pools");
+  }
+  if (r_on.total_served != r_off.total_served) {
+    std::ostringstream os;
+    os << "elasticity lost completed ops: " << r_on.total_served
+       << " served elastic vs " << r_off.total_served << " fixed";
+    return OracleResult::fail(os.str());
+  }
+  return OracleResult::ok();
+}
+
 OracleResult check_capacity_monotonicity(const sim::ScenarioConfig& cfg) {
   // More hardware must not lose work: with double the per-MDS capacity the
   // cluster serves at least (almost — balancing dynamics shift) as many ops
@@ -333,6 +382,9 @@ constexpr Oracle kOracles[] = {
     {"journal_overhead_bounded",
      "crash-free journaling conserves completed work at bounded overhead",
      &check_journal_overhead_bounded},
+    {"elasticity_conserves_completed_ops",
+     "elastic and fixed pools serve a completed workload identically",
+     &check_elasticity_conserves_completed_ops},
     {"capacity_monotonicity",
      "doubling per-MDS capacity never loses completions or throughput",
      &check_capacity_monotonicity},

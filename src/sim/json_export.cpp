@@ -152,6 +152,10 @@ void write_result(std::ostream& os, const ScenarioResult& r) {
   w.field("journal_entries_appended", r.journal_entries_appended);
   w.field("journal_bytes_written", r.journal_bytes_written);
   w.field("journal_segments_trimmed", r.journal_segments_trimmed);
+  w.field("rank_seconds", r.rank_seconds);
+  w.field("scale_up_events", r.scale_up_events);
+  w.field("scale_down_events", r.scale_down_events);
+  w.field("drain_seconds", r.drain_seconds);
   w.key("op_latency");
   w.begin_object();
   w.field("mean", r.op_latency.mean());

@@ -243,6 +243,15 @@ mds::ClusterParams cluster_params_for(const ScenarioConfig& cfg) {
   cp.hot_path.auth_cache = cfg.hot_path_opts;
   cp.hot_path.lazy_stats = cfg.hot_path_opts;
   cp.hot_path.candidate_filter = cfg.hot_path_opts;
+  if (cfg.autoscaler.enabled) {
+    // Elastic pool: start with the configured active set (default: the
+    // floor), clamped into [min_ranks, n_mds]; the rest are cold standbys.
+    std::size_t init = cfg.autoscaler.initial_active != 0
+                           ? cfg.autoscaler.initial_active
+                           : cfg.autoscaler.min_ranks;
+    const std::size_t lo = std::min(cfg.autoscaler.min_ranks, cfg.n_mds);
+    cp.initial_active = std::clamp(init, lo, cfg.n_mds);
+  }
   return cp;
 }
 
@@ -275,6 +284,7 @@ std::unique_ptr<Simulation> make_scenario_with_balancer(
   opts.epoch_ticks = cfg.epoch_ticks;
   opts.stop_when_done = cfg.stop_when_done;
   opts.sharded_ticks = cfg.sharded_ticks;
+  opts.autoscaler = cfg.autoscaler;
 
   core::IfParams if_params;
   if_params.mds_capacity = cfg.mds_capacity_iops;
@@ -450,6 +460,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
         break;
       }
     }
+  }
+  r.rank_seconds = sim->rank_seconds();
+  r.scale_up_events = sim->cluster().elasticity().activations;
+  r.scale_down_events = sim->cluster().elasticity().retirements;
+  if (const mds::Autoscaler* as = sim->autoscaler()) {
+    r.drain_seconds = static_cast<double>(as->stats().drain_epochs) *
+                      static_cast<double>(cfg.epoch_ticks);
   }
   if (cfg.capture_trace) {
     r.trace_json = trace_to_json(sim->cluster().trace());

@@ -120,6 +120,13 @@ struct ScenarioConfig {
   /// S >= 1 (the sharded schedule itself differs from the legacy one).
   int sharded_ticks = 0;
 
+  /// Elastic MDS pool (autoscaler.enabled = false by default: all n_mds
+  /// ranks serve for the whole run and every trace stays byte-identical to
+  /// the fixed-pool behavior).  With it on, ranks past
+  /// `autoscaler.initial_active` start as cold standbys and the pool grows
+  /// or shrinks at epoch boundaries (see docs/ELASTICITY.md).
+  mds::AutoscalerParams autoscaler;
+
   std::uint64_t seed = 42;
 };
 
@@ -202,6 +209,16 @@ struct ScenarioResult {
   std::uint64_t journal_entries_appended = 0;
   std::uint64_t journal_bytes_written = 0;
   std::uint64_t journal_segments_trimmed = 0;
+  // -- Elasticity reporting -----------------------------------------------
+  /// Σ over ticks of the serving rank count (the elastic pool's cost
+  /// meter); filled for every run, elastic or not.
+  std::uint64_t rank_seconds = 0;
+  /// Completed membership changes (standby activations / drained
+  /// retirements, including any driven manually via scheduled events).
+  std::uint64_t scale_up_events = 0;
+  std::uint64_t scale_down_events = 0;
+  /// Seconds spent with a scale-down drain in flight (0 without one).
+  double drain_seconds = 0.0;
   /// Full flight-recorder dump (JSON, deterministic for a fixed seed);
   /// benches write it to disk under --trace.
   std::string trace_json;

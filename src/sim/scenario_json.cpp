@@ -99,6 +99,39 @@ void load_journal(const JsonValue& v, journal::JournalParams& j) {
   }
 }
 
+void load_autoscaler(const JsonValue& v, mds::AutoscalerParams& a) {
+  check_known_keys(
+      v, "autoscaler",
+      {"enabled", "initial_active", "min_ranks", "max_ranks",
+       "scale_up_utilization", "scale_down_utilization",
+       "saturation_utilization", "hysteresis_epochs", "cooldown_epochs"});
+  if (const JsonValue* x = v.find("enabled")) a.enabled = x->as_bool();
+  if (const JsonValue* x = v.find("initial_active")) {
+    a.initial_active = static_cast<std::size_t>(x->as_uint());
+  }
+  if (const JsonValue* x = v.find("min_ranks")) {
+    a.min_ranks = static_cast<std::size_t>(x->as_uint());
+  }
+  if (const JsonValue* x = v.find("max_ranks")) {
+    a.max_ranks = static_cast<std::size_t>(x->as_uint());
+  }
+  if (const JsonValue* x = v.find("scale_up_utilization")) {
+    a.scale_up_utilization = x->as_double();
+  }
+  if (const JsonValue* x = v.find("scale_down_utilization")) {
+    a.scale_down_utilization = x->as_double();
+  }
+  if (const JsonValue* x = v.find("saturation_utilization")) {
+    a.saturation_utilization = x->as_double();
+  }
+  if (const JsonValue* x = v.find("hysteresis_epochs")) {
+    a.hysteresis_epochs = static_cast<int>(x->as_int());
+  }
+  if (const JsonValue* x = v.find("cooldown_epochs")) {
+    a.cooldown_epochs = static_cast<int>(x->as_int());
+  }
+}
+
 }  // namespace
 
 void write_scenario_config(std::ostream& os, const ScenarioConfig& cfg) {
@@ -154,6 +187,24 @@ void write_scenario_config(std::ostream& os, const ScenarioConfig& cfg) {
                 cfg.journal.history_decay_per_epoch);
   w.end_object();
 
+  w.key("autoscaler");
+  w.begin_object();
+  w.field("enabled", cfg.autoscaler.enabled);
+  w.field("initial_active",
+          static_cast<std::uint64_t>(cfg.autoscaler.initial_active));
+  w.field("min_ranks", static_cast<std::uint64_t>(cfg.autoscaler.min_ranks));
+  w.field("max_ranks", static_cast<std::uint64_t>(cfg.autoscaler.max_ranks));
+  w.field_exact("scale_up_utilization", cfg.autoscaler.scale_up_utilization);
+  w.field_exact("scale_down_utilization",
+                cfg.autoscaler.scale_down_utilization);
+  w.field_exact("saturation_utilization",
+                cfg.autoscaler.saturation_utilization);
+  w.field("hysteresis_epochs",
+          static_cast<std::int64_t>(cfg.autoscaler.hysteresis_epochs));
+  w.field("cooldown_epochs",
+          static_cast<std::int64_t>(cfg.autoscaler.cooldown_epochs));
+  w.end_object();
+
   w.field("migration_max_retries",
           static_cast<std::int64_t>(cfg.migration_max_retries));
   w.field("migration_retry_backoff_ticks",
@@ -181,7 +232,7 @@ ScenarioConfig scenario_config_from_value(const JsonValue& v) {
        "client_rate", "client_rate_jitter", "client_start_spread", "scale",
        "max_ticks", "epoch_ticks", "stop_when_done", "data_enabled",
        "data_capacity", "sibling_credit_prob", "replicate_threshold_iops",
-       "faults", "journal", "migration_max_retries",
+       "faults", "journal", "autoscaler", "migration_max_retries",
        "migration_retry_backoff_ticks", "capture_trace", "hot_path_opts",
        "sharded_ticks", "seed"});
   ScenarioConfig cfg;
@@ -239,6 +290,9 @@ ScenarioConfig scenario_config_from_value(const JsonValue& v) {
     for (const JsonValue& e : x->as_array()) load_fault_event(e, cfg.faults);
   }
   if (const JsonValue* x = v.find("journal")) load_journal(*x, cfg.journal);
+  if (const JsonValue* x = v.find("autoscaler")) {
+    load_autoscaler(*x, cfg.autoscaler);
+  }
   if (const JsonValue* x = v.find("migration_max_retries")) {
     cfg.migration_max_retries = static_cast<int>(x->as_int());
   }

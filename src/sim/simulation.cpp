@@ -23,6 +23,9 @@ Simulation::Simulation(std::unique_ptr<fs::NamespaceTree> tree,
   LUNULE_CHECK(cluster_ != nullptr);
   LUNULE_CHECK(balancer_ != nullptr);
   LUNULE_CHECK(options_.epoch_ticks >= 1);
+  if (options_.autoscaler.enabled) {
+    autoscaler_ = std::make_unique<mds::Autoscaler>(options_.autoscaler);
+  }
 }
 
 void Simulation::add_client(std::unique_ptr<workloads::Client> client) {
@@ -146,6 +149,9 @@ void Simulation::run() {
       }
     }
     cluster_->end_tick();
+    // Rank-seconds billed this tick: the cost meter both fixed and elastic
+    // pools are compared on.
+    rank_seconds_ += cluster_->alive_count();
 
     if ((now_ + 1) % options_.epoch_ticks == 0) {
       const std::vector<Load> loads = cluster_->close_epoch();
@@ -166,6 +172,10 @@ void Simulation::run() {
       }
       metrics_.on_epoch(*cluster_, loads);
       balancer_->on_epoch(*cluster_, loads);
+      // Elasticity decisions run after the balancer so both see the same
+      // closed-epoch loads and the balancer keeps first claim on the
+      // migration pipeline.
+      if (autoscaler_) autoscaler_->on_epoch(*cluster_, loads);
       if (options_.stop_on_memory_limit &&
           mds::memory_census(*tree_, cluster_->size(), options_.memory)
               .over_limit) {

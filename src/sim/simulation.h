@@ -21,6 +21,7 @@
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "fs/namespace_tree.h"
+#include "mds/autoscaler.h"
 #include "mds/cluster.h"
 #include "mds/data_path.h"
 #include "mds/memory_model.h"
@@ -51,6 +52,11 @@ class Simulation {
     /// canonical — results and traces are byte-identical for every S >= 1
     /// and any number of actually-granted worker threads.
     int sharded_ticks = 0;
+    /// Elastic MDS pool: when `autoscaler.enabled`, an Autoscaler runs at
+    /// every epoch boundary (right after the balancer) and may grow or
+    /// shrink the serving rank set.  Off by default — disabled runs are
+    /// byte-identical to a fixed pool.
+    mds::AutoscalerParams autoscaler;
   };
 
   Simulation(std::unique_ptr<fs::NamespaceTree> tree,
@@ -95,6 +101,15 @@ class Simulation {
   /// Completion times (seconds) of all finished clients.
   [[nodiscard]] std::vector<double> job_completion_seconds() const;
 
+  /// Cost metric of the elastic pool: Σ over ticks of the serving rank
+  /// count (rank-seconds billed, elastic or not).  Accumulated for every
+  /// run so fixed and elastic pools compare on the same meter.
+  [[nodiscard]] std::uint64_t rank_seconds() const { return rank_seconds_; }
+  /// The autoscaler driving this run, or null when disabled.
+  [[nodiscard]] const mds::Autoscaler* autoscaler() const {
+    return autoscaler_.get();
+  }
+
  private:
   /// One tick of client execution under the sharded engine (binding,
   /// parallel rank streams, lane merge, serial deferred pass).
@@ -109,7 +124,9 @@ class Simulation {
   std::vector<std::unique_ptr<workloads::Client>> clients_;
   std::multimap<Tick, std::function<void(Simulation&)>> events_;
   std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<mds::Autoscaler> autoscaler_;
   obs::InvariantChecker invariants_;
+  std::uint64_t rank_seconds_ = 0;
   /// Sharded-engine scratch, reused across ticks.
   std::vector<mds::TickLane> lanes_;
   std::vector<std::vector<std::size_t>> by_rank_;

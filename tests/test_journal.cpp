@@ -479,5 +479,71 @@ TEST(JournalScenario, JournalStallIsSkippedWithoutAJournal) {
   EXPECT_EQ(r.faults_skipped, 1u);
 }
 
+// -- Replay-window conversion (regression) ----------------------------------
+//
+// The window used to be a plain ceil() of the modeled seconds, which (a)
+// charged one full tick for replay_seconds == 0 and (b) rounded exact
+// integer durations up a tick whenever floating-point noise left them a few
+// ulps above the integer (2000 entries at 2000/s + base 1.0 is "3.0000...4"
+// seconds and was billed 4 ticks).
+
+TEST(ReplayWindow, ZeroSecondsChargesZeroTicks) {
+  EXPECT_EQ(journal::replay_window_ticks(0.0), 0);
+  EXPECT_EQ(journal::replay_window_ticks(-1.0), 0);
+}
+
+TEST(ReplayWindow, ExactIntegersDoNotRoundUp) {
+  EXPECT_EQ(journal::replay_window_ticks(1.0), 1);
+  EXPECT_EQ(journal::replay_window_ticks(3.0), 3);
+  // 2000 durable entries at 2000/s plus the 1 s base, computed the way the
+  // replay model computes it: noisy arithmetic a few ulps above 3.0.
+  const double noisy = 0.1 + 0.2;  // 0.30000000000000004
+  EXPECT_EQ(journal::replay_window_ticks(noisy * 10.0), 3);
+}
+
+TEST(ReplayWindow, FractionsStillRoundUp) {
+  EXPECT_EQ(journal::replay_window_ticks(2.5), 3);
+  EXPECT_EQ(journal::replay_window_ticks(0.2), 1);
+  // Any genuinely positive duration costs at least one tick.
+  EXPECT_EQ(journal::replay_window_ticks(1e-9), 1);
+}
+
+namespace {
+/// Serves until saturation and returns how many ops fit in the open tick.
+int drain_budget(mds::MdsServer& s) {
+  int served = 0;
+  while (s.try_serve()) ++served;
+  return served;
+}
+}  // namespace
+
+TEST(ReplayWindow, ZeroTickReplayInstallsNoPenalty) {
+  mds::MdsServer s(0, /*capacity_iops=*/100.0);
+  // A zero-length window must be a true no-op.  It used to max-merge its
+  // penalty into the server anyway, so a later penalty-free window (e.g. a
+  // standby activation with journaling off) served at half capacity.
+  s.begin_replay(0, 0.5);
+  EXPECT_FALSE(s.replaying());
+  s.begin_tick(1.0);
+  EXPECT_EQ(drain_budget(s), 100);
+
+  s.begin_replay(2, 0.0);
+  EXPECT_TRUE(s.replaying());
+  s.begin_tick(1.0);
+  EXPECT_EQ(drain_budget(s), 100) << "polluted by the zero-tick window";
+}
+
+TEST(ReplayWindow, PenaltyLastsExactlyTheWindow) {
+  mds::MdsServer s(0, /*capacity_iops=*/100.0);
+  s.begin_replay(journal::replay_window_ticks(2.0), 0.3);
+  s.begin_tick(1.0);
+  EXPECT_EQ(drain_budget(s), 70);  // window tick 1
+  s.begin_tick(1.0);
+  EXPECT_EQ(drain_budget(s), 70);  // window tick 2
+  s.begin_tick(1.0);
+  EXPECT_EQ(drain_budget(s), 100);  // window closed, full capacity
+  EXPECT_FALSE(s.replaying());
+}
+
 }  // namespace
 }  // namespace lunule

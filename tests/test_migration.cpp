@@ -123,6 +123,82 @@ TEST_F(MigrationTest, AncestorExportBlocksDescendantSubmission) {
   EXPECT_FALSE(eng.submit({.dir = child}, 2));
 }
 
+// Regression: a task sitting out its retry backoff must re-validate both
+// endpoints when it is about to restart.  The probe used to be consulted
+// only at submit time, so a rank scaled down (or crashed without the
+// cluster's abort_involving sweep) inside the backoff window would be
+// streamed to anyway — exports against a gone importer.
+TEST_F(MigrationTest, StaleRetryAgainstDeadImporterIsDroppedTerminally) {
+  MigrationEngine eng(tree, slow_params());
+  bool importer_alive = true;
+  eng.set_liveness_probe([&](MdsId m) { return m != 1 || importer_alive; });
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 1));
+  eng.tick();  // activates
+  ASSERT_EQ(eng.force_abort_active(), 1u);  // requeued, backoff running
+  ASSERT_EQ(eng.tasks().size(), 1u);
+  ASSERT_FALSE(eng.tasks().front().active);
+
+  importer_alive = false;  // rank 1 leaves while the task waits
+  for (int t = 0; t < 10; ++t) eng.tick();  // past retry_backoff_ticks = 5
+
+  EXPECT_TRUE(eng.tasks().empty()) << "stale task restarted against a "
+                                      "dead importer";
+  EXPECT_EQ(eng.retries_exhausted(), 1u);
+  EXPECT_EQ(tree.auth_of(dirs[0]), 0);  // authority never moved
+}
+
+TEST_F(MigrationTest, StaleRetryAgainstDeadExporterIsDroppedTerminally) {
+  MigrationEngine eng(tree, slow_params());
+  bool exporter_alive = true;
+  eng.set_liveness_probe([&](MdsId m) { return m != 0 || exporter_alive; });
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 1));
+  eng.tick();
+  ASSERT_EQ(eng.force_abort_active(), 1u);
+  exporter_alive = false;
+  for (int t = 0; t < 10; ++t) eng.tick();
+  EXPECT_TRUE(eng.tasks().empty());
+  EXPECT_EQ(eng.retries_exhausted(), 1u);
+}
+
+TEST_F(MigrationTest, RetryWithLiveEndpointsStillRestarts) {
+  MigrationEngine eng(tree, slow_params());
+  eng.set_liveness_probe([](MdsId) { return true; });
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 1));
+  eng.tick();
+  ASSERT_EQ(eng.force_abort_active(), 1u);
+  // The control case: nothing died, so after the backoff the task restarts
+  // and eventually commits.
+  for (int t = 0; t < 20; ++t) eng.tick();
+  EXPECT_EQ(eng.migrations_completed(), 1u);
+  EXPECT_EQ(eng.retries_exhausted(), 0u);
+  EXPECT_EQ(tree.auth_of(dirs[0]), 1);
+}
+
+TEST_F(MigrationTest, ImportProbeRefusesNewSubmissionsOnly) {
+  MigrationEngine eng(tree, slow_params());
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 1));  // queued before the drain
+  eng.set_import_probe([](MdsId m) { return m != 1; });
+  EXPECT_FALSE(eng.submit({.dir = dirs[1]}, 1));  // draining rank refused
+  EXPECT_TRUE(eng.submit({.dir = dirs[1]}, 2));   // other ranks fine
+  // Pre-existing queued imports are untouched by the probe itself...
+  EXPECT_EQ(eng.pending_exports(0), 2u);
+  // ...and are cancelled explicitly by the drain sweep.
+  EXPECT_EQ(eng.abort_queued_imports(1), 1u);
+  EXPECT_EQ(eng.pending_exports(0), 1u);
+}
+
+TEST_F(MigrationTest, TouchesSeesQueuedAndActiveEndpoints) {
+  MigrationEngine eng(tree, slow_params());
+  ASSERT_TRUE(eng.submit({.dir = dirs[0]}, 1));
+  EXPECT_TRUE(eng.touches(0));  // queued exporter
+  EXPECT_TRUE(eng.touches(1));  // queued importer
+  EXPECT_FALSE(eng.touches(2));
+  eng.tick();
+  EXPECT_TRUE(eng.touches(1));  // still true once active
+  for (int t = 0; t < 15; ++t) eng.tick();
+  EXPECT_FALSE(eng.touches(1));  // committed, nothing left
+}
+
 TEST_F(MigrationTest, FragMigrationFreezesOnlyThatFrag) {
   tree.fragment_dir(dirs[0], 1);  // 2 frags of 50
   // Near-total freeze fraction: frozen from the first streamed inode.
