@@ -41,3 +41,4 @@ lunule_bench(ext_fault_recovery)
 lunule_bench(table_journal_overhead)
 lunule_bench(micro_hotpath)
 lunule_bench(ext_elasticity)
+lunule_bench(ext_proxy_cache)

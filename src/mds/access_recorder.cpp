@@ -174,6 +174,44 @@ void AccessRecorder::mark_touched(DirId d, RecorderLane* lane) {
   }
 }
 
+double AccessRecorder::last_epoch_rate(DirId d, double epoch_seconds) {
+  LUNULE_CHECK(epoch_seconds > 0.0);
+  if (!is_active(d)) return 0.0;
+  std::uint64_t visits = 0;
+  for (fs::FragStats& frag : tree_.frags(d)) {
+    // Readers roll lagging fragments forward first, exactly like the
+    // replica manager does — the rate is the same whichever asks first.
+    tree_.advance_frag_stats(frag);
+    if (!frag.visits_window.empty()) visits += frag.visits_window.at(0);
+  }
+  return static_cast<double>(visits) / epoch_seconds;
+}
+
+std::vector<HotDir> AccessRecorder::top_hot_dirs(std::size_t k,
+                                                 double epoch_seconds) {
+  std::vector<HotDir> hot;
+  if (k == 0) return hot;
+  hot.reserve(active_.size());
+  for (const DirId d : active_) {
+    const double rate = last_epoch_rate(d, epoch_seconds);
+    if (rate > 0.0) hot.push_back(HotDir{.dir = d, .rate_iops = rate});
+  }
+  // Descending rate, ties to the smaller dir id: a total order over the
+  // candidates, so the top-k is unique and stable.
+  const auto hotter = [](const HotDir& a, const HotDir& b) {
+    if (a.rate_iops != b.rate_iops) return a.rate_iops > b.rate_iops;
+    return a.dir < b.dir;
+  };
+  if (hot.size() > k) {
+    std::partial_sort(hot.begin(), hot.begin() + static_cast<std::ptrdiff_t>(k),
+                      hot.end(), hotter);
+    hot.resize(k);
+  } else {
+    std::sort(hot.begin(), hot.end(), hotter);
+  }
+  return hot;
+}
+
 void AccessRecorder::fold_dir(DirId d, EpochId closing) {
   fs::Directory& dir = tree_.dir(d);
   EpochId dead = dir.stats_dead_epoch();

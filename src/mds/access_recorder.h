@@ -68,6 +68,14 @@ struct AccessOutcome {
   bool recurrent = false;
 };
 
+/// One entry of the top-k hot-directory query.
+struct HotDir {
+  DirId dir = kNoDir;
+  /// Visits per second over the last *closed* epoch, summed over the
+  /// directory's fragments.
+  double rate_iops = 0.0;
+};
+
 /// Per-rank escrow of recorder effects that touch shared state; filled
 /// during a shard phase, drained by merge_lane() in rank order.
 struct RecorderLane {
@@ -115,6 +123,20 @@ class AccessRecorder {
     return static_cast<std::size_t>(d) < is_active_.size() &&
            is_active_[static_cast<std::size_t>(d)] != 0;
   }
+
+  /// Visit rate (IOPS) of directory `d` over the last closed epoch: the
+  /// most recent cutting-window sample summed over its fragments, divided
+  /// by the epoch length.  0 for directories outside the active set.
+  /// Non-const because lagging fragments catch up by delta on first read.
+  [[nodiscard]] double last_epoch_rate(DirId d, double epoch_seconds);
+
+  /// The `k` hottest active directories by last-epoch visit rate,
+  /// descending, ties broken by the smaller dir id — a total order, so the
+  /// answer is identical across runs, engines, and worker counts.  Shared
+  /// by the proxy tier's promotion policy and the benches; zero-rate
+  /// directories are never returned.
+  [[nodiscard]] std::vector<HotDir> top_hot_dirs(std::size_t k,
+                                                 double epoch_seconds);
 
   [[nodiscard]] bool lazy() const { return lazy_; }
   [[nodiscard]] const RecorderParams& params() const { return params_; }

@@ -66,6 +66,9 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
                                      MdsId to, std::uint64_t moved) {
     audit_.on_commit(tree_, ref, moved, epoch_);
     journal_commit(ref, from, to);
+    // The commit just re-homed ref.dir: any lease granted against the old
+    // authority is stale the instant the switch lands.
+    if (cache_tier_ != nullptr) cache_tier_->on_authority_change(ref.dir, now_);
   });
 
   if (params_.journal.enabled) {
@@ -87,6 +90,7 @@ MdsCluster::MdsCluster(fs::NamespaceTree& tree, ClusterParams params)
                         .n0 = static_cast<std::int64_t>(d),
                         .n1 = std::int64_t{1} << new_bits,
                         .v0 = static_cast<double>(1u << old_bits)});
+        if (cache_tier_ != nullptr) cache_tier_->on_split(d, now_);
       });
 }
 
@@ -141,6 +145,9 @@ std::vector<Load> MdsCluster::close_epoch() {
   recorder_->close_epoch(shard_pool_);
   audit_.on_epoch_close(tree_, epoch_);
   if (params_.replicate_threshold_iops > 0.0) update_replicas();
+  // Tier policy runs after replica management so promotion decisions see
+  // the same closed-epoch statistics and compose with replication.
+  if (cache_tier_ != nullptr) cache_tier_->on_epoch_close(*this);
   if (journaling()) journal_checkpoint();
   ++epoch_;
   trace_->set_clock(epoch_, trace_->tick());
@@ -299,6 +306,14 @@ std::uint64_t MdsCluster::replicated_frags() const {
 }
 
 ServeResult MdsCluster::try_serve(DirId d, FileIndex i, TickLane* lane) {
+  // Proxy absorption runs before the frozen check: a leased entry keeps
+  // serving while its subtree is frozen mid-migration (the commit recalls
+  // the lease).  Tracked directories bind to the serial deferred pass, so
+  // a lane never reaches the mutating branch of try_absorb.
+  if (cache_tier_ != nullptr && cache_tier_->try_absorb(d, i, now_)) {
+    LUNULE_CHECK(lane == nullptr);
+    return ServeResult::kServed;
+  }
   if (migration_->is_frozen(d, i)) return ServeResult::kFrozen;
   MdsId m = tree_.auth_of_file(d, i);
   LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
@@ -336,6 +351,8 @@ ServeResult MdsCluster::try_serve(DirId d, FileIndex i, TickLane* lane) {
     ++ops_tallied_;
   }
   recorder_->record(d, i, epoch_, lane != nullptr ? &lane->recorder : nullptr);
+  // The read reply carries a fresh lease when the directory is promoted.
+  if (cache_tier_ != nullptr) cache_tier_->on_served_read(d, now_);
   return ServeResult::kServed;
 }
 
@@ -375,6 +392,9 @@ ServeResult MdsCluster::try_create(DirId d, TickLane* lane) {
   LUNULE_CHECK(created == idx);
   recorder_->record_create(d, created, epoch_,
                            lane != nullptr ? &lane->recorder : nullptr);
+  // A mutation in a promoted directory revokes its lease (creates into
+  // tracked directories route through the serial deferred pass).
+  if (cache_tier_ != nullptr) cache_tier_->on_mutation(d, now_);
   if (journaling()) {
     journals_[static_cast<std::size_t>(m)].append(
         make_entry(journal::EntryType::kUpdate, now_, epoch_, d, frag,
@@ -508,6 +528,9 @@ void MdsCluster::begin_drain(MdsId m) {
   // Active imports run to completion (the rank is still up) and are
   // re-exported by the drain sweep afterwards.
   migration_->abort_queued_imports(m);
+  // A retiring rank must shed its leases now and stop granting new ones;
+  // the tier re-grants through the adopting ranks as reads land there.
+  if (cache_tier_ != nullptr) cache_tier_->on_drain(m, now_);
   ++elasticity_.drains_started;
   trace_->counters().counter("autoscaler.drains").add();
   trace_->record(obs::Component::kCluster,
@@ -519,6 +542,7 @@ void MdsCluster::begin_drain(MdsId m) {
 void MdsCluster::cancel_drain(MdsId m) {
   LUNULE_CHECK(static_cast<std::size_t>(m) < servers_.size());
   draining_[static_cast<std::size_t>(m)] = 0;
+  if (cache_tier_ != nullptr) cache_tier_->on_drain_end(m);
 }
 
 bool MdsCluster::retire(MdsId m) {
@@ -531,6 +555,7 @@ bool MdsCluster::retire(MdsId m) {
   MdsServer& s = servers_[static_cast<std::size_t>(m)];
   s.set_up(false);
   draining_[static_cast<std::size_t>(m)] = 0;
+  if (cache_tier_ != nullptr) cache_tier_->on_drain_end(m);
   ++elasticity_.retirements;
   trace_->counters().counter("autoscaler.scale_downs").add();
   trace_->record(obs::Component::kCluster,
@@ -559,6 +584,11 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
   // commits (the protocol is all-or-nothing), so authority stays with the
   // recorded owner and fails over with everything else below.
   stats.aborted_migrations = migration_->abort_involving(m);
+
+  // Every lease the dead rank granted died with its state; recall before
+  // the failover reassigns its subtrees so the recall events carry the
+  // pre-crash grantor.
+  if (cache_tier_ != nullptr) cache_tier_->on_rank_down(m, now_);
 
   // Replay the dead rank's journal: only the durable prefix survives the
   // crash, and reconstructing from it takes modeled time that the adopting

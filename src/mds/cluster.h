@@ -19,6 +19,7 @@
 #include "journal/journal.h"
 #include "journal/replay.h"
 #include "mds/access_recorder.h"
+#include "mds/cache_tier.h"
 #include "mds/migration.h"
 #include "mds/migration_audit.h"
 #include "mds/mds_server.h"
@@ -298,6 +299,23 @@ class MdsCluster {
   /// Number of dirfrags currently replicated (reporting).
   [[nodiscard]] std::uint64_t replicated_frags() const;
 
+  // -- Cache tier -----------------------------------------------------------
+  /// Installs (or clears, with nullptr) the cache tier the cluster serves
+  /// through.  Non-owning — the Simulation owns the instance.  Wires the
+  /// cluster's flight recorder into the tier so lease events and proxy.*
+  /// counters ride the existing spine.
+  void set_cache_tier(CacheTier* tier) {
+    cache_tier_ = tier;
+    if (cache_tier_ != nullptr) cache_tier_->set_tracer(trace_.get());
+  }
+  [[nodiscard]] CacheTier* cache_tier() const { return cache_tier_; }
+  /// True when the tier currently tracks `d` (ops on tracked directories
+  /// must route through the serial deferred pass).  Safe from concurrent
+  /// rank streams; false without a tier.
+  [[nodiscard]] bool cache_tier_tracks(DirId d) const {
+    return cache_tier_ != nullptr && cache_tier_->tracks(d);
+  }
+
   /// Directories worth considering for candidate collection: the recorder's
   /// active set (sorted ascending) when the candidate filter is on, or
   /// nullptr meaning "scan the whole namespace".
@@ -344,6 +362,8 @@ class MdsCluster {
   /// Journal totals already flushed into the counter registry.
   JournalTotals journal_synced_;
   MigrationAudit audit_;
+  /// Optional cache tier (null = no tier, zero overhead); see cache_tier.h.
+  CacheTier* cache_tier_ = nullptr;
   EpochId epoch_ = 0;
   Tick now_ = 0;  // last tick opened by begin_tick
   WorkerPool* shard_pool_ = nullptr;

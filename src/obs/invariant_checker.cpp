@@ -296,6 +296,20 @@ std::vector<std::string> InvariantChecker::check_epoch(
     check_counter(v, counters, "autoscaler.drains", elastic.drains_started);
   }
 
+  // 8. Proxy cache-tier coherence.  No read may be served from a lease a
+  //    completed invalidation should have revoked: every live lease must
+  //    still match the directory state snapshotted at grant (authority,
+  //    file count, fragmentation), its grantor must be up and not
+  //    draining, its TTL must be bounded, and the proxy.* counters must
+  //    agree with the tier's lifetime totals.  The tier owns the check —
+  //    it knows its lease table — and the section stays free when no tier
+  //    is installed.
+  if (const mds::CacheTier* tier = cluster.cache_tier()) {
+    for (const std::string& msg : tier->check_coherence(cluster)) {
+      v.add(msg);
+    }
+  }
+
   ++epochs_checked_;
   return v.take();
 }

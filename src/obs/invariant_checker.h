@@ -28,6 +28,13 @@
 //      recorder's active set is fully drained once rolled forward — i.e.
 //      the lazy epoch close never expired a directory that still carried
 //      signal.
+//   7. Elasticity: ranks outside the serving set own/serve/carry nothing,
+//      a draining rank is up, and the autoscaler.* counters agree with the
+//      cluster's membership-change totals.
+//   8. Proxy cache-tier coherence (when a tier is installed): no live
+//      lease that a completed invalidation — mutation, split, migration,
+//      crash, drain — should have revoked, TTLs bounded, and the proxy.*
+//      counters agree with the tier's totals (see docs/CACHING.md).
 //
 // Violations are returned as human-readable strings rather than aborted on,
 // so tests can assert that a deliberately corrupted cluster is flagged; the

@@ -30,6 +30,10 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kMdsActivate:     return "mds_activate";
     case EventKind::kDrainStart:      return "drain_start";
     case EventKind::kMdsRetire:       return "mds_retire";
+    case EventKind::kLeaseGrant:      return "lease_grant";
+    case EventKind::kLeaseRecall:     return "lease_recall";
+    case EventKind::kProxyPromote:    return "proxy_promote";
+    case EventKind::kProxyDemote:     return "proxy_demote";
   }
   return "?";
 }

@@ -61,6 +61,12 @@ enum class EventKind : std::uint8_t {
                      //   (standby rank joined the serving set)
   kDrainStart,       // a=mds, n0=owned subtree units at drain start
   kMdsRetire,        // a=mds, n0=epochs spent draining
+  kLeaseGrant,       // a=grantor, n0=dir, n1=lease expiry tick,
+                     //   v0=lease TTL in ticks (proxy cache tier)
+  kLeaseRecall,      // a=grantor, n0=dir, n1=reason (proxy::RecallReason),
+                     //   v0=reads absorbed under the recalled lease
+  kProxyPromote,     // n0=dir, v0=last-epoch MDS-served IOPS at promotion
+  kProxyDemote,      // n0=dir, v0=last-epoch MDS-served IOPS at demotion
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind kind);

@@ -13,6 +13,7 @@ sim::WorkloadKind random_workload(Rng& rng) {
       sim::WorkloadKind::kCnn, sim::WorkloadKind::kNlp,
       sim::WorkloadKind::kWeb, sim::WorkloadKind::kZipf,
       sim::WorkloadKind::kMd,  sim::WorkloadKind::kMixed,
+      sim::WorkloadKind::kFlashCrowd, sim::WorkloadKind::kTenant,
   };
   return kAll[rng.next_below(std::size(kAll))];
 }
@@ -137,6 +138,17 @@ sim::ScenarioConfig generate_config(std::uint64_t seed, std::uint64_t index) {
     cfg.autoscaler.scale_down_utilization = 0.05 + 0.30 * rng.next_double();
     cfg.autoscaler.hysteresis_epochs = static_cast<int>(1 + rng.next_below(3));
     cfg.autoscaler.cooldown_epochs = static_cast<int>(rng.next_below(5));
+  }
+
+  // Proxy knobs come after the autoscaler block for the same
+  // corpus-preservation reason: configs pinned before the cache tier
+  // existed keep drawing the exact same values for every older knob.
+  if (rng.next_bool(0.3)) {
+    cfg.proxy.enabled = true;
+    cfg.proxy.lease_ticks = static_cast<Tick>(5 + rng.next_below(36));
+    cfg.proxy.promote_threshold_iops =
+        cfg.mds_capacity_iops * (0.05 + 0.45 * rng.next_double());
+    cfg.proxy.max_promoted = 1 + rng.next_below(8);
   }
 
   // Belt and braces: a generated plan must always pass scenario validation.

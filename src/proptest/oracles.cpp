@@ -363,6 +363,117 @@ OracleResult check_cross_balancer_conservation(
   return OracleResult::ok();
 }
 
+OracleResult check_proxy_quiescent_equivalence(
+    const sim::ScenarioConfig& cfg) {
+  // A proxy tier that never promotes anything must be a perfect no-op:
+  // with the promote threshold pushed beyond any reachable per-dir rate,
+  // the armed run and the disabled run trace byte-identically — the tier's
+  // mere presence (hooks in try_serve, epoch close, fault paths) costs
+  // nothing observable.
+  sim::ScenarioConfig off = cfg;
+  off.proxy = {};
+  sim::ScenarioConfig on = off;
+  on.proxy.enabled = true;
+  on.proxy.promote_threshold_iops = 1e18;  // unreachable
+  const RunFingerprint a = fingerprint(off);
+  const RunFingerprint b = fingerprint(on);
+  if (a.result.trace_json != b.result.trace_json) {
+    return OracleResult::fail("quiescent proxy diverged: trace " +
+                              hex(a.trace_digest) + " vs " +
+                              hex(b.trace_digest));
+  }
+  if (a.result_json != b.result_json) {
+    return OracleResult::fail("quiescent proxy diverged: result " +
+                              hex(a.result_digest) + " vs " +
+                              hex(b.result_digest));
+  }
+  return OracleResult::ok();
+}
+
+OracleResult check_proxy_conserves_completed_ops(
+    const sim::ScenarioConfig& cfg) {
+  // The tier moves reads out of the MDSs, it never invents or loses them:
+  // when the workload completes both ways, every op the proxy absorbed is
+  // an op the MDSs did not serve, exactly.
+  sim::ScenarioConfig off = cfg;
+  off.proxy = {};
+  sim::ScenarioConfig on = off;
+  on.proxy = cfg.proxy;
+  if (!on.proxy.enabled) {
+    // The generator only arms the proxy on a fraction of configs;
+    // synthesize an aggressive policy so the oracle bites everywhere.
+    on.proxy.enabled = true;
+    on.proxy.lease_ticks = static_cast<Tick>(5 + cfg.seed % 30);
+    on.proxy.promote_threshold_iops = cfg.mds_capacity_iops * 0.05;
+    on.proxy.max_promoted = 8;
+  }
+
+  const sim::ScenarioResult r_off = sim::run_scenario(off);
+  const sim::ScenarioResult r_on = sim::run_scenario(on);
+  if (r_off.proxy_reads_absorbed != 0 || r_off.proxy_lease_grants != 0) {
+    std::ostringstream os;
+    os << "proxy-disabled run absorbed anyway: "
+       << r_off.proxy_reads_absorbed << " reads / "
+       << r_off.proxy_lease_grants << " grants";
+    return OracleResult::fail(os.str());
+  }
+  if (r_on.total_served == 0) {
+    return OracleResult::fail("proxied run served nothing");
+  }
+  const bool off_done = r_off.clients_done == r_off.n_clients;
+  const bool on_done = r_on.clients_done == r_on.n_clients;
+  if (!off_done || !on_done) {
+    return OracleResult::skip("workload did not complete on both sides");
+  }
+  if (r_on.total_served + r_on.proxy_reads_absorbed != r_off.total_served) {
+    std::ostringstream os;
+    os << "proxy broke op conservation: " << r_on.total_served
+       << " MDS-served + " << r_on.proxy_reads_absorbed << " absorbed != "
+       << r_off.total_served << " baseline";
+    return OracleResult::fail(os.str());
+  }
+  return OracleResult::ok();
+}
+
+OracleResult check_proxy_coherence_under_faults(
+    const sim::ScenarioConfig& cfg) {
+  // Force the tier on while keeping the generated fault plan: crashes,
+  // drains, and migrations must leave the lease book coherent.  The hard
+  // part (no read served off a revoked lease) is checked structurally by
+  // invariant section 8 at every epoch close when LUNULE_VALIDATE is on;
+  // here we assert the counter algebra that must hold regardless.
+  sim::ScenarioConfig on = cfg;
+  if (!on.proxy.enabled) {
+    on.proxy.enabled = true;
+    on.proxy.lease_ticks = static_cast<Tick>(5 + cfg.seed % 30);
+    on.proxy.promote_threshold_iops = cfg.mds_capacity_iops * 0.05;
+    on.proxy.max_promoted = 8;
+  }
+  const sim::ScenarioResult r = sim::run_scenario(on);
+  if (r.proxy_reads_absorbed > 0 && r.proxy_lease_grants == 0) {
+    return OracleResult::fail("reads absorbed without a single lease grant");
+  }
+  if (r.proxy_lease_grants > 0 && r.proxy_promotions == 0) {
+    return OracleResult::fail("leases granted without a single promotion");
+  }
+  if (r.proxy_demotions > r.proxy_promotions) {
+    std::ostringstream os;
+    os << "more demotions than promotions: " << r.proxy_demotions << " vs "
+       << r.proxy_promotions;
+    return OracleResult::fail(os.str());
+  }
+  if (r.proxy_lease_recalls > r.proxy_lease_grants) {
+    std::ostringstream os;
+    os << "more recalls than grants: " << r.proxy_lease_recalls << " vs "
+       << r.proxy_lease_grants;
+    return OracleResult::fail(os.str());
+  }
+  if (r.total_served == 0) {
+    return OracleResult::fail("proxied faulty run served nothing");
+  }
+  return OracleResult::ok();
+}
+
 constexpr Oracle kOracles[] = {
     {"same_seed_determinism",
      "two identical runs produce byte-identical result + trace JSON",
@@ -391,6 +502,15 @@ constexpr Oracle kOracles[] = {
     {"cross_balancer_conservation",
      "balancers completing the same workload agree on total ops served",
      &check_cross_balancer_conservation},
+    {"proxy_quiescent_equivalence",
+     "a proxy tier that never promotes traces byte-identically to none",
+     &check_proxy_quiescent_equivalence},
+    {"proxy_conserves_completed_ops",
+     "MDS-served + proxy-absorbed ops equal the proxy-free baseline",
+     &check_proxy_conserves_completed_ops},
+    {"proxy_coherence_under_faults",
+     "lease counter algebra holds under random fault plans",
+     &check_proxy_coherence_under_faults},
 };
 
 }  // namespace

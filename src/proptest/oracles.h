@@ -22,6 +22,13 @@
 //                              meaningful throughput or completions
 //   cross_balancer_conservation balancers that complete the same workload
 //                              agree exactly on total ops served
+//   proxy_quiescent_equivalence an armed proxy tier that never promotes
+//                              traces byte-identically to no tier at all
+//   proxy_conserves_completed_ops MDS-served + proxy-absorbed ops equal
+//                              the proxy-free baseline on completed runs
+//   proxy_coherence_under_faults lease counter algebra (grants >= recalls,
+//                              promotions >= demotions, absorbs imply
+//                              grants) holds under random fault plans
 //
 // Every check is deterministic; a failure message carries enough digest /
 // counter context to be actionable before shrinking even starts.

@@ -156,6 +156,11 @@ void write_result(std::ostream& os, const ScenarioResult& r) {
   w.field("scale_up_events", r.scale_up_events);
   w.field("scale_down_events", r.scale_down_events);
   w.field("drain_seconds", r.drain_seconds);
+  w.field("proxy_reads_absorbed", r.proxy_reads_absorbed);
+  w.field("proxy_lease_grants", r.proxy_lease_grants);
+  w.field("proxy_lease_recalls", r.proxy_lease_recalls);
+  w.field("proxy_promotions", r.proxy_promotions);
+  w.field("proxy_demotions", r.proxy_demotions);
   w.key("op_latency");
   w.begin_object();
   w.field("mean", r.op_latency.mean());

@@ -10,9 +10,12 @@
 #include "core/hash_rebalancer.h"
 #include "core/lunule_balancer.h"
 #include "fs/builder.h"
+#include "proxy/proxy_cache.h"
 #include "sim/json_export.h"
+#include "workloads/flash_crowd.h"
 #include "workloads/mdtest.h"
 #include "workloads/scan.h"
+#include "workloads/tenant_mix.h"
 #include "workloads/web_trace.h"
 #include "workloads/zipf_read.h"
 
@@ -58,6 +61,27 @@ struct MdShape {
   // of memory (~15 minutes): the workload is open-ended within the
   // measurement window, so there is no completion tail.
   std::uint64_t creates_per_client = 0;  // 0 = run until the window closes
+};
+struct FlashShape {
+  // One shared celebrity directory the whole fleet hammers, plus a small
+  // private home directory per client for the background traffic.  The
+  // hotspot is indivisible (a single dirfrag family), which is exactly the
+  // case splitting/migration cannot solve and the proxy tier targets.
+  std::uint32_t hot_files = 512;
+  std::uint32_t home_files = 64;
+  std::uint64_t requests_per_client = 60000;
+  double hot_fraction = 0.9;
+  double zipf_exponent = 1.1;
+};
+struct TenantShape {
+  // Container-platform tenant universe: thousands of tiny directories with
+  // Zipf popularity (a few base images pulled by everyone) and a small
+  // create tail (layer pushes).
+  std::uint32_t tenants = 2000;
+  std::uint32_t files_per_tenant = 8;
+  std::uint64_t requests_per_client = 60000;
+  double zipf_exponent = 1.0;
+  double create_fraction = 0.05;
 };
 
 std::uint32_t scaled(std::uint32_t v, double scale) {
@@ -149,6 +173,41 @@ void add_md_clients(Simulation& s, const ScenarioConfig& cfg, Rng& rng,
   }
 }
 
+void add_flash_clients(Simulation& s, const ScenarioConfig& cfg, Rng& rng,
+                       const FlashShape& shape, DirId hot_dir,
+                       std::uint32_t hot_files,
+                       const std::vector<DirId>& home_dirs,
+                       std::uint32_t home_files, std::uint64_t requests,
+                       std::size_t count, std::uint32_t first_id) {
+  LUNULE_CHECK(home_dirs.size() >= count);
+  auto sampler =
+      std::make_shared<ZipfSampler>(hot_files, shape.zipf_exponent);
+  for (std::size_t c = 0; c < count; ++c) {
+    s.add_client(std::make_unique<workloads::Client>(
+        first_id + static_cast<std::uint32_t>(c), client_params(cfg, rng),
+        std::make_unique<workloads::FlashCrowdProgram>(
+            hot_dir, hot_files, home_dirs[c], home_files, requests,
+            shape.hot_fraction, sampler, rng.fork(2000 + first_id + c))));
+  }
+}
+
+void add_tenant_clients(Simulation& s, const ScenarioConfig& cfg, Rng& rng,
+                        const TenantShape& shape,
+                        std::shared_ptr<const std::vector<DirId>> tenants,
+                        std::uint32_t files_per_tenant,
+                        std::uint64_t requests, std::size_t count,
+                        std::uint32_t first_id) {
+  auto sampler = std::make_shared<ZipfSampler>(tenants->size(),
+                                               shape.zipf_exponent);
+  for (std::size_t c = 0; c < count; ++c) {
+    s.add_client(std::make_unique<workloads::Client>(
+        first_id + static_cast<std::uint32_t>(c), client_params(cfg, rng),
+        std::make_unique<workloads::TenantMixProgram>(
+            tenants, files_per_tenant, requests, shape.create_fraction,
+            sampler, rng.fork(3000 + first_id + c))));
+  }
+}
+
 }  // namespace
 
 std::string_view workload_name(WorkloadKind k) {
@@ -159,6 +218,8 @@ std::string_view workload_name(WorkloadKind k) {
     case WorkloadKind::kZipf:  return "Zipf";
     case WorkloadKind::kMd:    return "MD";
     case WorkloadKind::kMixed: return "Mixed";
+    case WorkloadKind::kFlashCrowd: return "FlashCrowd";
+    case WorkloadKind::kTenant:     return "MultiTenant";
   }
   return "?";
 }
@@ -179,7 +240,8 @@ std::string_view balancer_name(BalancerKind k) {
 std::optional<WorkloadKind> workload_kind_from_name(std::string_view name) {
   for (const WorkloadKind k :
        {WorkloadKind::kCnn, WorkloadKind::kNlp, WorkloadKind::kWeb,
-        WorkloadKind::kZipf, WorkloadKind::kMd, WorkloadKind::kMixed}) {
+        WorkloadKind::kZipf, WorkloadKind::kMd, WorkloadKind::kMixed,
+        WorkloadKind::kFlashCrowd, WorkloadKind::kTenant}) {
     if (workload_name(k) == name) return k;
   }
   return std::nullopt;
@@ -386,6 +448,35 @@ std::unique_ptr<Simulation> make_scenario_with_balancer(
                        static_cast<std::uint32_t>(3 * group));
       break;
     }
+    case WorkloadKind::kFlashCrowd: {
+      const FlashShape shape;
+      const std::uint32_t hot_files = scaled(shape.hot_files, cfg.scale);
+      const auto hot = fs::build_corpus_like(t, "flash", 1, hot_files);
+      const auto homes = fs::build_private_dirs(
+          t, "bg", static_cast<std::uint32_t>(cfg.n_clients),
+          shape.home_files);
+      add_flash_clients(*sim, cfg, rng, shape, hot.front(), hot_files,
+                        homes, shape.home_files,
+                        scaled64(shape.requests_per_client, cfg.scale),
+                        cfg.n_clients, 0);
+      break;
+    }
+    case WorkloadKind::kTenant: {
+      const TenantShape shape;
+      const std::uint32_t tenants = scaled(shape.tenants, cfg.scale);
+      auto dirs = std::make_shared<const std::vector<DirId>>(
+          fs::build_private_dirs(t, "tenant", tenants,
+                                 shape.files_per_tenant));
+      add_tenant_clients(*sim, cfg, rng, shape, dirs,
+                         shape.files_per_tenant,
+                         scaled64(shape.requests_per_client, cfg.scale),
+                         cfg.n_clients, 0);
+      break;
+    }
+  }
+  if (cfg.proxy.enabled) {
+    sim->set_cache_tier(
+        std::make_unique<proxy::ProxyCacheTier>(sim->tree(), cfg.proxy));
   }
   return sim;
 }
@@ -460,6 +551,16 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
         break;
       }
     }
+  }
+  {
+    // Lazily-created counters: value() reads 0 when the tier never fired
+    // (or was never constructed), so fault-free reporting stays zero-cost.
+    const obs::CounterRegistry& ctr = sim->cluster().trace().counters();
+    r.proxy_reads_absorbed = ctr.value("proxy.reads_absorbed");
+    r.proxy_lease_grants = ctr.value("proxy.lease_grants");
+    r.proxy_lease_recalls = ctr.value("proxy.lease_recalls");
+    r.proxy_promotions = ctr.value("proxy.promotions");
+    r.proxy_demotions = ctr.value("proxy.demotions");
   }
   r.rank_seconds = sim->rank_seconds();
   r.scale_up_events = sim->cluster().elasticity().activations;

@@ -19,11 +19,25 @@
 #include "common/histogram.h"
 #include "faults/fault_plan.h"
 #include "journal/journal.h"
+#include "proxy/proxy_cache.h"
 #include "sim/simulation.h"
 
 namespace lunule::sim {
 
-enum class WorkloadKind { kCnn, kNlp, kWeb, kZipf, kMd, kMixed };
+enum class WorkloadKind {
+  kCnn,
+  kNlp,
+  kWeb,
+  kZipf,
+  kMd,
+  kMixed,
+  /// Celebrity-file / thundering-herd mix: the whole fleet hammers one
+  /// shared hot directory (indivisible hotspot; proxy-tier territory).
+  kFlashCrowd,
+  /// Multi-tenant container-platform mix: thousands of small tenant
+  /// directories with Zipf popularity and a create tail.
+  kTenant,
+};
 enum class BalancerKind {
   kVanilla,
   kGreedySpill,
@@ -127,6 +141,13 @@ struct ScenarioConfig {
   /// or shrinks at epoch boundaries (see docs/ELASTICITY.md).
   mds::AutoscalerParams autoscaler;
 
+  /// Hotspot-absorbing proxy cache tier (proxy.enabled = false by default:
+  /// no tier is constructed and every trace stays byte-identical to the
+  /// tier-free behavior).  With it on, flash-crowd directories are
+  /// promoted into the tier and repeated reads are absorbed under
+  /// bounded-TTL leases (see docs/CACHING.md).
+  proxy::ProxyParams proxy;
+
   std::uint64_t seed = 42;
 };
 
@@ -219,6 +240,13 @@ struct ScenarioResult {
   std::uint64_t scale_down_events = 0;
   /// Seconds spent with a scale-down drain in flight (0 without one).
   double drain_seconds = 0.0;
+  // -- Proxy cache-tier reporting (all zero with the proxy disabled) ------
+  /// Reads completed by the tier without reaching any MDS.
+  std::uint64_t proxy_reads_absorbed = 0;
+  std::uint64_t proxy_lease_grants = 0;
+  std::uint64_t proxy_lease_recalls = 0;
+  std::uint64_t proxy_promotions = 0;
+  std::uint64_t proxy_demotions = 0;
   /// Full flight-recorder dump (JSON, deterministic for a fixed seed);
   /// benches write it to disk under --trace.
   std::string trace_json;

@@ -132,6 +132,25 @@ void load_autoscaler(const JsonValue& v, mds::AutoscalerParams& a) {
   }
 }
 
+void load_proxy(const JsonValue& v, proxy::ProxyParams& p) {
+  check_known_keys(v, "proxy",
+                   {"enabled", "lease_ticks", "promote_threshold_iops",
+                    "demote_threshold_iops", "max_promoted"});
+  if (const JsonValue* x = v.find("enabled")) p.enabled = x->as_bool();
+  if (const JsonValue* x = v.find("lease_ticks")) {
+    p.lease_ticks = static_cast<Tick>(x->as_int());
+  }
+  if (const JsonValue* x = v.find("promote_threshold_iops")) {
+    p.promote_threshold_iops = x->as_double();
+  }
+  if (const JsonValue* x = v.find("demote_threshold_iops")) {
+    p.demote_threshold_iops = x->as_double();
+  }
+  if (const JsonValue* x = v.find("max_promoted")) {
+    p.max_promoted = static_cast<std::size_t>(x->as_uint());
+  }
+}
+
 }  // namespace
 
 void write_scenario_config(std::ostream& os, const ScenarioConfig& cfg) {
@@ -205,6 +224,16 @@ void write_scenario_config(std::ostream& os, const ScenarioConfig& cfg) {
           static_cast<std::int64_t>(cfg.autoscaler.cooldown_epochs));
   w.end_object();
 
+  w.key("proxy");
+  w.begin_object();
+  w.field("enabled", cfg.proxy.enabled);
+  w.field("lease_ticks", static_cast<std::int64_t>(cfg.proxy.lease_ticks));
+  w.field_exact("promote_threshold_iops", cfg.proxy.promote_threshold_iops);
+  w.field_exact("demote_threshold_iops", cfg.proxy.demote_threshold_iops);
+  w.field("max_promoted",
+          static_cast<std::uint64_t>(cfg.proxy.max_promoted));
+  w.end_object();
+
   w.field("migration_max_retries",
           static_cast<std::int64_t>(cfg.migration_max_retries));
   w.field("migration_retry_backoff_ticks",
@@ -232,7 +261,7 @@ ScenarioConfig scenario_config_from_value(const JsonValue& v) {
        "client_rate", "client_rate_jitter", "client_start_spread", "scale",
        "max_ticks", "epoch_ticks", "stop_when_done", "data_enabled",
        "data_capacity", "sibling_credit_prob", "replicate_threshold_iops",
-       "faults", "journal", "autoscaler", "migration_max_retries",
+       "faults", "journal", "autoscaler", "proxy", "migration_max_retries",
        "migration_retry_backoff_ticks", "capture_trace", "hot_path_opts",
        "sharded_ticks", "seed"});
   ScenarioConfig cfg;
@@ -293,6 +322,7 @@ ScenarioConfig scenario_config_from_value(const JsonValue& v) {
   if (const JsonValue* x = v.find("autoscaler")) {
     load_autoscaler(*x, cfg.autoscaler);
   }
+  if (const JsonValue* x = v.find("proxy")) load_proxy(*x, cfg.proxy);
   if (const JsonValue* x = v.find("migration_max_retries")) {
     cfg.migration_max_retries = static_cast<int>(x->as_int());
   }

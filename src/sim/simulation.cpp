@@ -36,6 +36,12 @@ void Simulation::schedule(Tick t, std::function<void(Simulation&)> fn) {
   events_.emplace(t, std::move(fn));
 }
 
+void Simulation::set_cache_tier(std::unique_ptr<mds::CacheTier> tier) {
+  LUNULE_CHECK(now_ == 0);
+  cache_tier_ = std::move(tier);
+  cluster_->set_cache_tier(cache_tier_.get());
+}
+
 void Simulation::set_fault_plan(const faults::FaultPlan& plan) {
   LUNULE_CHECK(now_ == 0);
   injector_ =

@@ -22,6 +22,7 @@
 #include "faults/fault_plan.h"
 #include "fs/namespace_tree.h"
 #include "mds/autoscaler.h"
+#include "mds/cache_tier.h"
 #include "mds/cluster.h"
 #include "mds/data_path.h"
 #include "mds/memory_model.h"
@@ -74,6 +75,14 @@ class Simulation {
   /// Installs a fault schedule.  Must be called before run(); the plan is
   /// applied at tick boundaries, before the cluster opens each tick.
   void set_fault_plan(const faults::FaultPlan& plan);
+
+  /// Installs a cache tier (e.g. proxy::ProxyCacheTier) and wires it into
+  /// the cluster.  Must be called before run().  Without one, behavior and
+  /// traces are byte-identical to the tier-free engine.
+  void set_cache_tier(std::unique_ptr<mds::CacheTier> tier);
+  [[nodiscard]] mds::CacheTier* cache_tier() const {
+    return cache_tier_.get();
+  }
   /// The injector driving the installed plan (null without one).
   [[nodiscard]] const faults::FaultInjector* fault_injector() const {
     return injector_.get();
@@ -124,6 +133,7 @@ class Simulation {
   std::vector<std::unique_ptr<workloads::Client>> clients_;
   std::multimap<Tick, std::function<void(Simulation&)>> events_;
   std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<mds::CacheTier> cache_tier_;
   std::unique_ptr<mds::Autoscaler> autoscaler_;
   obs::InvariantChecker invariants_;
   std::uint64_t rank_seconds_ = 0;

@@ -15,6 +15,11 @@ Client::Client(std::uint32_t id, ClientParams params,
 
 MdsId Client::op_rank(const mds::MdsCluster& cluster, const Op& op) const {
   const fs::NamespaceTree& tree = cluster.tree();
+  // Any op on a proxy-promoted directory touches the tier's lease table
+  // (absorb / grant / mutation recall), which is shared across ranks; run
+  // it in the serial deferred pass.  The tracked set only changes at epoch
+  // close, so this read is stable for the whole tick.
+  if (cluster.cache_tier_tracks(op.dir)) return kNoMds;
   if (op.kind == OpKind::kCreate) {
     // Deferred create accounting settles ancestor counts against the
     // directory's resolved authority, which only matches per-file

@@ -1,0 +1,48 @@
+// Multi-tenant container-platform mix ("MultiTenant", CFS direction).
+//
+// A container platform's metadata traffic is thousands of small tenants —
+// per-image layer directories, per-pod config trees — whose popularity is
+// itself Zipf-distributed: a handful of base images are pulled by everyone
+// while the long tail is touched rarely.  Each operation picks a tenant by
+// popularity, then either reads one of its (few) files or creates a new
+// one (layer push).  Popular tenants turn into organic flash crowds, which
+// is what the proxy tier's adaptive promotion is meant to catch without a
+// hand-picked hot directory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "workloads/workload.h"
+
+namespace lunule::workloads {
+
+class TenantMixProgram final : public WorkloadProgram {
+ public:
+  /// tenant_dirs: the shared tenant directories (each pre-created with
+  /// `files_per_tenant` files); sampler universe = tenant_dirs->size();
+  /// create_fraction: share of file touches that are creates (layer push).
+  TenantMixProgram(std::shared_ptr<const std::vector<DirId>> tenant_dirs,
+                   std::uint32_t files_per_tenant, std::uint64_t requests,
+                   double create_fraction,
+                   std::shared_ptr<const ZipfSampler> sampler, Rng rng,
+                   double meta_ratio = 0.781);
+
+  bool next(Op& out) override;
+  [[nodiscard]] std::uint64_t planned_meta_ops() const override;
+
+ private:
+  std::shared_ptr<const std::vector<DirId>> tenant_dirs_;
+  std::uint32_t files_per_tenant_;
+  std::uint64_t remaining_files_;
+  double create_fraction_;
+  std::shared_ptr<const ZipfSampler> sampler_;
+  Rng rng_;
+  MetaOpPacer pacer_;
+  std::uint32_t meta_left_ = 0;
+  Op current_{};
+};
+
+}  // namespace lunule::workloads

@@ -1,6 +1,8 @@
 // Tests for per-access statistics recording and epoch roll-over.
 #include "mds/access_recorder.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "fs/builder.h"
@@ -112,6 +114,65 @@ TEST_F(AccessRecorderTest, CreatesAreFirstVisits) {
   EXPECT_EQ(f.first_visits_epoch, 1u);
   EXPECT_EQ(f.visits_epoch, 1u);
   EXPECT_TRUE(tree.dir(dirs[2]).file(idx).visited());
+}
+
+// -- The deterministic top-k hot-directory query --------------------------
+
+TEST_F(AccessRecorderTest, LastEpochRateReadsTheClosedWindow) {
+  AccessRecorder rec(tree, params_with(0.0), Rng(1));
+  for (int i = 0; i < 6; ++i) rec.record(dirs[0], 0, 0);
+  // Before the close, epoch 0 is still open: nothing closed yet.
+  EXPECT_DOUBLE_EQ(rec.last_epoch_rate(dirs[0], 2.0), 0.0);
+  rec.close_epoch();
+  EXPECT_DOUBLE_EQ(rec.last_epoch_rate(dirs[0], 2.0), 3.0);  // 6 visits / 2 s
+  // A silent epoch zeroes the rate again — no stale carry-over.
+  rec.close_epoch();
+  EXPECT_DOUBLE_EQ(rec.last_epoch_rate(dirs[0], 2.0), 0.0);
+}
+
+TEST_F(AccessRecorderTest, TopHotDirsOrdersByRateThenDirId) {
+  AccessRecorder rec(tree, params_with(0.0), Rng(1));
+  // dirs[2] hottest, dirs[0] and dirs[3] tied, dirs[1] untouched.
+  for (int i = 0; i < 9; ++i) rec.record(dirs[2], 0, 0);
+  for (int i = 0; i < 4; ++i) rec.record(dirs[0], 0, 0);
+  for (int i = 0; i < 4; ++i) rec.record(dirs[3], 0, 0);
+  rec.close_epoch();
+
+  const auto top = rec.top_hot_dirs(10, /*epoch_seconds=*/1.0);
+  ASSERT_EQ(top.size(), 3u);  // zero-rate dirs are never returned
+  EXPECT_EQ(top[0].dir, dirs[2]);
+  EXPECT_DOUBLE_EQ(top[0].rate_iops, 9.0);
+  // Tie at 4 IOPS: the smaller dir id wins.
+  EXPECT_EQ(top[1].dir, std::min(dirs[0], dirs[3]));
+  EXPECT_EQ(top[2].dir, std::max(dirs[0], dirs[3]));
+  EXPECT_DOUBLE_EQ(top[1].rate_iops, 4.0);
+  EXPECT_DOUBLE_EQ(top[2].rate_iops, 4.0);
+}
+
+TEST_F(AccessRecorderTest, TopHotDirsTruncatesToK) {
+  AccessRecorder rec(tree, params_with(0.0), Rng(1));
+  for (int i = 0; i < 9; ++i) rec.record(dirs[2], 0, 0);
+  for (int i = 0; i < 4; ++i) rec.record(dirs[0], 0, 0);
+  for (int i = 0; i < 2; ++i) rec.record(dirs[1], 0, 0);
+  rec.close_epoch();
+
+  const auto top = rec.top_hot_dirs(2, 1.0);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].dir, dirs[2]);
+  EXPECT_EQ(top[1].dir, dirs[0]);
+  EXPECT_TRUE(rec.top_hot_dirs(0, 1.0).empty());
+}
+
+TEST_F(AccessRecorderTest, TopHotDirsSumsAcrossFragments) {
+  // Visits spread over a fragmented directory count toward one rate.
+  tree.fragment_dir(dirs[1], /*bits=*/2);  // 4 fragments
+  AccessRecorder rec(tree, params_with(0.0), Rng(1));
+  for (FileIndex i = 0; i < 8; ++i) rec.record(dirs[1], i, 0);
+  rec.close_epoch();
+  const auto top = rec.top_hot_dirs(1, 2.0);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].dir, dirs[1]);
+  EXPECT_DOUBLE_EQ(top[0].rate_iops, 4.0);  // 8 visits / 2 s over all frags
 }
 
 }  // namespace

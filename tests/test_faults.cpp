@@ -416,5 +416,103 @@ TEST(FaultScenario, MalformedPlanThrowsBeforeRunning) {
   EXPECT_THROW(sim::run_scenario(cfg), std::invalid_argument);
 }
 
+// -- Replication x crash --------------------------------------------------
+// Regression: when the authority (or any holder) of a hot replicated
+// dirfrag crashes mid-epoch, the dead rank's replica bit must vanish from
+// every fragment, authority must fail over, the surviving replicas must
+// keep spreading reads past a single rank's budget, and the next epoch
+// close must not resurrect the dead bit.
+
+class ReplicationCrashTest : public ::testing::Test {
+ protected:
+  ReplicationCrashTest() {
+    dirs = fs::build_private_dirs(tree, "w", 3, 64);
+    params.n_mds = 3;
+    params.mds_capacity_iops = 100.0;
+    params.epoch_ticks = 1;
+    params.replicate_threshold_iops = 50.0;
+    params.unreplicate_threshold_iops = 5.0;
+  }
+
+  /// One hot epoch on dirs[0] so its root fragment replicates everywhere.
+  void replicate_hot_frag(mds::MdsCluster& cluster) {
+    cluster.begin_tick(0);
+    for (int i = 0; i < 80; ++i) cluster.try_serve(dirs[0], 0);
+    cluster.end_tick();
+    cluster.close_epoch();
+    ASSERT_TRUE(tree.frag(dirs[0], 0).replicated());
+    for (MdsId m = 0; m < 3; ++m) {
+      ASSERT_TRUE(tree.frag(dirs[0], 0).replicated_on(m));
+    }
+  }
+
+  /// True when no fragment of any directory still carries rank `m`.
+  bool rank_absent_from_all_masks(MdsId m) const {
+    for (DirId d = 0; d < tree.dir_count(); ++d) {
+      const auto frags = static_cast<FragId>(tree.frag_count(d));
+      for (FragId f = 0; f < frags; ++f) {
+        if (tree.frag(d, f).replicated_on(m)) return false;
+      }
+    }
+    return true;
+  }
+
+  fs::NamespaceTree tree;
+  mds::ClusterParams params;
+  std::vector<DirId> dirs;
+};
+
+TEST_F(ReplicationCrashTest, AuthorityCrashMidEpochClearsItsReplicaState) {
+  tree.set_auth(dirs[0], 1);
+  mds::MdsCluster cluster(tree, params);
+  replicate_hot_frag(cluster);
+
+  // Mid-epoch: a few reads land, then the authority dies.
+  cluster.begin_tick(1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(cluster.try_serve(dirs[0], 0), mds::ServeResult::kServed);
+  }
+  cluster.set_down(1);
+
+  EXPECT_NE(tree.auth_of(dirs[0]), 1);
+  EXPECT_TRUE(rank_absent_from_all_masks(1));
+  // The frag is still replicated on both survivors...
+  EXPECT_TRUE(tree.frag(dirs[0], 0).replicated_on(0));
+  EXPECT_TRUE(tree.frag(dirs[0], 0).replicated_on(2));
+  // ...and they keep spreading reads beyond one rank's budget in the very
+  // tick of the crash.
+  int served = 10;
+  while (cluster.try_serve(dirs[0], 0) == mds::ServeResult::kServed) ++served;
+  EXPECT_GT(served, 100);  // one rank's capacity is 100
+  EXPECT_EQ(cluster.server(0).served_in_open_epoch() +
+                cluster.server(2).served_in_open_epoch(),
+            200u);
+  cluster.end_tick();
+
+  // The close after the crash must not hand a replica back to rank 1.
+  cluster.close_epoch();
+  EXPECT_TRUE(rank_absent_from_all_masks(1));
+  EXPECT_TRUE(tree.frag(dirs[0], 0).replicated());
+}
+
+TEST_F(ReplicationCrashTest, NonAuthorityHolderCrashOnlyDropsItsBit) {
+  mds::MdsCluster cluster(tree, params);  // authority stays rank 0
+  replicate_hot_frag(cluster);
+
+  cluster.begin_tick(1);
+  cluster.set_down(2);
+
+  EXPECT_EQ(tree.auth_of(dirs[0]), 0);
+  EXPECT_TRUE(rank_absent_from_all_masks(2));
+  EXPECT_TRUE(tree.frag(dirs[0], 0).replicated_on(0));
+  EXPECT_TRUE(tree.frag(dirs[0], 0).replicated_on(1));
+  int served = 0;
+  while (cluster.try_serve(dirs[0], 0) == mds::ServeResult::kServed) ++served;
+  EXPECT_EQ(served, 200);  // both survivors drained to their budgets
+  cluster.end_tick();
+  cluster.close_epoch();
+  EXPECT_TRUE(rank_absent_from_all_masks(2));
+}
+
 }  // namespace
 }  // namespace lunule

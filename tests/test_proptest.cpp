@@ -59,7 +59,8 @@ TEST(ProptestGenerator, CoversEveryWorkloadAndBalancer) {
     workloads.insert(cfg.workload);
     balancers.insert(cfg.balancer);
   }
-  EXPECT_EQ(workloads.size(), 6u);
+  EXPECT_EQ(workloads.size(), 8u);  // Table 1's five + Mixed + the two
+                                    // hotspot families (docs/CACHING.md)
   EXPECT_EQ(balancers.size(), 7u);
 }
 
@@ -67,7 +68,7 @@ TEST(ProptestGenerator, CoversEveryWorkloadAndBalancer) {
 
 TEST(ProptestOracles, RegistryIsConsistent) {
   const auto oracles = all_oracles();
-  EXPECT_EQ(oracles.size(), 9u);
+  EXPECT_EQ(oracles.size(), 12u);
   for (const Oracle& o : oracles) {
     EXPECT_EQ(find_oracle(o.name), &o);
     EXPECT_FALSE(o.description.empty());

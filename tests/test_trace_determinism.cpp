@@ -1,7 +1,9 @@
 // The flight recorder must never break the repo's core determinism
 // property: two runs of the same seeded scenario produce byte-identical
 // trace dumps.
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -46,6 +48,34 @@ TEST(TraceDeterminism, DifferentSeedsProduceDifferentTraces) {
   const ScenarioResult a = run_scenario(small_config(BalancerKind::kLunule, 1));
   const ScenarioResult b = run_scenario(small_config(BalancerKind::kLunule, 2));
   EXPECT_NE(a.trace_json, b.trace_json);
+}
+
+// FNV-1a 64-bit (the same digest lunule_proptest prints on oracle
+// failures, copied here so a tier1 test needs no extra library).
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Pinned trace digest: the proxy knob must be dark silicon when disabled.
+// The constant below is the trace digest of this exact scenario from the
+// build *before* the proxy tier existed; a disabled-proxy run (the
+// default) must still hash to it.  If an intentional trace-format change
+// moves this value, re-pin it together with the change that moved it —
+// never because proxy code started leaking into disabled runs.
+TEST(TraceDeterminism, ProxyDisabledTraceMatchesPinnedPreProxyDigest) {
+  ScenarioConfig cfg = small_config(BalancerKind::kLunule, 42);
+  ASSERT_FALSE(cfg.proxy.enabled);
+  const ScenarioResult r = run_scenario(cfg);
+  ASSERT_FALSE(r.trace_json.empty());
+  EXPECT_EQ(fnv1a64(r.trace_json), 0x51e3506e66756352ull);
+  EXPECT_EQ(r.proxy_reads_absorbed, 0u);
+  EXPECT_EQ(r.proxy_lease_grants, 0u);
+  EXPECT_EQ(r.proxy_promotions, 0u);
 }
 
 }  // namespace
