@@ -42,3 +42,4 @@ lunule_bench(table_journal_overhead)
 lunule_bench(micro_hotpath)
 lunule_bench(ext_elasticity)
 lunule_bench(ext_proxy_cache)
+lunule_bench(ext_async_journal)

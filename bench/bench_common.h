@@ -12,6 +12,10 @@
 //                Honored by the benches that call dump_trace (currently
 //                fig07_throughput and table_overhead); the other binaries
 //                accept the flag but write nothing.
+//   --json=F     write machine-readable per-cell results to F.  Honored by
+//                the benches that read opts.json_path (currently
+//                latency_profile and ext_async_journal); the other binaries
+//                accept the flag but write nothing.
 //
 // Each bench ends with a [SHAPE-CHECK] section asserting the paper's
 // qualitative claims; the process exit code is non-zero if any check fails,
@@ -34,6 +38,7 @@ struct BenchOptions {
   Tick ticks = 1800;
   std::uint64_t seed = 42;
   std::string trace_path;  // empty = no trace dump
+  std::string json_path;   // empty = no machine-readable result file
   sim::ReportOptions report;
 
   static BenchOptions parse(int argc, char** argv, double default_scale,
@@ -52,6 +57,7 @@ struct BenchOptions {
     o.report.buckets =
         static_cast<std::size_t>(flags.get_int("buckets", 12));
     o.trace_path = flags.get("trace", "");
+    o.json_path = flags.get("json", "");
     flags.check_unused();
     return o;
   }

@@ -7,14 +7,51 @@
 // until its authoritative MDS has capacity for it (1 = served the tick it
 // was issued); balanced clusters keep the tail flat while a hotspot pushes
 // the p99 up by orders of magnitude.
+//
+// --json=PATH additionally writes one machine-readable record per cell
+// (mean/p50/p99/max latency + stall fraction); scripts/bench_trajectory.sh
+// runs it from a Release build and stores the JSON as BENCH_latency.json at
+// the repo root, which is committed so the latency trajectory is reviewable
+// over time (CI's perf-smoke job uploads it as an artifact).
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "sim/json_export.h"
 #include "sim/parallel_runner.h"
 
 namespace lunule {
 namespace {
+
+void write_json(const std::string& path,
+                const std::vector<sim::ScenarioResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  sim::JsonWriter w(out);
+  w.begin_object();
+  w.field("bench", std::string_view("latency_profile"));
+  w.key("cells");
+  w.begin_array();
+  for (const sim::ScenarioResult& r : results) {
+    w.begin_object();
+    w.field("workload", std::string_view(r.workload));
+    w.field("balancer", std::string_view(r.balancer));
+    w.field("mean_s", r.op_latency.mean());
+    w.field("p50_s", r.op_latency.percentile(50));
+    w.field("p99_s", r.op_latency.percentile(99));
+    w.field("max_s", r.op_latency.max_value());
+    w.field("stall_fraction", r.mean_stall_fraction);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  std::cout << "results written to " << path << "\n";
+}
 
 int run(int argc, char** argv) {
   const bench::BenchOptions opts =
@@ -74,6 +111,7 @@ int run(int argc, char** argv) {
                 "Per-op metadata latency (ticks until served) and client "
                 "stall fractions");
   }
+  if (!opts.json_path.empty()) write_json(opts.json_path, results);
 
   checks.expect(nlp_lunule_p99 <= nlp_vanilla_p99,
                 "NLP: Lunule's p99 op latency no worse than Vanilla's "

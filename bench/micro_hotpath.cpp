@@ -216,10 +216,14 @@ void write_json(const std::string& path, const std::vector<SizeResult>& rs) {
   // on a 1-thread machine the pool's workers time-slice one CPU and
   // speedup_vs_1 hovers around 1.0 (or below — context-switch overhead).
   // Stamp the host's thread count and whether the [SHAPE-CHECK] gate was
-  // armed, so a committed JSON can't be misread as a scaling regression.
+  // armed, and tag each row produced with the gate down as unarmed, so a
+  // committed JSON can't be misread as a scaling regression and downstream
+  // consumers (perf-smoke trend tooling) can drop those rows per-row
+  // without consulting the top-level flag.
   const unsigned hw = std::thread::hardware_concurrency();
+  const bool armed = hw >= 4;
   out << "{\n  \"bench\": \"micro_hotpath\",\n  \"hw_threads\": " << hw
-      << ",\n  \"shard_gate_armed\": " << (hw >= 4 ? "true" : "false")
+      << ",\n  \"shard_gate_armed\": " << (armed ? "true" : "false")
       << ",\n  \"sizes\": [\n";
   for (std::size_t i = 0; i < rs.size(); ++i) {
     const SizeResult& r = rs[i];
@@ -237,7 +241,8 @@ void write_json(const std::string& path, const std::vector<SizeResult>& rs) {
       const ShardRow& row = r.shard_rows[s];
       out << (s > 0 ? ", " : "") << "{\"shards\": " << row.shards
           << ", \"epoch_close_us\": " << row.epoch_close_us
-          << ", \"speedup_vs_1\": " << row.speedup_vs_1 << "}";
+          << ", \"speedup_vs_1\": " << row.speedup_vs_1
+          << (armed ? "" : ", \"unarmed\": true") << "}";
     }
     out << "]}" << (i + 1 < rs.size() ? "," : "") << "\n";
   }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Hot-path performance trajectory: builds Release and runs the
-# micro_hotpath benchmark, writing BENCH_hotpath.json at the repo root.
-# The JSON is committed so the perf trajectory of the hot paths is
-# reviewable over time; CI's perf-smoke job runs the same command and
-# uploads the file as an artifact.
+# micro_hotpath benchmark (BENCH_hotpath.json) and the latency_profile
+# bench (BENCH_latency.json), writing both at the repo root.  The JSONs
+# are committed so the perf trajectory of the hot paths and the per-op
+# latency distribution are reviewable over time; CI's perf-smoke job runs
+# the same command and uploads the files as artifacts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +16,7 @@ if command -v ninja >/dev/null 2>&1; then
 fi
 
 cmake -B "$BUILD_DIR" "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_hotpath
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target micro_hotpath --target latency_profile
 "$BUILD_DIR"/bench/micro_hotpath --json=BENCH_hotpath.json
+"$BUILD_DIR"/bench/latency_profile --json=BENCH_latency.json

@@ -91,6 +91,8 @@ void FaultInjector::apply(const Step& s) {
       replayed_entries_ += stats.replayed_entries;
       lost_entries_ += stats.lost_entries;
       journaled_takeover_subtrees_ += stats.journaled_subtrees;
+      acked_lost_entries_ += stats.acked_lost_entries;
+      dependency_violations_ += stats.dependency_violations;
       ++applied_;
       return;
     }

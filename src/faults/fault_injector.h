@@ -61,6 +61,15 @@ class FaultInjector {
   [[nodiscard]] std::size_t journaled_takeover_subtrees() const {
     return journaled_takeover_subtrees_;
   }
+  /// Acknowledged-but-lost entries across every applied crash (the async
+  /// journal's documented loss window; always 0 in sync mode).
+  [[nodiscard]] std::uint64_t acked_lost_entries() const {
+    return acked_lost_entries_;
+  }
+  /// Replay prefix-consistency audit failures (must stay 0; see replay.h).
+  [[nodiscard]] std::uint64_t dependency_violations() const {
+    return dependency_violations_;
+  }
 
  private:
   enum class Action : std::uint8_t {
@@ -93,6 +102,8 @@ class FaultInjector {
   std::uint64_t replayed_entries_ = 0;
   std::uint64_t lost_entries_ = 0;
   std::size_t journaled_takeover_subtrees_ = 0;
+  std::uint64_t acked_lost_entries_ = 0;
+  std::uint64_t dependency_violations_ = 0;
 };
 
 }  // namespace lunule::faults

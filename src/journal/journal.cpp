@@ -43,10 +43,24 @@ MdsJournal::MdsJournal(MdsId rank, JournalParams params)
                params_.replay_capacity_penalty < 1.0);
   LUNULE_CHECK(params_.history_decay_per_epoch > 0.0 &&
                params_.history_decay_per_epoch <= 1.0);
+  LUNULE_CHECK(params_.async_high_water_entries >= 1);
 }
 
 std::uint64_t MdsJournal::append(JournalEntry e) {
   e.seq = ++seq_;
+  // Dependency stamping: a checkpoint depends on the whole prefix before
+  // it; a dir-scoped entry depends on the newest earlier entry touching
+  // the same directory (create-before-child-create, export-commit-before-
+  // dependent-update).  Stamped in every mode so sync and async journals
+  // carry identical entries — only the cost routing differs.
+  if (e.type == EntryType::kSubtreeMap) {
+    e.dep_seq = e.seq - 1;
+  } else if (e.dir != kNoDir) {
+    const auto it = last_dir_seq_.find(e.dir);
+    e.dep_seq = it != last_dir_seq_.end() ? it->second : 0;
+    last_dir_seq_[e.dir] = e.seq;
+  }
+  if (params_.async_mode) ++async_acked_;
   if (segments_.empty() ||
       segments_.back().entries.size() >= params_.segment_entries) {
     segments_.emplace_back();
@@ -101,6 +115,7 @@ void MdsJournal::reset() {
   durable_map_seq_ = 0;
   stall_until_ = 0;
   last_flush_tick_ = -1;
+  last_dir_seq_.clear();
 }
 
 }  // namespace lunule::journal

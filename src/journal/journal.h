@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -62,6 +63,20 @@ struct JournalParams {
   /// replay gap (the forecast signal goes stale while the journal sat
   /// unplayed).
   double history_decay_per_epoch = 0.7;
+  /// Asynchronous completion mode (AsyncFS direction): mutating operations
+  /// complete to the client at in-memory apply and journal IOPS debt is
+  /// charged to a background durability lane instead of the foreground
+  /// budget; `flush_interval_ticks` becomes the durability lag, not a
+  /// completion gate (epoch checkpoints are no longer force-flushed).  Off
+  /// by default: sync-mode runs are byte-identical to the pre-async
+  /// behavior.  A crash in async mode loses acknowledged-but-unflushed ops
+  /// — the documented loss window replay reports as `acked_lost_entries`.
+  bool async_mode = false;
+  /// Un-flushed backlog beyond which the background durability lane starts
+  /// throttling foreground service: journal costs are charged as ordinary
+  /// foreground debt until a group commit drains the backlog below the
+  /// mark.  Only meaningful in async mode.
+  std::uint64_t async_high_water_entries = 4096;
 };
 
 /// One fixed-size run of entries (`MdsJournal` trims whole segments).
@@ -81,9 +96,18 @@ class MdsJournal {
   std::uint64_t append(JournalEntry e);
 
   /// True when the un-flushed backlog is at the cap: mutating operations
-  /// must stall until a flush succeeds.
+  /// must stall until a flush succeeds.  The cap binds in async mode too —
+  /// acknowledgement may precede durability, but the backlog stays bounded.
   [[nodiscard]] bool full() const {
     return unflushed() >= params_.max_unflushed_entries;
+  }
+
+  /// Async mode only: the un-flushed backlog crossed the high-water mark,
+  /// so the background durability lane must throttle foreground service
+  /// (journal costs revert to foreground debt until the backlog drains).
+  [[nodiscard]] bool over_high_water() const {
+    return params_.async_mode &&
+           unflushed() >= params_.async_high_water_entries;
   }
 
   /// Group commit: everything appended so far becomes durable.  Returns
@@ -123,12 +147,37 @@ class MdsJournal {
     return durable_map_seq_;
   }
   [[nodiscard]] std::uint64_t entries_retained() const { return retained_; }
+  /// Tick of the last successful (or no-op) group commit, -1 before any.
+  [[nodiscard]] Tick last_flush_tick() const { return last_flush_tick_; }
+
+  // -- Background durability lane (async mode) -----------------------------
+  /// Absorbs an IOPS charge into the background lane instead of the
+  /// foreground budget.
+  void charge_background(double ops) {
+    background_ops_ += ops;
+    ++background_charges_;
+  }
+  /// Records one tick spent throttling foreground service because the
+  /// backlog sat over the high-water mark.
+  void note_throttle_tick() { ++throttle_ticks_; }
 
   // -- Lifetime statistics (monotonic, survive reset) ----------------------
   [[nodiscard]] std::uint64_t appends() const { return appends_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
   [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
   [[nodiscard]] std::uint64_t segments_trimmed() const { return trimmed_; }
+  /// Entries acknowledged to clients before they were durable (async mode
+  /// appends; always 0 in sync mode).
+  [[nodiscard]] std::uint64_t async_acked() const { return async_acked_; }
+  /// IOPS debt absorbed by the background lane, and the number of charges.
+  [[nodiscard]] double background_ops() const { return background_ops_; }
+  [[nodiscard]] std::uint64_t background_charges() const {
+    return background_charges_;
+  }
+  /// Ticks the backlog sat over the high-water mark (foreground throttled).
+  [[nodiscard]] std::uint64_t throttle_ticks() const {
+    return throttle_ticks_;
+  }
 
  private:
   MdsId rank_;
@@ -142,10 +191,17 @@ class MdsJournal {
   std::uint64_t retained_ = 0;
   Tick stall_until_ = 0;
   Tick last_flush_tick_ = -1;
+  /// Newest seq per directory, for dependency stamping (cleared on reset:
+  /// the next incarnation's entries owe nothing to the consumed log).
+  std::unordered_map<DirId, std::uint64_t> last_dir_seq_;
   std::uint64_t appends_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t flushes_ = 0;
   std::uint64_t trimmed_ = 0;
+  std::uint64_t async_acked_ = 0;
+  std::uint64_t background_charges_ = 0;
+  double background_ops_ = 0.0;
+  std::uint64_t throttle_ticks_ = 0;
 };
 
 }  // namespace lunule::journal

@@ -47,6 +47,14 @@ struct JournalEntry {
   EntryType type = EntryType::kUpdate;
   /// Monotonic per-journal sequence number, stamped by MdsJournal::append.
   std::uint64_t seq = 0;
+  /// Sequence of the newest earlier entry this one depends on (0 = none),
+  /// stamped by MdsJournal::append: a dir-scoped entry depends on the
+  /// previous entry touching the same directory (create-before-child-create,
+  /// export-commit-before-dependent-update), a checkpoint on the whole
+  /// prefix.  Group commit makes contiguous prefixes durable, so a durable
+  /// entry's dependency is always durable — replay audits exactly that
+  /// (prefix consistency) and async mode relies on it.
+  std::uint64_t dep_seq = 0;
   Tick tick = -1;
   EpochId epoch = -1;
   /// Namespace unit the entry is about (unused by kSubtreeMap).

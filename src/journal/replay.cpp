@@ -20,6 +20,20 @@ ReplayResult replay_journal(const MdsJournal& j, EpochId now_epoch,
                             const JournalParams& p) {
   ReplayResult r;
   r.lost_entries = j.unflushed();
+  r.acked_lost_entries = p.async_mode ? r.lost_entries : 0;
+
+  // Prefix-consistency audit: every durable entry's dependency must itself
+  // be durable.  The flush model commits whole prefixes, so a violation
+  // here means the durable set became non-contiguous — state no replay
+  // could order correctly.
+  for (const JournalSegment& seg : j.segments()) {
+    for (const JournalEntry& e : seg.entries) {
+      if (e.seq > j.durable_seq() || e.dep_seq == 0) continue;
+      if (e.dep_seq >= e.seq || e.dep_seq > j.durable_seq()) {
+        ++r.dependency_violations;
+      }
+    }
+  }
 
   // Locate the newest durable ESubtreeMap across the retained segments.
   const JournalEntry* checkpoint = nullptr;

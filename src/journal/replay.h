@@ -30,6 +30,18 @@ struct ReplayResult {
   /// Entries past the last durable flush — appended but never committed,
   /// gone with the crash.
   std::uint64_t lost_entries = 0;
+  /// Of the lost entries, those already acknowledged to clients (async mode
+  /// completes ops at in-memory apply, so the whole un-flushed tail was
+  /// acknowledged; sync mode never acknowledges ahead of the backlog model
+  /// and reports 0).  This is the documented async loss window — bounded by
+  /// `max_unflushed_entries` and, between stalls, by the backlog one
+  /// `flush_interval_ticks` cadence can accumulate.
+  std::uint64_t acked_lost_entries = 0;
+  /// Durable entries whose `dep_seq` dependency is not itself durable (or
+  /// points forward).  Group commit makes contiguous prefixes durable, so
+  /// the reconstruction is prefix-consistent and this must always be 0 —
+  /// audited here and by invariant-checker section 9 rather than assumed.
+  std::uint64_t dependency_violations = 0;
   /// Modeled replay wall time: base cost + entries / replay rate.  Zero when
   /// the journal never went durable (nothing to replay).
   double replay_seconds = 0.0;

@@ -106,12 +106,29 @@ void MdsCluster::begin_tick(Tick now) {
 void MdsCluster::end_tick() {
   migration_->tick();
   if (journaling()) {
-    // Cadenced group commit per alive rank; the flush cost lands as debt
-    // against the next tick's budget.
+    // Cadenced group commit per alive rank.  Sync mode charges the flush
+    // cost as debt against the next tick's budget; async mode routes it to
+    // the background durability lane — unless the un-flushed backlog sits
+    // over the high-water mark, in which case the lane throttles
+    // foreground service by charging the flush as ordinary debt.
+    const bool async = params_.journal.async_mode;
     for (MdsServer& s : servers_) {
       if (!s.up()) continue;
-      if (journals_[static_cast<std::size_t>(s.id())].maybe_flush(now_)) {
-        s.add_journal_debt(params_.journal.flush_cost_ops);
+      journal::MdsJournal& j = journals_[static_cast<std::size_t>(s.id())];
+      if (!async) {
+        if (j.maybe_flush(now_)) {
+          s.add_journal_debt(params_.journal.flush_cost_ops);
+        }
+        continue;
+      }
+      const bool throttled = j.over_high_water();
+      if (throttled) j.note_throttle_tick();
+      if (j.maybe_flush(now_)) {
+        if (throttled) {
+          s.add_journal_debt(params_.journal.flush_cost_ops);
+        } else {
+          j.charge_background(params_.journal.flush_cost_ops);
+        }
       }
     }
   }
@@ -217,6 +234,16 @@ std::vector<fs::SubtreeRef> MdsCluster::owned_units(MdsId m) const {
   return owned;
 }
 
+void MdsCluster::charge_journal_append(MdsId m) {
+  journal::MdsJournal& j = journals_[static_cast<std::size_t>(m)];
+  if (params_.journal.async_mode && !j.over_high_water()) {
+    j.charge_background(params_.journal.append_cost_ops);
+  } else {
+    servers_[static_cast<std::size_t>(m)].add_journal_debt(
+        params_.journal.append_cost_ops);
+  }
+}
+
 void MdsCluster::journal_commit(const fs::SubtreeRef& ref, MdsId from,
                                 MdsId to) {
   if (!journaling()) return;
@@ -229,13 +256,12 @@ void MdsCluster::journal_commit(const fs::SubtreeRef& ref, MdsId from,
   journals_[static_cast<std::size_t>(to)].append(
       make_entry(journal::EntryType::kImportStart, now_, epoch_, ref.dir,
                  ref.frag, from));
-  servers_[static_cast<std::size_t>(from)].add_journal_debt(
-      params_.journal.append_cost_ops);
-  servers_[static_cast<std::size_t>(to)].add_journal_debt(
-      params_.journal.append_cost_ops);
+  charge_journal_append(from);
+  charge_journal_append(to);
 }
 
 void MdsCluster::journal_checkpoint() {
+  const bool async = params_.journal.async_mode;
   for (MdsServer& s : servers_) {
     if (!s.up()) continue;
     journal::MdsJournal& j = journals_[static_cast<std::size_t>(s.id())];
@@ -247,12 +273,28 @@ void MdsCluster::journal_checkpoint() {
     const std::span<const double> h = s.load_history();
     e.snapshot.load_history.assign(h.begin(), h.end());
     j.append(std::move(e));
-    s.add_journal_debt(params_.journal.append_cost_ops);
-    // Force a group commit so the checkpoint is durable immediately (a
-    // stalled journal refuses: its checkpoint stays tentative and replay
-    // falls back to the previous durable one), then expire segments the
-    // durable checkpoint covers.
-    if (j.flush(now_)) s.add_journal_debt(params_.journal.flush_cost_ops);
+    charge_journal_append(s.id());
+    if (!async) {
+      // Force a group commit so the checkpoint is durable immediately (a
+      // stalled journal refuses: its checkpoint stays tentative and replay
+      // falls back to the previous durable one), then expire segments the
+      // durable checkpoint covers.
+      if (j.flush(now_)) s.add_journal_debt(params_.journal.flush_cost_ops);
+    } else {
+      // Async mode never force-flushes: durability trails the group-commit
+      // cadence, so the fresh checkpoint stays tentative until the next
+      // commit and a crash before it replays from the previous durable one
+      // (staleness bounded by the cadence + any stall window).  Record the
+      // lag so traces show how far completion ran ahead of durability.
+      const Tick since_flush =
+          j.last_flush_tick() >= 0 ? now_ - j.last_flush_tick() : now_ + 1;
+      trace_->record(obs::Component::kCluster,
+                     {.kind = obs::EventKind::kDurabilityLag,
+                      .a = s.id(),
+                      .n0 = static_cast<std::int64_t>(j.unflushed()),
+                      .n1 = static_cast<std::int64_t>(j.durable_seq()),
+                      .v0 = static_cast<double>(since_flush)});
+    }
     j.trim();
   }
   sync_journal_counters();
@@ -267,6 +309,17 @@ void MdsCluster::sync_journal_counters() {
   c.counter("journal.flushes").add(t.flushes - journal_synced_.flushes);
   c.counter("journal.segments_trimmed")
       .add(t.segments_trimmed - journal_synced_.segments_trimmed);
+  // Async counters exist only in async mode, so sync-mode (and disabled)
+  // runs create none and stay byte-identical to the pre-async behavior.
+  if (params_.journal.async_mode) {
+    c.counter("journal.async_acked")
+        .add(t.async_acked - journal_synced_.async_acked);
+    c.counter("journal.async_background_charges")
+        .add(t.async_background_charges -
+             journal_synced_.async_background_charges);
+    c.counter("journal.async_throttle_ticks")
+        .add(t.async_throttle_ticks - journal_synced_.async_throttle_ticks);
+  }
   journal_synced_ = t;
 }
 
@@ -277,6 +330,10 @@ MdsCluster::JournalTotals MdsCluster::journal_totals() const {
     t.bytes_written += j.bytes_written();
     t.flushes += j.flushes();
     t.segments_trimmed += j.segments_trimmed();
+    t.async_acked += j.async_acked();
+    t.async_background_charges += j.background_charges();
+    t.async_background_ops += j.background_ops();
+    t.async_throttle_ticks += j.throttle_ticks();
   }
   return t;
 }
@@ -399,8 +456,10 @@ ServeResult MdsCluster::try_create(DirId d, TickLane* lane) {
     journals_[static_cast<std::size_t>(m)].append(
         make_entry(journal::EntryType::kUpdate, now_, epoch_, d, frag,
                    kNoMds));
-    servers_[static_cast<std::size_t>(m)].add_journal_debt(
-        params_.journal.append_cost_ops);
+    // Sync mode gates completion on paying the durability debt up front;
+    // async mode acknowledges at apply and the background lane absorbs the
+    // cost (unless the backlog is over the high-water mark).
+    charge_journal_append(m);
   }
 
   // CephFS-style auto-split: fragment one level deeper whenever the
@@ -601,6 +660,8 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
     stats.lost_entries = replay.lost_entries;
     stats.replay_seconds = replay.replay_seconds;
     stats.journaled_subtrees = replay.owned.size();
+    stats.acked_lost_entries = replay.acked_lost_entries;
+    stats.dependency_violations = replay.dependency_violations;
   }
 
   // Deterministic survivor choice: each orphaned unit goes to the alive
@@ -725,6 +786,12 @@ MdsCluster::FailoverStats MdsCluster::set_down(MdsId m) {
     trace_->counters()
         .counter("journal.lost_entries")
         .add(replay.lost_entries);
+    if (params_.journal.async_mode) {
+      // The async loss window: acknowledged ops the crash took with it.
+      trace_->counters()
+          .counter("journal.async_acked_lost")
+          .add(replay.acked_lost_entries);
+    }
     trace_->record(obs::Component::kFaults,
                    {.kind = obs::EventKind::kReplay,
                     .a = primary,

@@ -218,6 +218,11 @@ class MdsCluster {
     std::uint64_t lost_entries = 0;      // unflushed tail, gone for good
     double replay_seconds = 0.0;         // modeled replay wall time
     std::size_t journaled_subtrees = 0;  // units the replay reconstructed
+    // Async-mode loss window: of the lost entries, those acknowledged to
+    // clients before the crash (0 in sync mode), plus the replay's
+    // prefix-consistency audit (must stay 0; see replay.h).
+    std::uint64_t acked_lost_entries = 0;
+    std::uint64_t dependency_violations = 0;
   };
 
   /// Crashes MDS `m`: its budget drops to zero, every subtree and dirfrag it
@@ -257,6 +262,11 @@ class MdsCluster {
     std::uint64_t bytes_written = 0;
     std::uint64_t flushes = 0;
     std::uint64_t segments_trimmed = 0;
+    // Async-mode background-lane totals (all zero in sync mode).
+    std::uint64_t async_acked = 0;
+    std::uint64_t async_background_charges = 0;
+    double async_background_ops = 0.0;
+    std::uint64_t async_throttle_ticks = 0;
   };
   [[nodiscard]] JournalTotals journal_totals() const;
 
@@ -338,7 +348,13 @@ class MdsCluster {
   /// Journals a committed migration on both endpoints.
   void journal_commit(const fs::SubtreeRef& ref, MdsId from, MdsId to);
   /// Epoch-close checkpoint: ESubtreeMap per alive rank + flush + trim.
+  /// In async mode the checkpoint is *not* force-flushed — durability
+  /// trails the group-commit cadence and a `durability_lag` event records
+  /// the backlog per alive rank.
   void journal_checkpoint();
+  /// Charges one append's IOPS cost for rank `m`: foreground debt in sync
+  /// mode (or async over the high-water mark), background lane otherwise.
+  void charge_journal_append(MdsId m);
   /// Flushes journal lifetime totals into the registry's journal.* counters
   /// by delta (once per epoch; the invariant checker audits agreement).
   void sync_journal_counters();

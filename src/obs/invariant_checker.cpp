@@ -310,6 +310,59 @@ std::vector<std::string> InvariantChecker::check_epoch(
     }
   }
 
+  // 9. Async journal mode.  Acknowledging at apply instead of at flush is
+  //    only sound while the acknowledged-but-volatile window stays bounded
+  //    and dependencies never dangle: the un-flushed EUpdate backlog must
+  //    respect max_unflushed_entries (try_create refuses new creates at
+  //    the cap, so the mutation window — the documented crash-loss window —
+  //    is exact; migration/checkpoint entries may legitimately push the
+  //    *total* backlog past it), every retained entry depends only on a
+  //    strictly earlier sequence, every *durable* entry depends on a
+  //    durable one (group commit flushes contiguous prefixes, so a
+  //    violation means the flush discipline broke), and the async_*
+  //    counters agree with the journals' lifetime totals.
+  if (cluster.journaling() && cluster.params().journal.async_mode) {
+    mds::MdsCluster::JournalTotals async_totals;
+    for (std::size_t m = 0; m < n; ++m) {
+      const journal::MdsJournal& j = cluster.journal(static_cast<MdsId>(m));
+      async_totals.async_acked += j.async_acked();
+      async_totals.async_background_charges += j.background_charges();
+      async_totals.async_throttle_ticks += j.throttle_ticks();
+      std::uint64_t unflushed_updates = 0;
+      for (const journal::JournalSegment& seg : j.segments()) {
+        for (const journal::JournalEntry& e : seg.entries) {
+          if (e.dep_seq != 0 && e.dep_seq >= e.seq) {
+            v.add("mds.", m, " journal entry seq ", e.seq,
+                  " depends on non-earlier seq ", e.dep_seq);
+          }
+          if (e.seq <= j.durable_seq() && e.dep_seq > j.durable_seq()) {
+            v.add("mds.", m, " durable entry seq ", e.seq,
+                  " depends on un-flushed seq ", e.dep_seq);
+          }
+          if (e.seq > j.durable_seq() &&
+              e.type == journal::EntryType::kUpdate) {
+            ++unflushed_updates;
+          }
+        }
+      }
+      if (unflushed_updates > j.params().max_unflushed_entries) {
+        v.add("mds.", m, " async journal holds ", unflushed_updates,
+              " un-flushed EUpdate entries, loss-window cap ",
+              j.params().max_unflushed_entries);
+      }
+      if (j.async_acked() > j.appends()) {
+        v.add("mds.", m, " acknowledged ", j.async_acked(),
+              " async entries but appended only ", j.appends());
+      }
+    }
+    check_counter(v, counters, "journal.async_acked",
+                  async_totals.async_acked);
+    check_counter(v, counters, "journal.async_background_charges",
+                  async_totals.async_background_charges);
+    check_counter(v, counters, "journal.async_throttle_ticks",
+                  async_totals.async_throttle_ticks);
+  }
+
   ++epochs_checked_;
   return v.take();
 }

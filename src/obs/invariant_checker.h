@@ -35,6 +35,14 @@
 //      lease that a completed invalidation — mutation, split, migration,
 //      crash, drain — should have revoked, TTLs bounded, and the proxy.*
 //      counters agree with the tier's totals (see docs/CACHING.md).
+//   9. Async journal mode (journal.async_mode only): the acknowledged-but-
+//      not-yet-durable window stays bounded (un-flushed EUpdate count at or
+//      under max_unflushed_entries — the documented loss window), every
+//      retained entry's dependency strictly precedes it and every durable
+//      entry's dependency is itself durable (prefix consistency; what
+//      replay.cpp audits after a crash must already hold before one), a
+//      rank never acknowledges more entries than it appended, and the
+//      journal.async_* counters agree with the journals' lifetime totals.
 //
 // Violations are returned as human-readable strings rather than aborted on,
 // so tests can assert that a deliberately corrupted cluster is flagged; the

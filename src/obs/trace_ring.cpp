@@ -34,6 +34,7 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::kLeaseRecall:     return "lease_recall";
     case EventKind::kProxyPromote:    return "proxy_promote";
     case EventKind::kProxyDemote:     return "proxy_demote";
+    case EventKind::kDurabilityLag:   return "durability_lag";
   }
   return "?";
 }

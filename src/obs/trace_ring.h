@@ -67,6 +67,9 @@ enum class EventKind : std::uint8_t {
                      //   v0=reads absorbed under the recalled lease
   kProxyPromote,     // n0=dir, v0=last-epoch MDS-served IOPS at promotion
   kProxyDemote,      // n0=dir, v0=last-epoch MDS-served IOPS at demotion
+  kDurabilityLag,    // a=mds, n0=un-flushed backlog entries, n1=durable
+                     //   seq, v0=ticks since the last group commit (async
+                     //   journal mode, recorded at epoch close)
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind kind);

@@ -151,6 +151,16 @@ sim::ScenarioConfig generate_config(std::uint64_t seed, std::uint64_t index) {
     cfg.proxy.max_promoted = 1 + rng.next_below(8);
   }
 
+  // Async journal knobs draw last, again to preserve every pinned corpus
+  // config byte-for-byte.  async_mode is armed independently of
+  // journal.enabled: with the journal off it must be inert (the
+  // async_crash_prefix_consistent oracle checks exactly that), so fuzzing
+  // the dead-knob combination is deliberate.
+  if (rng.next_bool(0.3)) {
+    cfg.journal.async_mode = true;
+    cfg.journal.async_high_water_entries = 64 + rng.next_below(4033);
+  }
+
   // Belt and braces: a generated plan must always pass scenario validation.
   cfg.faults.validate(cfg.n_mds, cfg.max_ticks);
   return cfg;

@@ -474,6 +474,83 @@ OracleResult check_proxy_coherence_under_faults(
   return OracleResult::ok();
 }
 
+OracleResult check_async_crash_prefix_consistent(
+    const sim::ScenarioConfig& cfg) {
+  // The async journal's two safety claims, fuzzed over the whole scenario
+  // space.  First: with no journal the async knob is inert — arming it on a
+  // journal-free config must trace byte-identically to leaving it off (the
+  // mode may not leak through counters, costs, or events it has no journal
+  // to hang off).  Second: on an armed async run that actually crashes,
+  // replay reconstructs a prefix-consistent state — every acknowledged op
+  // is either durably replayed or reported inside the documented loss
+  // window, and no durable entry ever depends on a lost one.
+  sim::ScenarioConfig inert = cfg;
+  inert.journal = {};
+  sim::ScenarioConfig inert_async = inert;
+  inert_async.journal.async_mode = true;
+  const RunFingerprint qa = fingerprint(inert);
+  const RunFingerprint qb = fingerprint(inert_async);
+  if (qa.result.trace_json != qb.result.trace_json) {
+    return OracleResult::fail("async_mode leaked without a journal: trace " +
+                              hex(qa.trace_digest) + " vs " +
+                              hex(qb.trace_digest));
+  }
+  if (qa.result_json != qb.result_json) {
+    return OracleResult::fail("async_mode leaked without a journal: result " +
+                              hex(qa.result_digest) + " vs " +
+                              hex(qb.result_digest));
+  }
+
+  sim::ScenarioConfig on = cfg;
+  on.journal.enabled = true;
+  on.journal.async_mode = true;
+  bool has_crash = false;
+  for (const faults::FaultEvent& e : on.faults.events) {
+    if (e.kind == faults::FaultKind::kCrash ||
+        e.kind == faults::FaultKind::kPermanentLoss) {
+      has_crash = true;
+    }
+  }
+  if (!has_crash && on.n_mds >= 2) {
+    // The generated plan may be crash-free; inject one mid-run so the
+    // replay path is exercised on (nearly) every config.
+    Rng rng = Rng(cfg.seed).fork(0xa51c);
+    const Tick lo = on.epoch_ticks;
+    const Tick hi = std::max<Tick>(lo + 1, on.max_ticks - 10);
+    const auto at = static_cast<Tick>(
+        lo + static_cast<Tick>(rng.next_below(
+                 static_cast<std::uint64_t>(hi - lo))));
+    on.faults.crash(static_cast<MdsId>(rng.next_below(on.n_mds)), at,
+                    static_cast<Tick>(10 + rng.next_below(40)));
+    on.faults.validate(on.n_mds, on.max_ticks);
+  }
+
+  const sim::ScenarioResult r = sim::run_scenario(on);
+  if (r.total_served == 0) {
+    return OracleResult::fail("async journaled run served nothing");
+  }
+  if (r.journal_dependency_violations != 0) {
+    std::ostringstream os;
+    os << "replay found " << r.journal_dependency_violations
+       << " durable entries depending on lost ones";
+    return OracleResult::fail(os.str());
+  }
+  if (r.journal_async_acked != r.journal_entries_appended) {
+    std::ostringstream os;
+    os << "async mode acknowledged " << r.journal_async_acked
+       << " entries but appended " << r.journal_entries_appended
+       << " (ack-at-apply must cover every append)";
+    return OracleResult::fail(os.str());
+  }
+  if (r.journal_acked_lost_entries != r.lost_entries) {
+    std::ostringstream os;
+    os << "async loss window mis-accounted: " << r.journal_acked_lost_entries
+       << " acked-lost vs " << r.lost_entries << " lost entries";
+    return OracleResult::fail(os.str());
+  }
+  return OracleResult::ok();
+}
+
 constexpr Oracle kOracles[] = {
     {"same_seed_determinism",
      "two identical runs produce byte-identical result + trace JSON",
@@ -511,6 +588,9 @@ constexpr Oracle kOracles[] = {
     {"proxy_coherence_under_faults",
      "lease counter algebra holds under random fault plans",
      &check_proxy_coherence_under_faults},
+    {"async_crash_prefix_consistent",
+     "async journal crashes replay to a prefix-consistent state",
+     &check_async_crash_prefix_consistent},
 };
 
 }  // namespace

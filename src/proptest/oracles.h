@@ -29,6 +29,11 @@
 //   proxy_coherence_under_faults lease counter algebra (grants >= recalls,
 //                              promotions >= demotions, absorbs imply
 //                              grants) holds under random fault plans
+//   async_crash_prefix_consistent async journal mode is inert without a
+//                              journal, and a crashed async run replays to
+//                              a prefix-consistent state: zero dependency
+//                              violations, every append acknowledged, the
+//                              loss window exactly the un-flushed backlog
 //
 // Every check is deterministic; a failure message carries enough digest /
 // counter context to be actionable before shrinking even starts.

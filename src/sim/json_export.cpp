@@ -152,6 +152,13 @@ void write_result(std::ostream& os, const ScenarioResult& r) {
   w.field("journal_entries_appended", r.journal_entries_appended);
   w.field("journal_bytes_written", r.journal_bytes_written);
   w.field("journal_segments_trimmed", r.journal_segments_trimmed);
+  w.field("journal_async_acked", r.journal_async_acked);
+  w.field("journal_async_background_charges",
+          r.journal_async_background_charges);
+  w.field("journal_async_background_ops", r.journal_async_background_ops);
+  w.field("journal_async_throttle_ticks", r.journal_async_throttle_ticks);
+  w.field("journal_acked_lost_entries", r.journal_acked_lost_entries);
+  w.field("journal_dependency_violations", r.journal_dependency_violations);
   w.field("rank_seconds", r.rank_seconds);
   w.field("scale_up_events", r.scale_up_events);
   w.field("scale_down_events", r.scale_down_events);

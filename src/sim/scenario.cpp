@@ -526,6 +526,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     r.journal_entries_appended = totals.appends;
     r.journal_bytes_written = totals.bytes_written;
     r.journal_segments_trimmed = totals.segments_trimmed;
+    r.journal_async_acked = totals.async_acked;
+    r.journal_async_background_charges = totals.async_background_charges;
+    r.journal_async_background_ops = totals.async_background_ops;
+    r.journal_async_throttle_ticks = totals.async_throttle_ticks;
   }
   if (const faults::FaultInjector* inj = sim->fault_injector()) {
     r.faults_injected = inj->faults_applied();
@@ -536,6 +540,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     r.replayed_entries = inj->replayed_entries();
     r.lost_entries = inj->lost_entries();
     r.journaled_takeover_subtrees = inj->journaled_takeover_subtrees();
+    r.journal_acked_lost_entries = inj->acked_lost_entries();
+    r.journal_dependency_violations = inj->dependency_violations();
     r.first_crash_tick = cfg.faults.first_crash_tick();
     if (r.first_crash_tick >= 0) {
       // Re-convergence: the first epoch closing after the crash whose

@@ -230,6 +230,21 @@ struct ScenarioResult {
   std::uint64_t journal_entries_appended = 0;
   std::uint64_t journal_bytes_written = 0;
   std::uint64_t journal_segments_trimmed = 0;
+  // -- Async journal mode reporting (all zero in sync mode) ---------------
+  /// Entries acknowledged to clients before durability (async appends).
+  std::uint64_t journal_async_acked = 0;
+  /// IOPS charges absorbed by the background durability lane, and their
+  /// summed cost in ops.
+  std::uint64_t journal_async_background_charges = 0;
+  double journal_async_background_ops = 0.0;
+  /// Ticks any rank's backlog sat over the high-water mark (foreground
+  /// service throttled by the durability lane).
+  std::uint64_t journal_async_throttle_ticks = 0;
+  /// Acknowledged-but-lost entries across every applied crash — the
+  /// documented async loss window (bounded by `max_unflushed_entries`).
+  std::uint64_t journal_acked_lost_entries = 0;
+  /// Replay prefix-consistency audit failures (must stay 0; see replay.h).
+  std::uint64_t journal_dependency_violations = 0;
   // -- Elasticity reporting -----------------------------------------------
   /// Σ over ticks of the serving rank count (the elastic pool's cost
   /// meter); filled for every run, elastic or not.

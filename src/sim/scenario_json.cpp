@@ -68,7 +68,8 @@ void load_journal(const JsonValue& v, journal::JournalParams& j) {
       {"enabled", "segment_entries", "flush_interval_ticks",
        "max_unflushed_entries", "append_cost_ops", "flush_cost_ops",
        "replay_entries_per_second", "replay_base_seconds",
-       "replay_capacity_penalty", "history_decay_per_epoch"});
+       "replay_capacity_penalty", "history_decay_per_epoch", "async_mode",
+       "async_high_water_entries"});
   if (const JsonValue* x = v.find("enabled")) j.enabled = x->as_bool();
   if (const JsonValue* x = v.find("segment_entries")) {
     j.segment_entries = static_cast<std::uint32_t>(x->as_uint());
@@ -96,6 +97,12 @@ void load_journal(const JsonValue& v, journal::JournalParams& j) {
   }
   if (const JsonValue* x = v.find("history_decay_per_epoch")) {
     j.history_decay_per_epoch = x->as_double();
+  }
+  if (const JsonValue* x = v.find("async_mode")) {
+    j.async_mode = x->as_bool();
+  }
+  if (const JsonValue* x = v.find("async_high_water_entries")) {
+    j.async_high_water_entries = x->as_uint();
   }
 }
 
@@ -204,6 +211,8 @@ void write_scenario_config(std::ostream& os, const ScenarioConfig& cfg) {
                 cfg.journal.replay_capacity_penalty);
   w.field_exact("history_decay_per_epoch",
                 cfg.journal.history_decay_per_epoch);
+  w.field("async_mode", cfg.journal.async_mode);
+  w.field("async_high_water_entries", cfg.journal.async_high_water_entries);
   w.end_object();
 
   w.key("autoscaler");

@@ -158,6 +158,51 @@ TEST(MdsJournal, ResetClearsContentButKeepsSeqAndLifetimeStats) {
   EXPECT_GT(j.bytes_written(), bytes);
 }
 
+// -- Backpressure edge cases ------------------------------------------------
+
+TEST(MdsJournal, FullTripsExactlyAtTheCapAndNonCreateAppendsPushPast) {
+  journal::JournalParams p;
+  p.max_unflushed_entries = 4;
+  journal::MdsJournal j(0, p);
+  for (DirId d = 0; d < 3; ++d) j.append(update_entry(d));
+  EXPECT_FALSE(j.full());  // 3 < 4: one more create still fits
+  j.append(update_entry(3));
+  EXPECT_TRUE(j.full());  // exactly at the cap, not one entry later
+  // The cap only gates admission (try_create checks full() first); the
+  // journal itself keeps accepting — migration records and checkpoints must
+  // never be dropped just because mutations saturated the window.
+  j.append(delta_entry(journal::EntryType::kExportCommit, 9));
+  j.append(map_entry({fs::SubtreeRef{.dir = 9}}, {}, 0));
+  EXPECT_EQ(j.unflushed(), 6u);
+  EXPECT_TRUE(j.full());
+  EXPECT_TRUE(j.flush(0));
+  EXPECT_FALSE(j.full());
+}
+
+TEST(MdsJournal, StallSuspendsTheCadenceClockUntilTheDeadline) {
+  journal::JournalParams p;
+  p.flush_interval_ticks = 3;
+  journal::MdsJournal j(0, p);
+  j.append(update_entry(1));
+  EXPECT_TRUE(j.maybe_flush(0));
+  j.append(update_entry(2));
+  j.stall_until(10);
+  // Cadence ticks that land inside the stall do not flush — and must not
+  // advance the cadence clock either, or the post-stall flush would wait a
+  // whole extra interval on top of the stall.
+  EXPECT_FALSE(j.maybe_flush(3));
+  EXPECT_FALSE(j.maybe_flush(6));
+  EXPECT_FALSE(j.maybe_flush(9));
+  EXPECT_EQ(j.durable_seq(), 1u);
+  j.append(update_entry(3));
+  // First tick past the deadline: the whole accumulated backlog goes
+  // durable in one group commit.
+  EXPECT_TRUE(j.maybe_flush(10));
+  EXPECT_EQ(j.durable_seq(), 3u);
+  EXPECT_EQ(j.unflushed(), 0u);
+  EXPECT_EQ(j.flushes(), 2u);
+}
+
 // -- Replay unit tests ------------------------------------------------------
 
 TEST(Replay, EmptyJournalReplaysNothingForFree) {
@@ -417,6 +462,219 @@ TEST_F(JournalClusterTest, StalledJournalBackpressuresCreates) {
   EXPECT_EQ(cluster.try_create(dirs[0]), mds::ServeResult::kServed);
 }
 
+TEST_F(JournalClusterTest,
+       BacklogDrainReadmitsRefusedCreatesDeterministically) {
+  params.journal.max_unflushed_entries = 4;
+  // Two independent clusters driven through the identical refuse/drain
+  // sequence must agree op for op: backpressure admission is part of the
+  // deterministic schedule, not a racy side channel.
+  std::vector<std::vector<int>> served_per_run;
+  std::vector<std::uint64_t> final_seq;
+  for (int run = 0; run < 2; ++run) {
+    fs::NamespaceTree t2;
+    const std::vector<DirId> d2 = fs::build_private_dirs(t2, "w", 6, 100);
+    mds::MdsCluster cluster(t2, params);
+    cluster.stall_journal(0, 2);
+    std::vector<int> served;
+    for (Tick tick = 0; tick < 4; ++tick) {
+      cluster.begin_tick(tick);
+      int ok = 0;
+      for (int i = 0; i < 6; ++i) {
+        if (cluster.try_create(d2[0]) == mds::ServeResult::kServed) ++ok;
+      }
+      cluster.end_tick();
+      served.push_back(ok);
+    }
+    served_per_run.push_back(served);
+    final_seq.push_back(cluster.journal(0).seq());
+  }
+  EXPECT_EQ(served_per_run[0], served_per_run[1]);
+  EXPECT_EQ(final_seq[0], final_seq[1]);
+  // Tick 0 admits exactly the cap and refuses the rest; the backlog keeps
+  // refusing creates while the stall holds (flushes run at end of tick,
+  // after serving, so tick 2 still sees a full journal).  Once the lifted
+  // stall lets the end-of-tick-2 group commit drain the backlog, refused
+  // demand is re-admitted at the cap rate — the cap, not the stall, is
+  // the steady-state limiter.
+  EXPECT_EQ(served_per_run[0][0], 4);
+  EXPECT_EQ(served_per_run[0][1], 0);  // stalled, journal still full
+  EXPECT_EQ(served_per_run[0][2], 0);  // drain happens after tick 2 serves
+  EXPECT_EQ(served_per_run[0][3], 4);  // re-admitted up to the cap
+}
+
+// -- Async journal mode -----------------------------------------------------
+
+TEST(MdsJournal, AppendStampsDirectoryDependencyChains) {
+  journal::MdsJournal j(0, journal::JournalParams{});
+  EXPECT_EQ(j.append(update_entry(5)), 1u);  // first touch of dir 5
+  EXPECT_EQ(j.append(update_entry(7)), 2u);  // first touch of dir 7
+  EXPECT_EQ(j.append(update_entry(5)), 3u);  // depends on seq 1
+  EXPECT_EQ(j.append(delta_entry(journal::EntryType::kExportCommit, 5)), 4u);
+  j.append(map_entry({}, {}, 0));  // seq 5: depends on the whole prefix
+  const auto& entries = j.segments().front().entries;
+  EXPECT_EQ(entries[0].dep_seq, 0u);
+  EXPECT_EQ(entries[1].dep_seq, 0u);
+  EXPECT_EQ(entries[2].dep_seq, 1u);
+  EXPECT_EQ(entries[3].dep_seq, 3u);  // export commit after the dir update
+  EXPECT_EQ(entries[4].dep_seq, 4u);
+}
+
+TEST(MdsJournal, ResetClearsDependencyTrackingWithTheContent) {
+  journal::MdsJournal j(0, journal::JournalParams{});
+  j.append(update_entry(5));
+  j.flush(0);
+  j.reset();
+  // The fresh incarnation replays from scratch: its first entry for dir 5
+  // must not claim a dependency on the discarded incarnation's entry.
+  j.append(update_entry(5));
+  EXPECT_EQ(j.segments().front().entries.front().dep_seq, 0u);
+}
+
+TEST(MdsJournal, AsyncModeAcksAtAppendAndMetersTheBackgroundLane) {
+  journal::JournalParams p;
+  p.async_mode = true;
+  p.async_high_water_entries = 2;
+  journal::MdsJournal j(0, p);
+  EXPECT_EQ(j.async_acked(), 0u);
+  j.append(update_entry(1));
+  EXPECT_EQ(j.async_acked(), 1u);
+  EXPECT_FALSE(j.over_high_water());
+  j.append(update_entry(2));
+  EXPECT_TRUE(j.over_high_water());  // at the mark, not one past it
+  j.charge_background(0.5);
+  j.charge_background(1.5);
+  j.note_throttle_tick();
+  EXPECT_EQ(j.background_charges(), 2u);
+  EXPECT_DOUBLE_EQ(j.background_ops(), 2.0);
+  EXPECT_EQ(j.throttle_ticks(), 1u);
+  EXPECT_TRUE(j.flush(0));
+  EXPECT_FALSE(j.over_high_water());
+  // Lifetime async statistics survive a crash reset like the other
+  // monotonic counters.
+  j.append(update_entry(3));
+  j.reset();
+  EXPECT_EQ(j.async_acked(), 3u);
+  EXPECT_EQ(j.background_charges(), 2u);
+}
+
+TEST(MdsJournal, SyncModeNeverAcksNorCrossesHighWater) {
+  journal::JournalParams p;
+  p.async_high_water_entries = 1;
+  journal::MdsJournal j(0, p);
+  for (DirId d = 0; d < 5; ++d) j.append(update_entry(d));
+  EXPECT_EQ(j.async_acked(), 0u);
+  EXPECT_FALSE(j.over_high_water());  // async-only concept
+}
+
+TEST_F(JournalClusterTest, AsyncModeKeepsJournalDebtOffTheForeground) {
+  params.journal.append_cost_ops = 1.0;
+  params.journal.async_mode = true;
+  mds::MdsCluster cluster(tree, params);
+  cluster.begin_tick(0);
+  int first = 0;
+  while (cluster.try_create(dirs[0]) == mds::ServeResult::kServed) ++first;
+  cluster.end_tick();
+  // The mirror of JournalingConsumesIopsBudget: the same appends landed on
+  // the background durability lane, so tick 1 serves at full capacity.
+  cluster.begin_tick(1);
+  int second = 0;
+  while (cluster.try_create(dirs[0]) == mds::ServeResult::kServed) ++second;
+  cluster.end_tick();
+  EXPECT_EQ(first, 50);
+  EXPECT_EQ(second, 50);
+  const mds::MdsCluster::JournalTotals totals = cluster.journal_totals();
+  EXPECT_EQ(totals.async_acked, totals.appends);
+  EXPECT_GT(totals.async_background_charges, 0u);
+  EXPECT_GT(totals.async_background_ops, 0.0);
+}
+
+TEST_F(JournalClusterTest, AsyncBacklogOverHighWaterThrottlesForeground) {
+  params.journal.append_cost_ops = 1.0;
+  params.journal.async_mode = true;
+  params.journal.async_high_water_entries = 5;
+  mds::MdsCluster cluster(tree, params);
+  // A stalled device lets the backlog climb past the high-water mark;
+  // appends then fall back to foreground journal debt and the throttle
+  // meter runs.
+  cluster.stall_journal(0, 1000);
+  drive(cluster, dirs[0], 4, 10);
+  const mds::MdsCluster::JournalTotals totals = cluster.journal_totals();
+  EXPECT_GT(totals.async_throttle_ticks, 0u);
+  // Foreground debt shows up as reduced admission: with 1.0 ops of debt per
+  // over-water append, later ticks cannot keep serving the full 10.
+  cluster.begin_tick(next_tick_);
+  int served = 0;
+  while (cluster.try_create(dirs[0]) == mds::ServeResult::kServed) ++served;
+  EXPECT_LT(served, 50);
+}
+
+TEST_F(JournalClusterTest, AsyncCheckpointLeavesDurabilityTrailing) {
+  params.journal.flush_interval_ticks = 5;
+  params.journal.async_mode = true;
+  mds::MdsCluster cluster(tree, params);
+  tree.set_auth(dirs[1], 1);
+  drive(cluster, dirs[1], 2, 5);  // one closed epoch
+  // Sync mode force-flushes at the checkpoint so replay always finds it
+  // durable; async lets durability trail the flush cadence instead.
+  EXPECT_EQ(cluster.journal(1).durable_subtree_map_seq(), 0u);
+  EXPECT_GT(cluster.journal(1).unflushed(), 0u);
+
+  params.journal.async_mode = false;
+  fs::NamespaceTree t2;
+  const std::vector<DirId> d2 = fs::build_private_dirs(t2, "w", 6, 100);
+  mds::MdsCluster sync_cluster(t2, params);
+  t2.set_auth(d2[1], 1);
+  for (Tick t = 0; t < 2; ++t) {
+    sync_cluster.begin_tick(t);
+    for (int i = 0; i < 5; ++i) sync_cluster.try_create(d2[1]);
+    sync_cluster.end_tick();
+    if ((t + 1) % params.epoch_ticks == 0) sync_cluster.close_epoch();
+  }
+  EXPECT_GT(sync_cluster.journal(1).durable_subtree_map_seq(), 0u);
+}
+
+TEST_F(JournalClusterTest, AsyncCrashReportsAckedLostWindow) {
+  params.journal.flush_interval_ticks = 10;  // durability trails far behind
+  params.journal.async_mode = true;
+  mds::MdsCluster cluster(tree, params);
+  tree.set_auth(dirs[2], 1);
+  drive(cluster, dirs[2], 2, 5);
+  cluster.begin_tick(next_tick_);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_EQ(cluster.try_create(dirs[2]), mds::ServeResult::kServed);
+  }
+  const std::uint64_t backlog = cluster.journal(1).unflushed();
+  ASSERT_GT(backlog, 0u);
+  const mds::MdsCluster::FailoverStats stats = cluster.set_down(1);
+  // Every lost entry had been acknowledged to a client at apply: the crash
+  // surfaces them as the documented loss window, and the prefix audit holds.
+  EXPECT_EQ(stats.acked_lost_entries, backlog);
+  EXPECT_EQ(stats.lost_entries, backlog);
+  EXPECT_EQ(stats.dependency_violations, 0u);
+  EXPECT_EQ(cluster.trace().counters().value("journal.async_acked_lost"),
+            backlog);
+}
+
+TEST_F(JournalClusterTest, SyncCrashReportsNoAckedLoss) {
+  params.journal.flush_interval_ticks = 10;
+  mds::MdsCluster cluster(tree, params);
+  tree.set_auth(dirs[2], 1);
+  drive(cluster, dirs[2], 2, 5);
+  cluster.begin_tick(next_tick_);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_EQ(cluster.try_create(dirs[2]), mds::ServeResult::kServed);
+  }
+  const mds::MdsCluster::FailoverStats stats = cluster.set_down(1);
+  // Sync mode never acknowledged the un-flushed tail, so the same data loss
+  // is not an *acknowledged* loss — and the async counter must not exist.
+  EXPECT_GT(stats.lost_entries, 0u);
+  EXPECT_EQ(stats.acked_lost_entries, 0u);
+  for (const auto& [name, counter] : cluster.trace().counters().all()) {
+    EXPECT_EQ(std::string(name).rfind("journal.async", 0), std::string::npos)
+        << name;
+  }
+}
+
 // -- Scenario-level behavior ------------------------------------------------
 
 sim::ScenarioConfig journaled_crash_config(std::uint64_t seed) {
@@ -465,6 +723,72 @@ TEST(JournalScenario, DisabledJournalLeavesTraceFreeOfJournalArtifacts) {
   EXPECT_EQ(r.replay_seconds, 0.0);
   EXPECT_EQ(r.journal_entries_appended, 0u);
   EXPECT_EQ(r.journal_bytes_written, 0u);
+}
+
+TEST(JournalScenario, TightCapTrailingFlushAndStallStayDeterministic) {
+  // flush_interval_ticks > 1 (a real trailing group commit) combined with a
+  // mid-run device stall and a tight un-flushed cap: the nastiest
+  // backpressure interaction must still complete the workload and trace
+  // byte-identically across runs.
+  sim::ScenarioConfig cfg = journaled_crash_config(17);
+  cfg.faults = {};
+  cfg.journal.flush_interval_ticks = 3;
+  cfg.journal.max_unflushed_entries = 8;
+  cfg.faults.journal_stall(0, 50, 30);
+  cfg.capture_trace = true;
+  const sim::ScenarioResult a = sim::run_scenario(cfg);
+  const sim::ScenarioResult b = sim::run_scenario(cfg);
+  EXPECT_EQ(sim::to_json(a), sim::to_json(b));
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.clients_done, a.n_clients)
+      << "refused creates were never re-admitted";
+  EXPECT_GT(a.journal_entries_appended, 0u);
+}
+
+TEST(JournalScenario, AsyncCrashRunReportsLossWindowAndCleanAudit) {
+  sim::ScenarioConfig cfg = journaled_crash_config(19);
+  cfg.journal.async_mode = true;
+  cfg.journal.flush_interval_ticks = 4;
+  const sim::ScenarioResult r = sim::run_scenario(cfg);
+  EXPECT_GT(r.journal_entries_appended, 0u);
+  EXPECT_EQ(r.journal_async_acked, r.journal_entries_appended);
+  EXPECT_GT(r.journal_async_background_charges, 0u);
+  EXPECT_EQ(r.journal_acked_lost_entries, r.lost_entries);
+  EXPECT_EQ(r.journal_dependency_violations, 0u);
+}
+
+TEST(JournalScenario, AsyncTraceCarriesDurabilityLagEvents) {
+  sim::ScenarioConfig cfg = journaled_crash_config(23);
+  cfg.faults = {};
+  cfg.capture_trace = true;
+  cfg.journal.flush_interval_ticks = 4;
+  cfg.journal.async_mode = true;
+  const sim::ScenarioResult async_run = sim::run_scenario(cfg);
+  EXPECT_NE(async_run.trace_json.find("\"durability_lag\""),
+            std::string::npos);
+  EXPECT_NE(async_run.trace_json.find("\"journal.async_acked\""),
+            std::string::npos);
+  // The sync twin records neither the event nor the async counters.
+  cfg.journal.async_mode = false;
+  const sim::ScenarioResult sync_run = sim::run_scenario(cfg);
+  EXPECT_EQ(sync_run.trace_json.find("durability_lag"), std::string::npos);
+  EXPECT_EQ(sync_run.trace_json.find("async"), std::string::npos);
+  EXPECT_EQ(sync_run.journal_async_acked, 0u);
+  EXPECT_EQ(sync_run.journal_async_background_charges, 0u);
+  EXPECT_EQ(sync_run.journal_async_throttle_ticks, 0u);
+}
+
+TEST(JournalScenario, AsyncRunsAreDeterministic) {
+  sim::ScenarioConfig cfg = journaled_crash_config(29);
+  cfg.capture_trace = true;
+  cfg.journal.async_mode = true;
+  cfg.journal.flush_interval_ticks = 3;
+  cfg.journal.async_high_water_entries = 32;
+  cfg.faults.journal_stall(1, 100, 30);
+  const sim::ScenarioResult a = sim::run_scenario(cfg);
+  const sim::ScenarioResult b = sim::run_scenario(cfg);
+  EXPECT_EQ(sim::to_json(a), sim::to_json(b));
+  EXPECT_EQ(a.trace_json, b.trace_json);
 }
 
 TEST(JournalScenario, JournalStallIsSkippedWithoutAJournal) {

@@ -46,6 +46,8 @@ ScenarioConfig full_config() {
   cfg.journal.replay_base_seconds = 2.75;
   cfg.journal.replay_capacity_penalty = 0.4;
   cfg.journal.history_decay_per_epoch = 0.55;
+  cfg.journal.async_mode = true;
+  cfg.journal.async_high_water_entries = 321;
   cfg.migration_max_retries = 9;
   cfg.migration_retry_backoff_ticks = 11;
   cfg.capture_trace = true;
@@ -93,6 +95,9 @@ TEST(ScenarioRoundtrip, EveryKnobSurvivesSaveLoad) {
             cfg.journal.replay_capacity_penalty);
   EXPECT_EQ(back.journal.history_decay_per_epoch,
             cfg.journal.history_decay_per_epoch);
+  EXPECT_EQ(back.journal.async_mode, cfg.journal.async_mode);
+  EXPECT_EQ(back.journal.async_high_water_entries,
+            cfg.journal.async_high_water_entries);
   EXPECT_EQ(back.migration_max_retries, cfg.migration_max_retries);
   EXPECT_EQ(back.migration_retry_backoff_ticks,
             cfg.migration_retry_backoff_ticks);

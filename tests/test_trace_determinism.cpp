@@ -78,5 +78,25 @@ TEST(TraceDeterminism, ProxyDisabledTraceMatchesPinnedPreProxyDigest) {
   EXPECT_EQ(r.proxy_promotions, 0u);
 }
 
+// Pinned trace digest, async edition: with async_mode off (the default,
+// and the journal disabled as in every small_config run) the async journal
+// path must be dark silicon too — the same pre-proxy digest still holds
+// because neither PR's knobs may perturb a disabled run.  dep_seq stamping
+// runs in every mode but lives outside the trace, so it must not move this
+// value either.
+TEST(TraceDeterminism, AsyncDisabledTraceMatchesPinnedDigest) {
+  ScenarioConfig cfg = small_config(BalancerKind::kLunule, 42);
+  ASSERT_FALSE(cfg.journal.enabled);
+  ASSERT_FALSE(cfg.journal.async_mode);
+  const ScenarioResult r = run_scenario(cfg);
+  ASSERT_FALSE(r.trace_json.empty());
+  EXPECT_EQ(fnv1a64(r.trace_json), 0x51e3506e66756352ull);
+  EXPECT_EQ(r.journal_async_acked, 0u);
+  EXPECT_EQ(r.journal_async_background_charges, 0u);
+  EXPECT_EQ(r.journal_async_throttle_ticks, 0u);
+  EXPECT_EQ(r.journal_acked_lost_entries, 0u);
+  EXPECT_EQ(r.journal_dependency_violations, 0u);
+}
+
 }  // namespace
 }  // namespace lunule::sim
